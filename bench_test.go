@@ -1,0 +1,333 @@
+// Benchmarks regenerating every evaluation artifact of the paper, one
+// per table/figure, plus ablations. Each benchmark iteration runs a full
+// deterministic simulation and reports the paper's metric (virtual ms
+// per metadata operation, or virtual MB/s) as custom units, so
+// `go test -bench=.` reproduces the evaluation:
+//
+//	BenchmarkFig4Create/gpfs-4n   ... 20.5 vms/op
+//	BenchmarkFig4Create/cofs-4n   ...  1.9 vms/op
+package cofs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/bench"
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/trace"
+)
+
+// metaratesMs runs one metarates configuration and returns the mean
+// virtual latency of op in milliseconds.
+func metaratesMs(seed int64, useCOFS bool, nodes, filesPerProc int, op string) float64 {
+	tb := cluster.New(seed, nodes, params.Default())
+	t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+	if useCOFS {
+		t.Mounts = core.Deploy(tb, nil).Mounts
+	}
+	res := bench.Metarates(t, bench.MetaratesConfig{
+		Nodes: nodes, ProcsPerNode: 1, FilesPerProc: filesPerProc,
+		Dir: "/shared", Ops: []string{op},
+	})
+	return res.MeanMs(op)
+}
+
+// reportMs attaches the paper's metric to the benchmark output.
+func reportMs(b *testing.B, ms float64) {
+	b.Helper()
+	b.ReportMetric(ms, "vms/op")
+}
+
+// BenchmarkFig1SingleNodeGPFS regenerates Fig. 1: single-node latency
+// versus directory size on bare GPFS.
+func BenchmarkFig1SingleNodeGPFS(b *testing.B) {
+	for _, op := range bench.DefaultOps {
+		for _, size := range []int{256, 1024, 2560} {
+			b.Run(fmt.Sprintf("%s-%dfiles", op, size), func(b *testing.B) {
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					ms = metaratesMs(int64(i+1), false, 1, size, op)
+				}
+				reportMs(b, ms)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2ParallelGPFS regenerates Fig. 2: parallel shared-directory
+// latency on bare GPFS at 4 and 8 nodes.
+func BenchmarkFig2ParallelGPFS(b *testing.B) {
+	for _, nodes := range []int{4, 8} {
+		for _, op := range bench.DefaultOps {
+			b.Run(fmt.Sprintf("%s-%dn-1024files", op, nodes), func(b *testing.B) {
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					ms = metaratesMs(int64(i+1), false, nodes, 1024/nodes, op)
+				}
+				reportMs(b, ms)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Create regenerates Fig. 4: create latency, GPFS vs COFS.
+func BenchmarkFig4Create(b *testing.B) {
+	for _, stack := range []string{"gpfs", "cofs"} {
+		for _, nodes := range []int{4, 8} {
+			b.Run(fmt.Sprintf("%s-%dn-512perNode", stack, nodes), func(b *testing.B) {
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					ms = metaratesMs(int64(i+1), stack == "cofs", nodes, 512, "create")
+				}
+				reportMs(b, ms)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Stat regenerates Fig. 5: stat latency, GPFS vs COFS.
+func BenchmarkFig5Stat(b *testing.B) {
+	for _, stack := range []string{"gpfs", "cofs"} {
+		for _, nodes := range []int{4, 8} {
+			b.Run(fmt.Sprintf("%s-%dn-2048perNode", stack, nodes), func(b *testing.B) {
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					ms = metaratesMs(int64(i+1), stack == "cofs", nodes, 2048, "stat")
+				}
+				reportMs(b, ms)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Scale64 regenerates Fig. 6: 64 nodes on the hierarchical
+// topology, 256 files per node (create and stat; utime/open track stat).
+func BenchmarkFig6Scale64(b *testing.B) {
+	for _, stack := range []string{"gpfs", "cofs"} {
+		for _, op := range []string{"create", "stat"} {
+			b.Run(fmt.Sprintf("%s-%s", stack, op), func(b *testing.B) {
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					ms = metaratesMs(int64(i+1), stack == "cofs", 64, 256, op)
+				}
+				reportMs(b, ms)
+			})
+		}
+	}
+}
+
+// iorMBps runs one IOR configuration and returns (write, read) MB/s.
+func iorMBps(seed int64, useCOFS bool, nodes int, size int64, shared, random bool) (float64, float64) {
+	tb := cluster.New(seed, nodes, params.Default())
+	t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+	if useCOFS {
+		t.Mounts = core.Deploy(tb, nil).Mounts
+	}
+	res := bench.IOR(t, bench.IORConfig{
+		Nodes: nodes, AggregateBytes: size, TransferSize: 1 << 20,
+		Shared: shared, Random: random, Dir: "/ior", ReadBack: true,
+	})
+	return res.WriteMBps, res.ReadMBps
+}
+
+// BenchmarkTable1IOR regenerates Table I: IOR aggregate rates across the
+// paper's pattern matrix (4 nodes, 256 MB aggregate shown; the
+// experiments driver sweeps the full matrix).
+func BenchmarkTable1IOR(b *testing.B) {
+	cases := []struct {
+		name           string
+		shared, random bool
+	}{
+		{"separate-seq", false, false},
+		{"separate-random", false, true},
+		{"shared-seq", true, false},
+		{"shared-random", true, true},
+	}
+	for _, stack := range []string{"gpfs", "cofs"} {
+		for _, tc := range cases {
+			b.Run(stack+"-"+tc.name, func(b *testing.B) {
+				var wr, rd float64
+				for i := 0; i < b.N; i++ {
+					wr, rd = iorMBps(int64(i+1), stack == "cofs", 4, 256<<20, tc.shared, tc.random)
+				}
+				b.ReportMetric(wr, "vMB/s-write")
+				b.ReportMetric(rd, "vMB/s-read")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPlacement regenerates the placement-policy ablation on
+// the Fig. 4 create workload.
+func BenchmarkAblationPlacement(b *testing.B) {
+	full := params.Default()
+	policies := []struct {
+		name  string
+		place core.Placement
+	}{
+		{"paper-hash-rand-cap", nil},
+		{"no-randomization", core.HashPlacement{Fanout: full.COFS.DirFanout, RandomSubdirs: 1}},
+		{"node-hash-only", core.NodeHashPlacement{Fanout: full.COFS.DirFanout}},
+		{"flat-baseline", core.FlatPlacement{}},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				tb := cluster.New(int64(i+1), 4, params.Default())
+				d := core.Deploy(tb, pol.place)
+				t := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+				res := bench.Metarates(t, bench.MetaratesConfig{
+					Nodes: 4, ProcsPerNode: 1, FilesPerProc: 512,
+					Dir: "/shared", Ops: []string{"create"},
+				})
+				ms = res.MeanMs("create")
+			}
+			reportMs(b, ms)
+		})
+	}
+}
+
+// BenchmarkSimKernel measures raw event throughput of the simulation
+// kernel itself (not a paper artifact; a repo health metric).
+func BenchmarkSimKernel(b *testing.B) {
+	tb := cluster.New(1, 1, params.Default())
+	_ = tb
+	b.Run("create-stat-cycle", func(b *testing.B) {
+		tb := cluster.New(1, 1, params.Default())
+		t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = bench.Metarates(t, bench.MetaratesConfig{
+				Nodes: 1, ProcsPerNode: 1, FilesPerProc: 64,
+				Dir: fmt.Sprintf("/b%d", i), Ops: []string{"create", "stat"},
+			})
+		}
+	})
+}
+
+// BenchmarkMDTest runs the mdtest-style tree benchmark (extension) on
+// both stacks in the contended shared-tree configuration, reporting the
+// file-stat phase latency (the cross-node attribute path the paper's
+// mechanism analysis centres on).
+func BenchmarkMDTest(b *testing.B) {
+	for _, stack := range []string{"gpfs", "cofs"} {
+		b.Run(stack+"-shared-shift", func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				tb := cluster.New(int64(i+1), 4, params.Default())
+				t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+				if stack == "cofs" {
+					t.Mounts = core.Deploy(tb, nil).Mounts
+				}
+				res := bench.MDTest(t, bench.MDTestConfig{
+					Nodes: 4, Depth: 2, Branch: 4, FilesPerRank: 128,
+					Shared: true, StatShift: true,
+				})
+				ms = res.MeanMs("file-stat")
+			}
+			reportMs(b, ms)
+		})
+	}
+}
+
+// BenchmarkTraceReplayBatch replays the batch-jobs trace (the paper's
+// second motivating workload) on both stacks and reports the mean job
+// output write latency.
+func BenchmarkTraceReplayBatch(b *testing.B) {
+	for _, stack := range []string{"gpfs", "cofs"} {
+		b.Run(stack, func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				tb := cluster.New(int64(i+1), 4, params.Default())
+				t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+				if stack == "cofs" {
+					t.Mounts = core.Deploy(tb, nil).Mounts
+				}
+				tr := trace.GenBatchJobs(trace.BatchConfig{
+					Nodes: 4, Jobs: 64, FilesPerJob: 4, BytesPerFile: 4 << 10,
+					Stagger: 20 * time.Millisecond,
+				})
+				res, err := trace.Replay(t, tr, trace.ReplayOptions{Timed: true})
+				if err != nil || res.Errors > 0 {
+					b.Fatalf("replay: %v (errors %d, first %v)", err, res.Errors, res.FirstErr)
+				}
+				ms = res.PerKind[trace.WriteFile].MeanMs()
+			}
+			reportMs(b, ms)
+		})
+	}
+}
+
+// BenchmarkAblationDirCap regenerates the directory-cap ablation's three
+// interesting points: an over-small cap, the paper's 512, and unbounded.
+func BenchmarkAblationDirCap(b *testing.B) {
+	for _, cap := range []int{64, 512, 0} {
+		name := fmt.Sprintf("cap-%d", cap)
+		if cap == 0 {
+			name = "cap-unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				cfg := params.Default()
+				cfg.COFS.MaxEntriesPerDir = cap
+				cfg.COFS.RandomSubdirs = 1
+				tb := cluster.New(int64(i+1), 4, cfg)
+				// One bucket per node, as in the experiments driver:
+				// the cap is the only variable (the default policy's
+				// occasional node collisions would add noise).
+				d := core.Deploy(tb, core.NodeHashPlacement{Fanout: 64})
+				t := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+				res := bench.Metarates(t, bench.MetaratesConfig{
+					Nodes: 4, ProcsPerNode: 1, FilesPerProc: 2048,
+					Dir: "/shared", Ops: []string{"create"},
+				})
+				ms = res.MeanMs("create")
+			}
+			reportMs(b, ms)
+		})
+	}
+}
+
+// BenchmarkAblationFalseSharing regenerates the packed-inode ablation's
+// endpoints (1 vs 32 inodes per lock unit) on the 4-node stat workload.
+func BenchmarkAblationFalseSharing(b *testing.B) {
+	for _, pack := range []int{1, 32} {
+		b.Run(fmt.Sprintf("inodesPerBlock-%d", pack), func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				cfg := params.Default()
+				cfg.PFS.InodesPerBlock = pack
+				tb := cluster.New(int64(i+1), 4, cfg)
+				t := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+				res := bench.Metarates(t, bench.MetaratesConfig{
+					Nodes: 4, ProcsPerNode: 1, FilesPerProc: 128,
+					Dir: "/shared", Ops: []string{"stat"},
+				})
+				ms = res.MeanMs("stat")
+			}
+			reportMs(b, ms)
+		})
+	}
+}
+
+// BenchmarkFailover measures a full standby promotion: replicated
+// workload, primary crash, promote, first create on the new service.
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := cluster.New(int64(i+1), 2, params.Default())
+		d := core.Deploy(tb, nil)
+		sb := core.DeployStandby(tb, d, time.Millisecond)
+		t := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+		_ = bench.Metarates(t, bench.MetaratesConfig{
+			Nodes: 2, ProcsPerNode: 1, FilesPerProc: 128,
+			Dir: "/shared", Ops: []string{"create"},
+		})
+		d.Service.DB.Crash()
+		sb.Promote(d)
+	}
+}

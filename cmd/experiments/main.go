@@ -1,0 +1,71 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the data series behind one artifact
+// in the same units the paper uses (ms per operation, MB/s).
+//
+// Usage:
+//
+//	experiments [-seed N] fig1|fig2|fig4|fig5|fig6|table1|ablation|attrcache|traversal|
+//	            dircap|falsesharing|network|flush|mdtest|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cofs/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	all := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "ablation", "attrcache", "traversal",
+		"dircap", "falsesharing", "network", "flush", "mdtest"}
+	runs := args
+	if len(args) == 1 && args[0] == "all" {
+		runs = all
+	}
+	for _, name := range runs {
+		switch name {
+		case "fig1":
+			experiments.Fig1(os.Stdout, *seed)
+		case "fig2":
+			experiments.Fig2(os.Stdout, *seed)
+		case "fig4":
+			experiments.Fig4(os.Stdout, *seed)
+		case "fig5":
+			experiments.Fig5(os.Stdout, *seed)
+		case "fig6":
+			experiments.Fig6(os.Stdout, *seed)
+		case "table1":
+			experiments.Table1(os.Stdout, *seed)
+		case "ablation":
+			experiments.Ablation(os.Stdout, *seed)
+		case "attrcache":
+			experiments.AttrCache(os.Stdout, *seed)
+		case "traversal":
+			experiments.Traversal(os.Stdout, *seed)
+		case "dircap":
+			experiments.AblationDirCap(os.Stdout, *seed)
+		case "falsesharing":
+			experiments.AblationFalseSharing(os.Stdout, *seed)
+		case "network":
+			experiments.AblationNetwork(os.Stdout, *seed)
+		case "flush":
+			experiments.AblationFlush(os.Stdout, *seed)
+		case "mdtest":
+			experiments.MDTestExp(os.Stdout, *seed)
+		default:
+			usage()
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] fig1|fig2|fig4|fig5|fig6|table1|ablation|attrcache|traversal|dircap|falsesharing|network|flush|mdtest|all")
+	os.Exit(2)
+}

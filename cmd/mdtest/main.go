@@ -1,0 +1,58 @@
+// Command mdtest runs the mdtest-style tree metadata benchmark (see
+// internal/bench) against the simulated stacks:
+//
+//	mdtest -fs gpfs -nodes 8 -depth 2 -branch 4 -files 256
+//	mdtest -fs cofs -nodes 8 -shared -shift
+//
+// It reports per-phase operation rates, mdtest-style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cofs/internal/bench"
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+)
+
+func main() {
+	var (
+		fs     = flag.String("fs", "cofs", "stack: gpfs | cofs")
+		nodes  = flag.Int("nodes", 4, "participating ranks (one per node)")
+		depth  = flag.Int("depth", 2, "tree depth")
+		branch = flag.Int("branch", 4, "tree fanout per level")
+		files  = flag.Int("files", 128, "files per rank")
+		shared = flag.Bool("shared", false, "all ranks share one tree (contended mode)")
+		shift  = flag.Bool("shift", false, "rank r stats rank r+1's files (cross-node attributes)")
+		seed   = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	tb := cluster.New(*seed, *nodes, params.Default())
+	var tgt bench.Target
+	switch *fs {
+	case "gpfs":
+		tgt = bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+	case "cofs":
+		d := core.Deploy(tb, nil)
+		tgt = bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+	default:
+		fmt.Fprintf(os.Stderr, "mdtest: unknown fs %q\n", *fs)
+		os.Exit(1)
+	}
+
+	res := bench.MDTest(tgt, bench.MDTestConfig{
+		Nodes: *nodes, Depth: *depth, Branch: *branch, FilesPerRank: *files,
+		Shared: *shared, StatShift: *shift,
+	})
+	mode := "unique trees"
+	if *shared {
+		mode = "shared tree"
+	}
+	fmt.Printf("mdtest on %s: %d ranks, depth %d, branch %d, %d files/rank, %s, shift=%v\n\n",
+		*fs, *nodes, *depth, *branch, *files, mode, *shift)
+	fmt.Print(res.Report())
+}

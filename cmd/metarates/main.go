@@ -1,0 +1,75 @@
+// Command metarates runs the metarates benchmark (UCAR/NCAR — parallel
+// metadata transaction rates) against the simulated testbed, on either
+// the bare GPFS-like file system or COFS over it.
+//
+// Usage:
+//
+//	metarates [-fs gpfs|cofs] [-nodes N] [-procs P] [-files F] [-dir D] [-ops list] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cofs/internal/bench"
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+)
+
+func main() {
+	fsKind := flag.String("fs", "gpfs", "file system under test: gpfs or cofs")
+	nodes := flag.Int("nodes", 4, "number of compute nodes")
+	procs := flag.Int("procs", 1, "processes per node")
+	files := flag.Int("files", 256, "files per process")
+	dir := flag.String("dir", "/shared", "shared directory")
+	ops := flag.String("ops", strings.Join(bench.DefaultOps, ","), "comma-separated operations")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := params.Default()
+	tb := cluster.New(*seed, *nodes, cfg)
+	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+	var deployment *core.Deployment
+	switch *fsKind {
+	case "gpfs":
+	case "cofs":
+		deployment = core.Deploy(tb, nil)
+		target.Mounts = deployment.Mounts
+	default:
+		fmt.Fprintln(os.Stderr, "metarates: -fs must be gpfs or cofs")
+		os.Exit(2)
+	}
+
+	res := bench.Metarates(target, bench.MetaratesConfig{
+		Nodes:        *nodes,
+		ProcsPerNode: *procs,
+		FilesPerProc: *files,
+		Dir:          *dir,
+		Ops:          strings.Split(*ops, ","),
+	})
+
+	fmt.Printf("metarates: fs=%s nodes=%d procs/node=%d files/proc=%d dir=%s\n",
+		*fsKind, *nodes, *procs, *files, *dir)
+	fmt.Printf("%-10s%14s%14s%14s%16s\n", "op", "mean (ms)", "p50 (ms)", "max (ms)", "aggregate op/s")
+	for _, op := range strings.Split(*ops, ",") {
+		s, ok := res.PerOp[op]
+		if !ok || s.N() == 0 {
+			continue
+		}
+		rate := float64(s.N()) / res.PhaseTime[op].Seconds()
+		fmt.Printf("%-10s%14.3f%14.3f%14.3f%16.0f\n", op,
+			s.MeanMs(),
+			float64(s.Percentile(50))/1e6,
+			float64(s.Max())/1e6,
+			rate)
+	}
+	if deployment != nil {
+		st := deployment.Service.Stats
+		fmt.Printf("\ncofs service: %d requests (%d creates, %d lookups, %d getattrs, %d updates, %d removes)\n",
+			st.Requests, st.Creates, st.Lookups, st.Getattrs, st.Updates, st.Removes)
+	}
+	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())
+}

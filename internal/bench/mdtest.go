@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+	"cofs/internal/vfs"
+)
+
+// This file reimplements the essentials of LLNL's mdtest, the other
+// standard HPC metadata benchmark alongside metarates: every rank works
+// on files spread through a directory tree, and the harness reports
+// operations per second for each phase (tree creation, file creation,
+// stat, removal, tree removal). Where metarates stresses one shared flat
+// directory, mdtest exercises the namespace as a tree — the shape real
+// application working sets have, and a natural companion workload for a
+// layer that virtualizes the directory hierarchy.
+
+// MDTestConfig configures one mdtest run.
+type MDTestConfig struct {
+	// Nodes is the number of participating ranks (one process each).
+	Nodes int
+	// Depth is the directory tree depth below the root work dir.
+	Depth int
+	// Branch is the fanout at every tree level.
+	Branch int
+	// FilesPerRank is how many files each rank creates, spread round-
+	// robin over the leaf directories.
+	FilesPerRank int
+	// Shared selects one tree shared by all ranks (the contended mode,
+	// like metarates' shared directory); otherwise every rank works in
+	// a private subtree (mdtest -u).
+	Shared bool
+	// StatShift makes rank r stat the files of rank (r+1) mod N, so
+	// attribute reads are guaranteed cross-node (mdtest -N).
+	StatShift bool
+	// Dir is the root work directory.
+	Dir string
+}
+
+// MDTestPhases lists the measured phases in execution order.
+var MDTestPhases = []string{"tree-create", "file-create", "file-stat", "file-remove", "tree-remove"}
+
+// MDTestResult reports per-phase rates and latencies.
+type MDTestResult struct {
+	// PerPhase maps phase name to a latency summary over its operations.
+	PerPhase map[string]*stats.Summary
+	// PhaseTime is the wall (virtual) time of each phase.
+	PhaseTime map[string]time.Duration
+	// PhaseOps counts operations per phase.
+	PhaseOps map[string]int
+}
+
+// Rate returns operations per second for a phase.
+func (r *MDTestResult) Rate(phase string) float64 {
+	d := r.PhaseTime[phase]
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.PhaseOps[phase]) / d.Seconds()
+}
+
+// MeanMs returns the mean operation latency of a phase in milliseconds.
+func (r *MDTestResult) MeanMs(phase string) float64 {
+	s, ok := r.PerPhase[phase]
+	if !ok {
+		return 0
+	}
+	return s.MeanMs()
+}
+
+// treeDirs enumerates every directory of a Branch^Depth tree under
+// root, parents before children.
+func treeDirs(root string, depth, branch int) []string {
+	dirs := []string{root}
+	level := []string{root}
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, parent := range level {
+			for b := 0; b < branch; b++ {
+				dir := fmt.Sprintf("%s/d%d.%d", parent, d, b)
+				dirs = append(dirs, dir)
+				next = append(next, dir)
+			}
+		}
+		level = next
+	}
+	return dirs
+}
+
+// leafDirs returns the deepest level of the tree.
+func leafDirs(root string, depth, branch int) []string {
+	if depth == 0 {
+		return []string{root}
+	}
+	level := []string{root}
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, parent := range level {
+			for b := 0; b < branch; b++ {
+				next = append(next, fmt.Sprintf("%s/d%d.%d", parent, d, b))
+			}
+		}
+		level = next
+	}
+	return level
+}
+
+// mdFile names rank r's i-th file in its round-robin leaf.
+func mdFile(leaves []string, rankRoot string, rank, i int) string {
+	leaf := leaves[i%len(leaves)]
+	return fmt.Sprintf("%s/f.%04d.%06d", leaf, rank, i)
+}
+
+// MDTest runs the benchmark on the target. Phases are globally
+// synchronized (all ranks finish a phase before the next starts), as in
+// mdtest.
+func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
+	if cfg.Nodes > len(t.Mounts) {
+		panic("bench: more nodes than mounts")
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "/mdtest"
+	}
+	if cfg.Branch < 1 {
+		cfg.Branch = 1
+	}
+	res := &MDTestResult{
+		PerPhase:  make(map[string]*stats.Summary),
+		PhaseTime: make(map[string]time.Duration),
+		PhaseOps:  make(map[string]int),
+	}
+	for _, ph := range MDTestPhases {
+		res.PerPhase[ph] = &stats.Summary{}
+	}
+
+	// rankRoot returns the tree root a rank works under.
+	rankRoot := func(rank int) string {
+		if cfg.Shared {
+			return cfg.Dir + "/shared"
+		}
+		return fmt.Sprintf("%s/rank%04d", cfg.Dir, rank)
+	}
+	// treeOwners: in shared mode rank 0 builds the single tree; in
+	// unique mode every rank builds its own.
+	treeRanks := cfg.Nodes
+	if cfg.Shared {
+		treeRanks = 1
+	}
+
+	t.run(0, 1, "mdtest.prep", func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx) {
+		if err := m.MkdirAll(p, ctx, cfg.Dir, 0777); err != nil {
+			panic(fmt.Sprintf("mdtest prep: %v", err))
+		}
+	})
+
+	phase := func(name string, ranks int, fn func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int) {
+		start := t.Env.Now()
+		ops := make([]int, ranks)
+		ends := make([]time.Duration, ranks)
+		for r := 0; r < ranks; r++ {
+			r := r
+			node := r % cfg.Nodes
+			t.Env.Spawn(fmt.Sprintf("mdtest.%s.%d", name, r), func(p *sim.Proc) {
+				ops[r] = fn(p, t.Mounts[node], t.Ctx(node, 1), r)
+				ends[r] = p.Now()
+			})
+		}
+		t.Env.MustRun()
+		// The phase ends when the last rank finishes its operations;
+		// Env.Now() would additionally include unrelated trailing
+		// events (background log flush timers and the like).
+		var end time.Duration
+		for _, e := range ends {
+			if e > end {
+				end = e
+			}
+		}
+		res.PhaseTime[name] = end - start
+		for _, n := range ops {
+			res.PhaseOps[name] += n
+		}
+	}
+
+	timedOp := func(p *sim.Proc, ph string, fn func() error) {
+		t0 := p.Now()
+		if err := fn(); err != nil {
+			panic(fmt.Sprintf("mdtest %s: %v", ph, err))
+		}
+		res.PerPhase[ph].Add(p.Now() - t0)
+	}
+
+	// Phase 1: tree creation.
+	phase("tree-create", treeRanks, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+		dirs := treeDirs(rankRoot(rank), cfg.Depth, cfg.Branch)
+		for _, d := range dirs {
+			d := d
+			timedOp(p, "tree-create", func() error { return m.MkdirAll(p, ctx, d, 0777) })
+		}
+		return len(dirs)
+	})
+
+	leavesOf := func(rank int) []string {
+		return leafDirs(rankRoot(rank), cfg.Depth, cfg.Branch)
+	}
+
+	// Phase 2: file creation (every rank, spread over its leaves).
+	phase("file-create", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+		leaves := leavesOf(rank)
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			path := mdFile(leaves, rankRoot(rank), rank, i)
+			timedOp(p, "file-create", func() error {
+				f, err := m.Create(p, ctx, path, 0644)
+				if err != nil {
+					return err
+				}
+				return f.Close(p)
+			})
+		}
+		return cfg.FilesPerRank
+	})
+
+	// Phase 3: file stat (optionally shifted to the next rank's files).
+	phase("file-stat", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+		target := rank
+		if cfg.StatShift {
+			target = (rank + 1) % cfg.Nodes
+		}
+		leaves := leavesOf(target)
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			path := mdFile(leaves, rankRoot(target), target, i)
+			timedOp(p, "file-stat", func() error {
+				_, err := m.Stat(p, ctx, path)
+				return err
+			})
+		}
+		return cfg.FilesPerRank
+	})
+
+	// Phase 4: file removal (own files).
+	phase("file-remove", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+		leaves := leavesOf(rank)
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			path := mdFile(leaves, rankRoot(rank), rank, i)
+			timedOp(p, "file-remove", func() error { return m.Unlink(p, ctx, path) })
+		}
+		return cfg.FilesPerRank
+	})
+
+	// Phase 5: tree removal (children before parents).
+	phase("tree-remove", treeRanks, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+		dirs := treeDirs(rankRoot(rank), cfg.Depth, cfg.Branch)
+		for i := len(dirs) - 1; i >= 0; i-- {
+			d := dirs[i]
+			timedOp(p, "tree-remove", func() error { return m.Rmdir(p, ctx, d) })
+		}
+		return len(dirs)
+	})
+
+	return res
+}
+
+// Report renders the per-phase table in mdtest's style.
+func (r *MDTestResult) Report() string {
+	out := fmt.Sprintf("%-14s%12s%14s%14s\n", "phase", "ops", "ops/sec", "mean ms")
+	for _, ph := range MDTestPhases {
+		out += fmt.Sprintf("%-14s%12d%14.1f%14.3f\n", ph, r.PhaseOps[ph], r.Rate(ph), r.MeanMs(ph))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package blockstore
+
+import (
+	"testing"
+	"time"
+
+	"cofs/internal/disk"
+	"cofs/internal/netsim"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+func rig(servers int) (*sim.Env, *netsim.Net, *Store, *netsim.Host) {
+	env := sim.NewEnv(1)
+	cfg := params.Default()
+	net := netsim.New(env, cfg.Network)
+	var hosts []*netsim.Host
+	var disks []*disk.Disk
+	for i := 0; i < servers; i++ {
+		hosts = append(hosts, net.AddHost("srv", 8, 0))
+		disks = append(disks, disk.New(env, "d", cfg.Disk))
+	}
+	client := net.AddHost("client", 2, 0)
+	return env, net, New(net, hosts, disks, 1<<20), client
+}
+
+func TestStripesFor(t *testing.T) {
+	_, _, s, _ := rig(2)
+	st := s.StripesFor(7, 0, 4<<20)
+	if len(st) != 4 {
+		t.Fatalf("stripes=%d, want 4", len(st))
+	}
+	if st[0].Idx != 0 || st[3].Idx != 3 {
+		t.Fatalf("indexes: %+v", st)
+	}
+	// Partial tail and offset straddling.
+	st = s.StripesFor(7, 1<<19, 1<<20)
+	if len(st) != 2 {
+		t.Fatalf("straddling stripes=%d, want 2", len(st))
+	}
+	if got := s.StripesFor(7, 0, 0); got != nil {
+		t.Fatalf("zero-length read yields %v", got)
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	_, _, s, _ := rig(2)
+	counts := map[int]int{}
+	for _, st := range s.StripesFor(3, 0, 16<<20) {
+		counts[s.serverOf(st)]++
+	}
+	if counts[0] != 8 || counts[1] != 8 {
+		t.Fatalf("distribution %v, want 8/8", counts)
+	}
+}
+
+func TestParallelServersFasterThanOne(t *testing.T) {
+	elapsed := func(servers int) time.Duration {
+		env, _, s, client := rig(servers)
+		env.Spawn("xfer", func(p *sim.Proc) {
+			stripes := s.StripesFor(1, 0, 32<<20)
+			sizes := make([]int64, len(stripes))
+			for i := range sizes {
+				sizes[i] = 1 << 20
+			}
+			s.Write(p, client, stripes, sizes)
+		})
+		env.MustRun()
+		return env.Now()
+	}
+	one, two := elapsed(1), elapsed(2)
+	if two >= one {
+		t.Fatalf("2 servers (%v) not faster than 1 (%v)", two, one)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	env, _, s, client := rig(2)
+	env.Spawn("xfer", func(p *sim.Proc) {
+		stripes := s.StripesFor(1, 0, 2<<20)
+		sizes := []int64{1 << 20, 1 << 20}
+		s.Write(p, client, stripes, sizes)
+		s.Read(p, client, stripes[:1], sizes[:1])
+	})
+	env.MustRun()
+	if s.BytesWritten != 2<<20 || s.BytesRead != 1<<20 {
+		t.Fatalf("accounting: wrote %d read %d", s.BytesWritten, s.BytesRead)
+	}
+}
+
+func TestSequentialStripesSequentialOnDisk(t *testing.T) {
+	_, _, s, _ := rig(2)
+	// Stripes 0 and 2 of one file land on server 0 at adjacent
+	// positions, so streaming stays near-sequential per disk.
+	a := s.diskPos(Stripe{Ino: 5, Idx: 0})
+	b := s.diskPos(Stripe{Ino: 5, Idx: 2})
+	if b-a != 2 {
+		t.Fatalf("positions not adjacent-ish: %d, %d", a, b)
+	}
+	// Different files are far apart.
+	c := s.diskPos(Stripe{Ino: 6, Idx: 0})
+	if c-a < 1<<19 {
+		t.Fatalf("files too close on disk: %d vs %d", a, c)
+	}
+}
+
+func TestMismatchedSizesPanics(t *testing.T) {
+	env, _, s, client := rig(1)
+	panicked := false
+	env.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		s.Write(p, client, s.StripesFor(1, 0, 2<<20), []int64{1})
+	})
+	env.MustRun()
+	if !panicked {
+		t.Fatal("expected panic on stripes/sizes mismatch")
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+func TestTestbedShape(t *testing.T) {
+	tb := New(1, 8, params.Default())
+	if len(tb.Nodes) != 8 || len(tb.Clients) != 8 || len(tb.Mounts) != 8 {
+		t.Fatalf("node slices: %d/%d/%d", len(tb.Nodes), len(tb.Clients), len(tb.Mounts))
+	}
+	if len(tb.Servers) != params.Default().PFS.Servers {
+		t.Fatalf("servers=%d", len(tb.Servers))
+	}
+}
+
+func TestHierarchicalLatencyPenalty(t *testing.T) {
+	// Nodes beyond one blade center pay trunk hops to reach the servers
+	// (the Fig. 6 topology).
+	tb := New(1, BladesPerCenter+2, params.Default())
+	near := tb.Net.RTT(tb.Nodes[0], tb.Servers[0])
+	far := tb.Net.RTT(tb.Nodes[BladesPerCenter+1], tb.Servers[0])
+	if far <= near {
+		t.Fatalf("far-blade RTT %v not above near-blade %v", far, near)
+	}
+}
+
+func TestFlatWithinOneCenter(t *testing.T) {
+	tb := New(1, BladesPerCenter, params.Default())
+	a := tb.Net.RTT(tb.Nodes[0], tb.Servers[0])
+	b := tb.Net.RTT(tb.Nodes[BladesPerCenter-1], tb.Servers[0])
+	if a != b {
+		t.Fatalf("same-center RTTs differ: %v vs %v", a, b)
+	}
+}
+
+func TestMountsAreIndependentViews(t *testing.T) {
+	tb := New(1, 2, params.Default())
+	tb.Env.Spawn("t", func(p *sim.Proc) {
+		f, err := tb.Mounts[0].Create(p, Ctx(0, 1), "/x", 0644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p)
+		// Visible from the other node's mount (shared filesystem).
+		if _, err := tb.Mounts[1].Stat(p, Ctx(1, 1), "/x"); err != nil {
+			t.Errorf("cross-mount visibility: %v", err)
+		}
+	})
+	tb.Run()
+	_ = vfs.TypeRegular
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"cofs/internal/lru"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// attrCache implements the extension the paper sketches at the end of
+// section IV-B: the punctual data-transfer penalties of COFS occur when
+// GPFS serves strictly local accesses from its caches while COFS still
+// pays metadata round trips — "the nature of the cases would make it
+// possible to reduce the differences by adding the same aggressive
+// caching and delegation techniques ... to the COFS framework".
+//
+// The cache keeps recently seen attributes and underlying mappings on
+// the client with a validity window (close-to-open style, like NFS/FUSE
+// attribute timeouts). It is disabled by default to match the paper's
+// measured prototype; enable it via COFSParams.AttrCacheTimeout and see
+// the ablation driver for its effect on the Table I small-file cells.
+type attrCache struct {
+	ttl     time.Duration
+	entries *lru.Cache[vfs.Ino, attrCacheEntry]
+
+	Hits   int64
+	Misses int64
+}
+
+type attrCacheEntry struct {
+	attr  vfs.Attr
+	upath string
+	at    time.Duration
+}
+
+// newAttrCache returns a disabled cache when ttl == 0.
+func newAttrCache(ttl time.Duration, capacity int) *attrCache {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &attrCache{ttl: ttl, entries: lru.New[vfs.Ino, attrCacheEntry](capacity)}
+}
+
+func (c *attrCache) enabled() bool { return c.ttl > 0 }
+
+// get returns a still-valid cached entry.
+func (c *attrCache) get(p *sim.Proc, ino vfs.Ino) (attrCacheEntry, bool) {
+	if !c.enabled() {
+		return attrCacheEntry{}, false
+	}
+	e, ok := c.entries.Get(ino)
+	if !ok || p.Now()-e.at > c.ttl {
+		if ok {
+			c.entries.Remove(ino)
+		}
+		c.Misses++
+		return attrCacheEntry{}, false
+	}
+	c.Hits++
+	return e, true
+}
+
+// put records fresh attributes; upath may be empty if unknown (an
+// existing non-empty mapping is preserved).
+func (c *attrCache) put(p *sim.Proc, attr vfs.Attr, upath string) {
+	if !c.enabled() {
+		return
+	}
+	if upath == "" {
+		if old, ok := c.entries.Peek(attr.Ino); ok {
+			upath = old.upath
+		}
+	}
+	c.entries.Put(attr.Ino, attrCacheEntry{attr: attr, upath: upath, at: p.Now()})
+}
+
+// drop forgets an object (unlink, truncate, local modification).
+func (c *attrCache) drop(ino vfs.Ino) {
+	if c.enabled() {
+		c.entries.Remove(ino)
+	}
+}
+
+// purge forgets everything (failover: the client reconnected to a
+// different service instance and must revalidate).
+func (c *attrCache) purge() {
+	for _, ino := range c.entries.Keys() {
+		c.entries.Remove(ino)
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/vfs"
+	"cofs/internal/vfs/conformance"
+)
+
+// TestConformance runs the shared POSIX-behaviour battery against COFS
+// deployed over the GPFS-like file system: the virtualization layer must
+// be semantically indistinguishable from the file system it interposes
+// (section III: "the COFS prototype is POSIX compliant"). The service's
+// referential-integrity invariants are re-checked after every subtest.
+func TestConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.System {
+		tb := cluster.New(13, 1, params.Default())
+		d := core.Deploy(tb, nil)
+		tb.Run()
+		return &conformance.System{
+			Env:                 tb.Env,
+			Mount:               d.Mounts[0],
+			User:                vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+			Other:               vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+			Root:                vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+			EnforcesPermissions: true,
+			Check:               d.Service.CheckInvariants,
+		}
+	})
+}
+
+// TestConformanceWithAttrCache repeats the battery with the client
+// attribute cache (the paper's section IV-B extension) enabled: the
+// cache must be invisible to correctness, only to timing.
+func TestConformanceWithAttrCache(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.System {
+		cfg := params.Default()
+		cfg.COFS.AttrCacheTimeout = cfg.FUSE.EntryTimeout
+		tb := cluster.New(17, 1, cfg)
+		d := core.Deploy(tb, nil)
+		tb.Run()
+		return &conformance.System{
+			Env:                 tb.Env,
+			Mount:               d.Mounts[0],
+			User:                vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+			Other:               vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+			Root:                vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+			EnforcesPermissions: true,
+			Check:               d.Service.CheckInvariants,
+		}
+	})
+}

@@ -1,0 +1,608 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+	"cofs/internal/vfs"
+)
+
+var ctx = cluster.Ctx(0, 1)
+
+type rig struct {
+	tb *cluster.Testbed
+	d  *core.Deployment
+}
+
+func newRig(nodes int) *rig {
+	tb := cluster.New(1, nodes, params.Default())
+	d := core.Deploy(tb, nil)
+	tb.Run() // drain the deployment's install-time initialization
+	return &rig{tb: tb, d: d}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.tb.Env.Spawn("test", fn)
+	if err := r.tb.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.Service.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.tb.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateStatThroughCOFS(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		f, err := m.Create(p, ctx, "/a.txt", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		attr, err := m.Stat(p, ctx, "/a.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Type != vfs.TypeRegular || attr.Mode != 0644 || attr.UID != 1000 {
+			t.Fatalf("attr=%+v", attr)
+		}
+	})
+}
+
+func TestVirtualSharedDirMapsToManyUnderlyingDirs(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		if err := r.d.Mounts[0].Mkdir(p, ctx, "/shared", 0777); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for n := 0; n < 4; n++ {
+		node := n
+		r.tb.Env.Spawn("creator", func(p *sim.Proc) {
+			m := r.d.Mounts[node]
+			cx := cluster.Ctx(node, 1)
+			for i := 0; i < 50; i++ {
+				f, err := m.Create(p, cx, fmt.Sprintf("/shared/f%d-%d", node, i), 0644)
+				if err != nil {
+					panic(err)
+				}
+				f.Close(p)
+			}
+		})
+	}
+	r.tb.Env.MustRun()
+
+	// The virtual directory holds all 200 files...
+	var ents []vfs.DirEntry
+	r.tb.Env.Spawn("list", func(p *sim.Proc) {
+		var err error
+		ents, err = r.d.Mounts[0].Readdir(p, ctx, "/shared")
+		if err != nil {
+			panic(err)
+		}
+	})
+	r.tb.Env.MustRun()
+	if len(ents) != 200 {
+		t.Fatalf("virtual entries=%d, want 200", len(ents))
+	}
+	// ...while the underlying layout scattered them into >= 4 node-
+	// distinct bucket directories.
+	buckets := map[string]bool{}
+	for _, e := range ents {
+		upath, ok := r.d.Service.Mapping(e.Ino)
+		if !ok {
+			t.Fatalf("no mapping for %s", e.Name)
+		}
+		dir := upath[:strings.LastIndex(upath, "/")]
+		buckets[dir] = true
+	}
+	if len(buckets) < 4 {
+		t.Fatalf("underlying buckets=%d, want >= 4 (one per node)", len(buckets))
+	}
+}
+
+func TestBucketCapSpills(t *testing.T) {
+	cfg := params.Default()
+	cfg.COFS.MaxEntriesPerDir = 16
+	cfg.COFS.RandomSubdirs = 1 // single bucket per (node,pid,parent)
+	tb := cluster.New(1, 1, cfg)
+	d := core.Deploy(tb, nil)
+	m := d.Mounts[0]
+	tb.Env.Spawn("t", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			f, err := m.Create(p, ctx, fmt.Sprintf("/f%02d", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+		}
+	})
+	tb.Env.MustRun()
+	if d.FSs[0].Stats.BucketSpills < 2 {
+		t.Fatalf("spills=%d, want >= 2 with cap 16 and 40 files", d.FSs[0].Stats.BucketSpills)
+	}
+	// Verify no underlying directory exceeded the cap, via the mappings.
+	counts := map[string]int{}
+	var total int
+	d.Service.EachMapping(func(id vfs.Ino, upath string) {
+		dir := upath[:strings.LastIndex(upath, "/")]
+		counts[dir]++
+		total++
+	})
+	if total != 40 {
+		t.Fatalf("mappings=%d", total)
+	}
+	for dir, n := range counts {
+		if n > 16 {
+			t.Fatalf("underlying dir %s has %d entries > cap 16", dir, n)
+		}
+	}
+}
+
+func TestRenameNeverTouchesUnderlying(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/a", 0777)
+		m.MkdirAll(p, ctx, "/b", 0777)
+		f, err := m.Create(p, ctx, "/a/file", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close(p)
+		ino := f.Ino()
+		before, _ := r.d.Service.Mapping(ino)
+		underOps := r.tb.Mounts[0].Ops
+		if err := m.Rename(p, ctx, "/a/file", "/b/renamed"); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.tb.Mounts[0].Ops; got != underOps {
+			t.Fatalf("rename performed %d underlying ops, want 0", got-underOps)
+		}
+		after, _ := r.d.Service.Mapping(ino)
+		if before != after {
+			t.Fatalf("mapping changed on rename: %q -> %q", before, after)
+		}
+		if _, err := m.Stat(p, ctx, "/b/renamed"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLazyUnderlyingOpen(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/data", 0644)
+		f.WriteAt(p, 0, 4096)
+		f.Close(p)
+
+		// Metadata-only open/close: no underlying open.
+		g, err := m.Open(p, ctx, "/data", vfs.OpenRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Close(p)
+		if r.d.FSs[0].Stats.UnderOpens != 0 {
+			t.Fatalf("underlying opens=%d after metadata-only open/close", r.d.FSs[0].Stats.UnderOpens)
+		}
+
+		// Reading forces the lazy open.
+		g, _ = m.Open(p, ctx, "/data", vfs.OpenRead)
+		n, err := g.ReadAt(p, 0, 4096)
+		if err != nil || n != 4096 {
+			t.Fatalf("read=%d err=%v", n, err)
+		}
+		g.Close(p)
+		if r.d.FSs[0].Stats.UnderOpens != 1 {
+			t.Fatalf("underlying opens=%d, want 1", r.d.FSs[0].Stats.UnderOpens)
+		}
+	})
+}
+
+func TestSizeWriteBackOnClose(t *testing.T) {
+	r := newRig(2)
+	r.run(t, func(p *sim.Proc) {
+		m0 := r.d.Mounts[0]
+		f, _ := m0.Create(p, ctx, "/sized", 0644)
+		f.WriteAt(p, 0, 12345)
+		f.Close(p)
+		// Another node sees the size via the service, without touching
+		// the underlying file system.
+		attr, err := r.d.Mounts[1].Stat(p, cluster.Ctx(1, 1), "/sized")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Size != 12345 {
+			t.Fatalf("remote size=%d, want 12345", attr.Size)
+		}
+	})
+}
+
+func TestUnlinkRemovesUnderlying(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/gone", 0644)
+		f.Close(p)
+		ino := f.Ino()
+		upath, _ := r.d.Service.Mapping(ino)
+		if err := m.Unlink(p, ctx, "/gone"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.tb.Mounts[0].Stat(p, vfs.Ctx{UID: 0}, upath); err != vfs.ErrNotExist {
+			t.Fatalf("underlying file survived unlink: %v", err)
+		}
+		if _, ok := r.d.Service.Mapping(ino); ok {
+			t.Fatal("mapping survived unlink")
+		}
+	})
+}
+
+func TestHardLinkSharesUnderlying(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/orig", 0644)
+		f.WriteAt(p, 0, 100)
+		f.Close(p)
+		if err := m.Link(p, ctx, "/orig", "/alias"); err != nil {
+			t.Fatal(err)
+		}
+		// Unlinking one name keeps the underlying file.
+		if err := m.Unlink(p, ctx, "/orig"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := m.Open(p, ctx, "/alias", vfs.OpenRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := g.ReadAt(p, 0, 100)
+		if err != nil || n != 100 {
+			t.Fatalf("read through alias=%d err=%v", n, err)
+		}
+		g.Close(p)
+	})
+}
+
+func TestSymlinkVirtualOnly(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		underOps := r.tb.Mounts[0].Ops
+		if err := m.Symlink(p, ctx, "/some/target", "/lnk"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Readlink(p, ctx, "/lnk")
+		if err != nil || got != "/some/target" {
+			t.Fatalf("readlink=%q err=%v", got, err)
+		}
+		if r.tb.Mounts[0].Ops != underOps {
+			t.Fatal("symlink touched the underlying file system")
+		}
+	})
+}
+
+func TestPermissionEnforcedAtService(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	other := vfs.Ctx{Node: 0, PID: 9, UID: 2000, GID: 200}
+	r.run(t, func(p *sim.Proc) {
+		if err := m.Mkdir(p, ctx, "/owned", 0700); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Create(p, other, "/owned/f", 0644); err != vfs.ErrPerm {
+			t.Fatalf("create by other=%v, want ErrPerm", err)
+		}
+		f, _ := m.Create(p, ctx, "/owned/mine", 0600)
+		f.Close(p)
+		if _, err := m.Open(p, other, "/owned/mine", vfs.OpenRead); err != vfs.ErrPerm {
+			t.Fatalf("open by other=%v, want ErrPerm", err)
+		}
+		if _, err := m.Chmod(p, other, "/owned/mine", 0777); err != vfs.ErrPerm {
+			t.Fatalf("chmod by other=%v", err)
+		}
+	})
+}
+
+func TestServiceCrashRecovery(t *testing.T) {
+	r := newRig(1)
+	m := r.d.Mounts[0]
+	r.run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/dir", 0777)
+		for i := 0; i < 10; i++ {
+			f, err := m.Create(p, ctx, fmt.Sprintf("/dir/f%d", i), 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Close(p)
+		}
+		// Force the Mnesia-style log dump, then crash and recover.
+		r.d.Service.DB.Checkpoint(p)
+		f2, _ := m.Create(p, ctx, "/dir/unflushed", 0644)
+		f2.Close(p)
+		r.d.Service.DB.Crash()
+		r.d.Service.DB.Recover(p)
+		for i := 0; i < 10; i++ {
+			if _, err := m.Stat(p, ctx, fmt.Sprintf("/dir/f%d", i)); err != nil {
+				t.Fatalf("file f%d lost after crash+recovery: %v", i, err)
+			}
+		}
+		// The create inside the async-flush window is lost — the
+		// documented soft-real-time trade (section III-C).
+		m.InvalidatePath(p, ctx, "/dir/unflushed")
+		if _, err := m.Stat(p, ctx, "/dir/unflushed"); err != vfs.ErrNotExist {
+			t.Fatalf("unflushed create survived crash: %v", err)
+		}
+		// And the namespace still accepts writes.
+		f, err := m.Create(p, ctx, "/dir/post-crash", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close(p)
+	})
+}
+
+func TestParallelSharedDirCreateFastThroughCOFS(t *testing.T) {
+	gpfs := func() float64 {
+		tb := cluster.New(1, 4, params.Default())
+		return measureCreates(t, tb.Env, tb.Mounts, 128)
+	}()
+	cofs := func() float64 {
+		r := newRig(4)
+		return measureCreates(t, r.tb.Env, r.d.Mounts, 128)
+	}()
+	if cofs*4 > gpfs {
+		t.Fatalf("COFS create %.2fms not much faster than GPFS %.2fms", cofs, gpfs)
+	}
+	if cofs > 5.0 {
+		t.Fatalf("COFS create %.2fms, paper reports 2-5ms", cofs)
+	}
+	t.Logf("shared-dir create: gpfs=%.2fms cofs=%.2fms speedup=%.1fx", gpfs, cofs, gpfs/cofs)
+}
+
+func measureCreates(t *testing.T, env *sim.Env, mounts []*vfs.Mount, per int) float64 {
+	t.Helper()
+	env.Spawn("setup", func(p *sim.Proc) {
+		if err := mounts[0].Mkdir(p, ctx, "/shared", 0777); err != nil {
+			panic(err)
+		}
+	})
+	env.MustRun()
+	sum := &stats.Summary{}
+	for n := range mounts {
+		node := n
+		env.Spawn("creator", func(p *sim.Proc) {
+			cx := cluster.Ctx(node, 1)
+			for i := 0; i < per; i++ {
+				start := p.Now()
+				f, err := mounts[node].Create(p, cx, fmt.Sprintf("/shared/n%d-%d", node, i), 0644)
+				if err != nil {
+					panic(err)
+				}
+				f.Close(p)
+				sum.Add(p.Now() - start)
+			}
+		})
+	}
+	env.MustRun()
+	return sum.MeanMs()
+}
+
+func TestCOFSStatFastAndFlat(t *testing.T) {
+	r := newRig(4)
+	m0 := r.d.Mounts[0]
+	r.tb.Env.Spawn("prep", func(p *sim.Proc) {
+		if err := m0.Mkdir(p, ctx, "/shared", 0777); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 2048; i++ {
+			f, err := m0.Create(p, ctx, fmt.Sprintf("/shared/f%06d", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+		}
+	})
+	r.tb.Env.MustRun()
+	sum := &stats.Summary{}
+	for n := 0; n < 4; n++ {
+		node := n
+		r.tb.Env.Spawn("stat", func(p *sim.Proc) {
+			cx := cluster.Ctx(node, 1)
+			for i := node; i < 2048; i += 4 {
+				start := p.Now()
+				if _, err := r.d.Mounts[node].Stat(p, cx, fmt.Sprintf("/shared/f%06d", i)); err != nil {
+					panic(err)
+				}
+				sum.Add(p.Now() - start)
+			}
+		})
+	}
+	r.tb.Env.MustRun()
+	if got := sum.MeanMs(); got > 2.0 {
+		t.Fatalf("COFS parallel stat %.3fms, paper reports ~1ms", got)
+	}
+}
+
+func TestCOFSMemFSOracleProperty(t *testing.T) {
+	// Random namespace operation sequences must produce identical
+	// results on COFS and on the MemFS reference.
+	type op struct {
+		Kind byte
+		A, B uint8
+	}
+	f := func(ops []op) bool {
+		r := newRig(1)
+		m := r.d.Mounts[0]
+		oracle := vfs.NewMemFS()
+		om := vfs.NewMount(oracle, params.FUSEParams{})
+		ok := true
+		name := func(x uint8) string { return fmt.Sprintf("/n%d", x%12) }
+		r.tb.Env.Spawn("prop", func(p *sim.Proc) {
+			for _, o := range ops {
+				var e1, e2 error
+				switch o.Kind % 6 {
+				case 0:
+					f1, err := m.Create(p, ctx, name(o.A), 0644)
+					e1 = err
+					if err == nil {
+						f1.Close(p)
+					}
+					f2, err := om.Create(p, ctx, name(o.A), 0644)
+					e2 = err
+					if err == nil {
+						f2.Close(p)
+					}
+				case 1:
+					e1 = m.Unlink(p, ctx, name(o.A))
+					e2 = om.Unlink(p, ctx, name(o.A))
+				case 2:
+					e1 = m.Mkdir(p, ctx, name(o.A), 0755)
+					e2 = om.Mkdir(p, ctx, name(o.A), 0755)
+				case 3:
+					e1 = m.Rename(p, ctx, name(o.A), name(o.B))
+					e2 = om.Rename(p, ctx, name(o.A), name(o.B))
+				case 4:
+					e1 = m.Rmdir(p, ctx, name(o.A))
+					e2 = om.Rmdir(p, ctx, name(o.A))
+				case 5:
+					_, e1 = m.Stat(p, ctx, name(o.A))
+					_, e2 = om.Stat(p, ctx, name(o.A))
+				}
+				if e1 != e2 {
+					ok = false
+					return
+				}
+			}
+			// Final listings must agree.
+			l1, err1 := m.Readdir(p, ctx, "/")
+			l2, err2 := om.Readdir(p, ctx, "/")
+			if (err1 == nil) != (err2 == nil) || len(l1) != len(l2) {
+				ok = false
+				return
+			}
+			for i := range l1 {
+				if l1[i].Name != l2[i].Name || l1[i].Type != l2[i].Type {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := r.tb.Env.Run(); err != nil {
+			return false
+		}
+		if err := r.d.Service.CheckInvariants(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicDeployment(t *testing.T) {
+	elapsed := func() time.Duration {
+		r := newRig(4)
+		measureCreates(t, r.tb.Env, r.d.Mounts, 64)
+		return r.tb.Env.Now()
+	}
+	if a, b := elapsed(), elapsed(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAttrCacheExtensionSpeedsLocalReopens(t *testing.T) {
+	// Section IV-B future work: with the client attribute/mapping cache
+	// enabled, repeated open+read of a recently used small file skips
+	// the metadata round trips that made COFS lose the Table I
+	// small-file cells.
+	run := func(ttl time.Duration) (time.Duration, int64) {
+		cfg := params.Default()
+		cfg.COFS.AttrCacheTimeout = ttl
+		tb := cluster.New(1, 1, cfg)
+		d := core.Deploy(tb, nil)
+		m := d.Mounts[0]
+		var elapsed time.Duration
+		tb.Env.Spawn("t", func(p *sim.Proc) {
+			f, err := m.Create(p, ctx, "/hot", 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.WriteAt(p, 0, 1<<20)
+			f.Close(p)
+			start := p.Now()
+			for i := 0; i < 20; i++ {
+				g, err := m.Open(p, ctx, "/hot", vfs.OpenRead)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := g.ReadAt(p, 0, 1<<20); err != nil {
+					panic(err)
+				}
+				g.Close(p)
+			}
+			elapsed = p.Now() - start
+		})
+		tb.Env.MustRun()
+		return elapsed, d.FSs[0].AttrCacheHits()
+	}
+	base, baseHits := run(0)
+	cached, hits := run(time.Second)
+	if baseHits != 0 {
+		t.Fatalf("disabled cache produced %d hits", baseHits)
+	}
+	if hits == 0 {
+		t.Fatal("enabled cache never hit")
+	}
+	if cached >= base {
+		t.Fatalf("attr cache did not speed reopens: %v vs %v", cached, base)
+	}
+}
+
+func TestAttrCacheStaysCoherentOnLocalChanges(t *testing.T) {
+	cfg := params.Default()
+	cfg.COFS.AttrCacheTimeout = time.Second
+	tb := cluster.New(1, 1, cfg)
+	d := core.Deploy(tb, nil)
+	m := d.Mounts[0]
+	tb.Env.Spawn("t", func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.Close(p)
+		m.Stat(p, ctx, "/f") // warm the cache
+		if _, err := m.Chmod(p, ctx, "/f", 0600); err != nil {
+			panic(err)
+		}
+		attr, err := m.Stat(p, ctx, "/f")
+		if err != nil || attr.Mode != 0600 {
+			t.Errorf("stale attr after chmod: %+v %v", attr, err)
+		}
+		g, _ := m.Open(p, ctx, "/f", vfs.OpenWrite)
+		g.WriteAt(p, 0, 777)
+		g.Close(p)
+		attr, _ = m.Stat(p, ctx, "/f")
+		if attr.Size != 777 {
+			t.Errorf("stale size after write-back: %d", attr.Size)
+		}
+	})
+	tb.Env.MustRun()
+	if err := d.Service.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"cofs/internal/cluster"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// Deployment is a COFS layer installed over a testbed's file system: one
+// metadata service node plus a FUSE-mounted COFS client per compute node
+// (Fig. 3 of the paper).
+type Deployment struct {
+	Service *Service
+	FSs     []*FS
+	Mounts  []*vfs.Mount
+}
+
+// Deploy installs COFS on the testbed with the given placement policy
+// (nil selects the paper's hash placement with the configured fanout and
+// randomization). The service runs on a dedicated blade attached to the
+// original blade-center switch, as in section IV.
+func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
+	cfg := tb.Cfg
+	if place == nil {
+		place = HashPlacement{
+			Fanout:        cfg.COFS.DirFanout,
+			RandomSubdirs: cfg.COFS.RandomSubdirs,
+		}
+	}
+	svcHost := tb.Net.AddHost("cofs-mds", cfg.COFS.ServiceWorkers, 0)
+	svc := NewService(tb.Net, svcHost, cfg)
+	d := &Deployment{Service: svc}
+	// Install-time initialization: pre-create the hash (and random)
+	// levels of the object tree from one node, so runtime creates land
+	// in directories that already exist. The installing client then
+	// relinquishes its tokens — otherwise every other node's first use
+	// of a bucket would pay a revocation against the installer. The
+	// install drains before Deploy returns.
+	tb.Env.Spawn("cofs-init", func(p *sim.Proc) {
+		ctx := vfs.Ctx{UID: 0, Node: 0}
+		for _, dir := range place.InitDirs() {
+			if err := tb.Mounts[0].MkdirAll(p, ctx, dir, 0700); err != nil {
+				panic(fmt.Sprintf("cofs init: %v", err))
+			}
+		}
+		tb.Clients[0].Relinquish(p)
+	})
+	tb.Env.MustRun()
+	for i, node := range tb.Nodes {
+		fs := NewFS(svc, node, i, tb.Mounts[i], place,
+			cfg.COFS, tb.Env.RNG(fmt.Sprintf("cofs.place.%d", i)))
+		for _, dir := range place.InitDirs() {
+			fs.MarkDirMade(dir)
+		}
+		d.FSs = append(d.FSs, fs)
+		// COFS is a userspace daemon: mount through the FUSE cost model.
+		d.Mounts = append(d.Mounts, vfs.NewMount(fs, cfg.FUSE))
+	}
+	return d
+}

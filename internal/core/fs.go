@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cofs/internal/netsim"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// FS is the per-node COFS layer: it implements vfs.Filesystem so it can
+// be mounted (through the FUSE cost model) exactly like the bare file
+// system. Metadata operations become service RPCs; data operations pass
+// through to the underlying file system at the placement-mapped path.
+type FS struct {
+	svc   *Service
+	host  *netsim.Host
+	node  int
+	under *vfs.Mount // the underlying (GPFS-like) file system, bare-mounted
+	place Placement
+	cfg   params.COFSParams
+	rng   *rand.Rand
+
+	// buckets tracks per-bucket fill so the MaxEntriesPerDir cap can
+	// spill to a fresh generation. Buckets are private to this client
+	// by construction (the hash includes the node), so local counts are
+	// exact.
+	buckets map[string]*bucketState
+	// madeDirs remembers underlying directories already created.
+	madeDirs map[string]bool
+
+	handles map[vfs.Handle]*cofsHandle
+	nextH   vfs.Handle
+
+	// attrs is the optional client-side attribute/mapping cache
+	// (section IV-B future work; see attrcache.go).
+	attrs *attrCache
+
+	Stats FSStats
+}
+
+// FSStats aggregates client-side COFS counters.
+type FSStats struct {
+	ServiceOps       int64
+	UnderCreates     int64
+	UnderOpens       int64
+	BucketSpills     int64
+	WriteBacks       int64
+	LazyOpensSkipped int64
+}
+
+type bucketState struct {
+	gen   int
+	count int
+}
+
+type cofsHandle struct {
+	id    vfs.Ino
+	flags vfs.OpenFlags
+	upath string
+	file  *vfs.File // underlying handle, opened lazily on first I/O
+	wrote bool
+	size  int64
+	ctx   vfs.Ctx
+}
+
+// NewFS attaches a node to COFS. under must be a bare mount of the
+// node's underlying file system client; place selects the placement
+// policy (HashPlacement with the configured fanout/randomization for the
+// paper's behaviour).
+func NewFS(svc *Service, host *netsim.Host, node int, under *vfs.Mount, place Placement, cfg params.COFSParams, rng *rand.Rand) *FS {
+	return &FS{
+		svc:      svc,
+		host:     host,
+		node:     node,
+		under:    under,
+		place:    place,
+		cfg:      cfg,
+		rng:      rng,
+		buckets:  make(map[string]*bucketState),
+		madeDirs: make(map[string]bool),
+		handles:  make(map[vfs.Handle]*cofsHandle),
+		nextH:    1,
+		attrs:    newAttrCache(cfg.AttrCacheTimeout, cfg.AttrCacheEntries),
+	}
+}
+
+// AttrCacheHits reports client attribute-cache hits (tooling/ablation).
+func (f *FS) AttrCacheHits() int64 { return f.attrs.Hits }
+
+// Service returns the metadata service (for tooling).
+func (f *FS) Service() *Service { return f.svc }
+
+// Root implements vfs.Filesystem.
+func (f *FS) Root() vfs.Ino { return RootID }
+
+// rootCtx is the identity used for COFS's private underlying tree; the
+// underlying files are owned by the daemon, with access control enforced
+// at the service (section III: COFS leverages the underlying technologies
+// for security, and the physical layout is opaque to users).
+var rootCtx = vfs.Ctx{UID: 0, GID: 0}
+
+// underCtx tags underlying operations with this node (the underlying
+// pfs client uses ctx.Node only for diagnostics).
+func (f *FS) underCtx() vfs.Ctx {
+	c := rootCtx
+	c.Node = f.node
+	return c
+}
+
+// pickBucket returns the underlying directory for a new file, applying
+// the MaxEntriesPerDir cap by spilling to a new generation suffix.
+// Generation 0 is the bucket directory itself (pre-created at install
+// time by InitDirs), so a fresh process's first creates need no
+// underlying mkdir at all; only spills past the cap grow a gNNN level.
+func (f *FS) pickBucket(ctx vfs.Ctx, parent vfs.Ino) string {
+	base := f.place.BucketDir(f.node, ctx.PID, parent, f.rng.Uint64())
+	st, ok := f.buckets[base]
+	if !ok {
+		st = &bucketState{}
+		f.buckets[base] = st
+	}
+	if f.cfg.MaxEntriesPerDir > 0 && st.count >= f.cfg.MaxEntriesPerDir {
+		st.gen++
+		st.count = 0
+		f.Stats.BucketSpills++
+	}
+	st.count++
+	if st.gen == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s/g%03d", base, st.gen)
+}
+
+// MarkDirMade records that an underlying directory already exists (the
+// deployment calls this for install-time InitDirs, saving the existence
+// walk on first use).
+func (f *FS) MarkDirMade(dir string) { f.madeDirs[dir] = true }
+
+// ensureUnderDir creates the bucket directory chain on first use.
+func (f *FS) ensureUnderDir(p *sim.Proc, dir string) error {
+	if f.madeDirs[dir] {
+		return nil
+	}
+	if err := f.under.MkdirAll(p, f.underCtx(), dir, 0700); err != nil {
+		return err
+	}
+	f.madeDirs[dir] = true
+	return nil
+}
+
+// Lookup implements vfs.Filesystem.
+func (f *FS) Lookup(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) (vfs.Attr, error) {
+	f.Stats.ServiceOps++
+	attr, err := f.svc.Lookup(p, f.host, dir, name)
+	if err == nil {
+		f.attrs.put(p, attr, "")
+	}
+	return attr, err
+}
+
+// Getattr implements vfs.Filesystem.
+func (f *FS) Getattr(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (vfs.Attr, error) {
+	if e, ok := f.attrs.get(p, ino); ok {
+		return e.attr, nil
+	}
+	f.Stats.ServiceOps++
+	attr, err := f.svc.Getattr(p, f.host, ino)
+	if err == nil {
+		f.attrs.put(p, attr, "")
+	}
+	return attr, err
+}
+
+// Setattr implements vfs.Filesystem. Truncation is forwarded to the
+// underlying file as well, since size lives there authoritatively while
+// a writer is active.
+func (f *FS) Setattr(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
+	f.Stats.ServiceOps++
+	f.attrs.drop(ino)
+	attr, err := f.svc.Setattr(p, f.host, ctx, ino, set)
+	if err != nil {
+		return attr, err
+	}
+	f.attrs.put(p, attr, "")
+	if set.HasSize && attr.Type == vfs.TypeRegular {
+		if upath, ok := f.svc.Mapping(ino); ok {
+			if terr := f.under.Truncate(p, f.underCtx(), upath, set.Size); terr != nil {
+				return attr, terr
+			}
+		}
+	}
+	return attr, nil
+}
+
+// Create implements vfs.Filesystem: the placement driver picks the
+// underlying directory, the service records the mapping, and the file is
+// created in the (small, node-private) underlying directory.
+func (f *FS) Create(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string, mode uint32) (vfs.Attr, vfs.Handle, error) {
+	if name == "" || len(name) > vfs.MaxNameLen {
+		return vfs.Attr{}, 0, vfs.ErrInvalid
+	}
+	bucket := f.pickBucket(ctx, dir)
+	if err := f.ensureUnderDir(p, bucket); err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	f.Stats.ServiceOps++
+	attr, upath, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeRegular, mode, bucket, "")
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	f.attrs.drop(dir) // parent mtime changed
+	uf, err := f.under.Create(p, f.underCtx(), upath, 0600)
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	f.Stats.UnderCreates++
+	f.attrs.put(p, attr, upath)
+	h := f.nextH
+	f.nextH++
+	f.handles[h] = &cofsHandle{
+		id: attr.Ino, flags: vfs.OpenWrite, upath: upath, file: uf, ctx: ctx,
+	}
+	return attr, h, nil
+}
+
+// Open implements vfs.Filesystem. The underlying file is NOT opened here:
+// metadata-only open/close sequences (and the open storm at the start of
+// parallel data transfers, Table I) stay one cheap service round trip;
+// the underlying open happens lazily on first read/write.
+func (f *FS) Open(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	var attr vfs.Attr
+	var upath string
+	if e, ok := f.attrs.get(p, ino); ok && e.upath != "" {
+		// Aggressive local caching (section IV-B extension): a
+		// recently validated file opens without a service round trip.
+		attr, upath = e.attr, e.upath
+	} else {
+		f.Stats.ServiceOps++
+		var err error
+		attr, upath, err = f.svc.OpenInfo(p, f.host, ino)
+		if err != nil {
+			return 0, err
+		}
+		f.attrs.put(p, attr, upath)
+	}
+	if attr.Type == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	// The mount layer does not follow symbolic links; opening one is an
+	// error (uniform across all stacked file systems).
+	if attr.Type == vfs.TypeSymlink {
+		return 0, vfs.ErrInvalid
+	}
+	bit := uint32(4)
+	if flags&(vfs.OpenWrite|vfs.OpenTrunc) != 0 {
+		bit = 2
+	}
+	if !canAccess(ctx, attr.UID, attr.GID, attr.Mode, bit) {
+		return 0, vfs.ErrPerm
+	}
+	if flags&vfs.OpenTrunc != 0 {
+		f.attrs.drop(ino)
+		if _, err := f.svc.Setattr(p, f.host, ctx, ino, vfs.SetAttr{HasSize: true, Size: 0}); err != nil {
+			return 0, err
+		}
+		if err := f.under.Truncate(p, f.underCtx(), upath, 0); err != nil {
+			return 0, err
+		}
+		// The handle tracks the file size for write-back at close; it
+		// must start from the truncated size, not the pre-open one.
+		attr.Size = 0
+	}
+	f.Stats.LazyOpensSkipped++
+	h := f.nextH
+	f.nextH++
+	f.handles[h] = &cofsHandle{id: ino, flags: flags, upath: upath, size: attr.Size, ctx: ctx}
+	return h, nil
+}
+
+// ensureUnderFile lazily opens the underlying file for a handle.
+func (f *FS) ensureUnderFile(p *sim.Proc, h *cofsHandle) error {
+	if h.file != nil {
+		return nil
+	}
+	flags := h.flags
+	uf, err := f.under.Open(p, f.underCtx(), h.upath, flags)
+	if err != nil {
+		return err
+	}
+	f.Stats.UnderOpens++
+	f.Stats.LazyOpensSkipped--
+	h.file = uf
+	return nil
+}
+
+// Read implements vfs.Filesystem (pure passthrough beyond the lazy open;
+// COFS keeps no block information — section III-D).
+func (f *FS) Read(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle, off, n int64) (int64, error) {
+	hs, ok := f.handles[h]
+	if !ok {
+		return 0, vfs.ErrBadHandle
+	}
+	if err := f.ensureUnderFile(p, hs); err != nil {
+		return 0, err
+	}
+	return hs.file.ReadAt(p, off, n)
+}
+
+// Write implements vfs.Filesystem.
+func (f *FS) Write(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle, off, n int64) (int64, error) {
+	hs, ok := f.handles[h]
+	if !ok {
+		return 0, vfs.ErrBadHandle
+	}
+	if hs.flags&(vfs.OpenWrite|vfs.OpenTrunc) == 0 {
+		return 0, vfs.ErrPerm
+	}
+	if err := f.ensureUnderFile(p, hs); err != nil {
+		return 0, err
+	}
+	moved, err := hs.file.WriteAt(p, off, n)
+	if moved > 0 {
+		hs.wrote = true
+		if off+moved > hs.size {
+			hs.size = off + moved
+		}
+	}
+	return moved, err
+}
+
+// Fsync implements vfs.Filesystem.
+func (f *FS) Fsync(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle) error {
+	hs, ok := f.handles[h]
+	if !ok {
+		return vfs.ErrBadHandle
+	}
+	if hs.file == nil {
+		return nil
+	}
+	return hs.file.Fsync(p)
+}
+
+// Release implements vfs.Filesystem: close the underlying file (if it
+// was ever opened) and write back size/mtime to the service if we wrote.
+func (f *FS) Release(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle) error {
+	hs, ok := f.handles[h]
+	if !ok {
+		return vfs.ErrBadHandle
+	}
+	delete(f.handles, h)
+	if hs.file != nil {
+		if err := hs.file.Close(p); err != nil {
+			return err
+		}
+	}
+	if hs.wrote {
+		f.attrs.drop(hs.id)
+		f.Stats.WriteBacks++
+		f.Stats.ServiceOps++
+		if err := f.svc.WriteBack(p, f.host, hs.id, hs.size, p.Now()); err != nil && err != vfs.ErrNotExist {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unlink implements vfs.Filesystem: remove from the service; when the
+// last link dies, delete the underlying file too.
+func (f *FS) Unlink(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) error {
+	f.Stats.ServiceOps++
+	upath, gone, err := f.svc.Remove(p, f.host, ctx, dir, name, false)
+	if err != nil {
+		return err
+	}
+	f.attrs.drop(gone) // nlink changed (or object removed)
+	f.attrs.drop(dir)  // parent mtime changed
+	if upath != "" {
+		if uerr := f.under.Unlink(p, f.underCtx(), upath); uerr != nil && uerr != vfs.ErrNotExist {
+			return uerr
+		}
+	}
+	return nil
+}
+
+// Mkdir implements vfs.Filesystem: directories are purely virtual (no
+// underlying presence).
+func (f *FS) Mkdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string, mode uint32) (vfs.Attr, error) {
+	if name == "" || len(name) > vfs.MaxNameLen {
+		return vfs.Attr{}, vfs.ErrInvalid
+	}
+	f.Stats.ServiceOps++
+	attr, _, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeDir, mode, "", "")
+	if err == nil {
+		f.attrs.drop(dir) // parent nlink/mtime changed
+	}
+	return attr, err
+}
+
+// Rmdir implements vfs.Filesystem.
+func (f *FS) Rmdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) error {
+	f.Stats.ServiceOps++
+	_, gone, err := f.svc.Remove(p, f.host, ctx, dir, name, true)
+	if err == nil {
+		f.attrs.drop(gone)
+		f.attrs.drop(dir) // parent nlink/mtime changed
+	}
+	return err
+}
+
+// Rename implements vfs.Filesystem: a pure service transaction — the
+// underlying layout never changes because mappings are by file id.
+func (f *FS) Rename(p *sim.Proc, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) error {
+	f.Stats.ServiceOps++
+	upath, replaced, err := f.svc.Rename(p, f.host, ctx, srcDir, srcName, dstDir, dstName)
+	if err != nil {
+		return err
+	}
+	f.attrs.drop(replaced) // replaced target's nlink changed (or gone)
+	f.attrs.drop(srcDir)   // both parents' nlink/mtime changed
+	f.attrs.drop(dstDir)
+	if upath != "" {
+		if uerr := f.under.Unlink(p, f.underCtx(), upath); uerr != nil && uerr != vfs.ErrNotExist {
+			return uerr
+		}
+	}
+	return nil
+}
+
+// Link implements vfs.Filesystem (hard links are service-only: both
+// names map to the same file id and hence the same underlying file).
+func (f *FS) Link(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, dir vfs.Ino, name string) (vfs.Attr, error) {
+	f.Stats.ServiceOps++
+	attr, err := f.svc.Link(p, f.host, ctx, ino, dir, name)
+	if err == nil {
+		f.attrs.drop(ino) // nlink changed
+		f.attrs.drop(dir) // parent mtime changed
+		f.attrs.put(p, attr, "")
+	}
+	return attr, err
+}
+
+// Symlink implements vfs.Filesystem (service-only).
+func (f *FS) Symlink(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name, target string) (vfs.Attr, error) {
+	f.Stats.ServiceOps++
+	attr, _, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeSymlink, 0777, "", target)
+	if err == nil {
+		f.attrs.drop(dir) // parent mtime changed
+	}
+	return attr, err
+}
+
+// Readlink implements vfs.Filesystem.
+func (f *FS) Readlink(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (string, error) {
+	f.Stats.ServiceOps++
+	return f.svc.Readlink(p, f.host, ino)
+}
+
+// Readdir implements vfs.Filesystem. The service replies READDIRPLUS-
+// style with every entry's attributes; when the client attribute cache
+// is enabled they are installed locally, so a following `ls -l` stat
+// sweep never goes back to the service (section IV-B's aggressive-
+// caching extension applied to the paper's directory-traversal trigger).
+func (f *FS) Readdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	f.Stats.ServiceOps++
+	ents, attrs, err := f.svc.ReaddirPlus(p, f.host, ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range attrs {
+		f.attrs.put(p, a, "")
+	}
+	return ents, nil
+}
+
+// StatFS implements vfs.Filesystem.
+func (f *FS) StatFS(p *sim.Proc, ctx vfs.Ctx) (vfs.Statfs, error) {
+	f.Stats.ServiceOps++
+	files, dirs := f.svc.CountObjects(p, f.host)
+	return vfs.Statfs{Files: files, Dirs: dirs}, nil
+}

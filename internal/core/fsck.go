@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// FsckReport is the result of a COFS consistency check between the
+// metadata service's tables and the underlying file system.
+type FsckReport struct {
+	// Mappings is the number of (file id -> underlying path) records.
+	Mappings int
+	// UnderFiles is the number of regular files found under the object
+	// roots of the underlying file system.
+	UnderFiles int
+	// UnderDirs is the number of underlying directories walked.
+	UnderDirs int
+	// Missing lists mappings whose underlying file does not exist.
+	Missing []string
+	// TypeMismatch lists mappings that resolve to a non-regular object.
+	TypeMismatch []string
+	// Orphans lists underlying regular files no mapping points at.
+	Orphans []string
+	// TableErr records a referential-integrity failure in the service
+	// tables themselves (CheckInvariants), if any.
+	TableErr error
+}
+
+// OK reports whether the check found no inconsistencies.
+func (r *FsckReport) OK() bool {
+	return len(r.Missing) == 0 && len(r.TypeMismatch) == 0 && len(r.Orphans) == 0 && r.TableErr == nil
+}
+
+// String summarizes the report, fsck-style.
+func (r *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck: %d mappings, %d underlying files in %d directories\n",
+		r.Mappings, r.UnderFiles, r.UnderDirs)
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "  MISSING   %s\n", m)
+	}
+	for _, m := range r.TypeMismatch {
+		fmt.Fprintf(&b, "  NOT-A-FILE %s\n", m)
+	}
+	for _, o := range r.Orphans {
+		fmt.Fprintf(&b, "  ORPHAN    %s\n", o)
+	}
+	if r.TableErr != nil {
+		fmt.Fprintf(&b, "  TABLES    %v\n", r.TableErr)
+	}
+	if r.OK() {
+		b.WriteString("  clean\n")
+	}
+	return b.String()
+}
+
+// Fsck cross-checks the deployment's metadata service against the
+// underlying file system through one node's bare mount:
+//
+//   - every mapping must resolve to an existing regular underlying file
+//     (a missing one means the namespace promises data that is gone);
+//   - every regular file under the object roots must be reachable from
+//     a mapping (an orphan leaks space invisibly — the virtual
+//     namespace can never name it);
+//   - the service tables themselves must be referentially intact.
+//
+// This is the offline repair tool a production deployment of the
+// paper's prototype would need: because COFS owns the only map from
+// virtual names to underlying paths (section III-C), underlying damage
+// is undetectable through the virtual mount alone.
+func Fsck(p *sim.Proc, svc *Service, under *vfs.Mount) *FsckReport {
+	r := &FsckReport{TableErr: svc.CheckInvariants()}
+
+	mapped := make(map[string]bool)
+	var upaths []string
+	svc.EachMapping(func(id vfs.Ino, upath string) {
+		mapped["/"+upath] = true
+		upaths = append(upaths, upath)
+	})
+	r.Mappings = len(upaths)
+
+	ctx := vfs.Ctx{UID: 0}
+	for _, upath := range upaths {
+		attr, err := under.Stat(p, ctx, upath)
+		switch {
+		case err != nil:
+			r.Missing = append(r.Missing, upath)
+		case attr.Type != vfs.TypeRegular:
+			r.TypeMismatch = append(r.TypeMismatch, upath)
+		}
+	}
+
+	// Walk the whole underlying tree; every regular file must be
+	// mapped. Directories are COFS's own structure (object roots,
+	// buckets, generations) and carry no mappings.
+	var walk func(dir string)
+	walk = func(dir string) {
+		r.UnderDirs++
+		ents, err := under.Readdir(p, ctx, dir)
+		if err != nil {
+			r.TableErr = fmt.Errorf("core: fsck walk %s: %w", dir, err)
+			return
+		}
+		for _, e := range ents {
+			path := dir + "/" + e.Name
+			if dir == "/" {
+				path = "/" + e.Name
+			}
+			switch e.Type {
+			case vfs.TypeDir:
+				walk(path)
+			case vfs.TypeRegular:
+				r.UnderFiles++
+				if !mapped[path] {
+					r.Orphans = append(r.Orphans, path)
+				}
+			}
+		}
+	}
+	walk("/")
+	return r
+}

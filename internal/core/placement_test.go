@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cofs/internal/vfs"
+)
+
+func TestHashPlacementDeterministic(t *testing.T) {
+	f := func(node, pid uint8, parent uint32, rnd uint64) bool {
+		hp := HashPlacement{Fanout: 64, RandomSubdirs: 8}
+		a := hp.BucketDir(int(node), int(pid), vfs.Ino(parent), rnd)
+		b := hp.BucketDir(int(node), int(pid), vfs.Ino(parent), rnd)
+		return a == b && a != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPlacementSeparatesNodes(t *testing.T) {
+	// The paper's core requirement: different creating nodes land in
+	// different underlying directories (with overwhelming probability),
+	// so parallel creates never contend.
+	hp := HashPlacement{Fanout: 64, RandomSubdirs: 1}
+	buckets := map[string][]int{}
+	for node := 0; node < 16; node++ {
+		dir := hp.BucketDir(node, 1, 42, 0)
+		buckets[dir] = append(buckets[dir], node)
+	}
+	if len(buckets) < 12 {
+		t.Fatalf("16 nodes mapped to only %d buckets", len(buckets))
+	}
+}
+
+func TestHashPlacementSeparatesProcesses(t *testing.T) {
+	hp := HashPlacement{Fanout: 64, RandomSubdirs: 1}
+	a := hp.BucketDir(3, 1, 42, 0)
+	b := hp.BucketDir(3, 2, 42, 0)
+	if a == b {
+		t.Fatal("different pids mapped to the same bucket (hash ignores pid?)")
+	}
+	c := hp.BucketDir(3, 1, 43, 0)
+	if a == c {
+		t.Fatal("different parents mapped to the same bucket (hash ignores parent?)")
+	}
+}
+
+func TestRandomizationLevelSpreads(t *testing.T) {
+	hp := HashPlacement{Fanout: 64, RandomSubdirs: 8}
+	seen := map[string]bool{}
+	for rnd := uint64(0); rnd < 64; rnd++ {
+		seen[hp.BucketDir(1, 1, 7, rnd)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("randomization produced %d subdirs, want 8", len(seen))
+	}
+	// All below the same hashed parent.
+	var prefix string
+	for d := range seen {
+		p := d[:strings.LastIndex(d, "/")]
+		if prefix == "" {
+			prefix = p
+		} else if p != prefix {
+			t.Fatalf("random subdirs cross hash buckets: %q vs %q", p, prefix)
+		}
+	}
+}
+
+func TestFanoutBounds(t *testing.T) {
+	f := func(node uint8, parent uint16, rnd uint64) bool {
+		hp := HashPlacement{Fanout: 16, RandomSubdirs: 4}
+		dir := hp.BucketDir(int(node), 1, vfs.Ino(parent), rnd)
+		// Format: o/XXX/rNN with XXX < fanout.
+		parts := strings.Split(dir, "/")
+		if len(parts) != 3 || parts[0] != "o" {
+			return false
+		}
+		var h uint64
+		for _, c := range parts[1] {
+			h = h*16 + uint64(strings.IndexRune("0123456789abcdef", c))
+		}
+		return h < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegeneratePolicies(t *testing.T) {
+	if (FlatPlacement{}).BucketDir(1, 2, 3, 4) != (FlatPlacement{}).BucketDir(9, 9, 9, 9) {
+		t.Fatal("flat placement must ignore all inputs")
+	}
+	np := NodeHashPlacement{Fanout: 8}
+	if np.BucketDir(1, 1, 1, 1) != np.BucketDir(1, 9, 9, 9) {
+		t.Fatal("node hash must depend only on the node")
+	}
+	if np.BucketDir(1, 1, 1, 1) == np.BucketDir(2, 1, 1, 1) {
+		t.Fatal("node hash must separate nodes")
+	}
+	// Zero fanout falls back safely.
+	if got := (HashPlacement{}).BucketDir(1, 1, 1, 1); got == "" {
+		t.Fatal("zero-fanout hash placement returned empty dir")
+	}
+	for _, p := range []Placement{HashPlacement{Fanout: 4}, NodeHashPlacement{Fanout: 4}, FlatPlacement{}} {
+		if p.Name() == "" {
+			t.Fatal("placement must have a name")
+		}
+	}
+}

@@ -1,0 +1,675 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/disk"
+	"cofs/internal/mdb"
+	"cofs/internal/netsim"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// RootID is the virtual root directory's file id.
+const RootID vfs.Ino = 1
+
+// inodeRow is the metadata the service keeps per object (type, owner,
+// permissions, times — section III-C). For regular files Size/Mtime are
+// updated on writer close (close-to-open consistency); the service holds
+// no block or placement information beyond the opaque mapping table.
+type inodeRow struct {
+	ID     vfs.Ino
+	Type   vfs.FileType
+	Mode   uint32
+	UID    uint32
+	GID    uint32
+	Nlink  int
+	Size   int64
+	Atime  time.Duration
+	Mtime  time.Duration
+	Ctime  time.Duration
+	Target string // symlink
+}
+
+func (r inodeRow) attr() vfs.Attr {
+	return vfs.Attr{
+		Ino: r.ID, Type: r.Type, Mode: r.Mode, UID: r.UID, GID: r.GID,
+		Nlink: r.Nlink, Size: r.Size, Atime: r.Atime, Mtime: r.Mtime, Ctime: r.Ctime,
+	}
+}
+
+// dentryKey identifies one name in one virtual directory.
+type dentryKey struct {
+	Parent vfs.Ino
+	Name   string
+}
+
+// dentryRow is a directory entry. It repeats the key fields so the
+// parent can drive a Mnesia-style secondary index: directory listings
+// and emptiness checks hit the index instead of scanning the table.
+type dentryRow struct {
+	Parent vfs.Ino
+	Name   string
+	Child  vfs.Ino
+}
+
+// parentIndexKey renders the index bucket for a directory.
+func parentIndexKey(dir vfs.Ino) string { return fmt.Sprintf("%d", uint64(dir)) }
+
+// ServiceStats aggregates service-side counters.
+type ServiceStats struct {
+	Requests int64
+	Creates  int64
+	Lookups  int64
+	Getattrs int64
+	Updates  int64
+	Removes  int64
+}
+
+// Service is the centralized COFS metadata service: it owns the virtual
+// hierarchy in Mnesia-style tables backed by a local disk.
+type Service struct {
+	net  *netsim.Net
+	host *netsim.Host
+	cfg  params.COFSParams
+
+	Disk *disk.Disk
+	DB   *mdb.DB
+
+	inodes   *mdb.Table[vfs.Ino, inodeRow]
+	dentries *mdb.Table[dentryKey, dentryRow]
+	mappings *mdb.Table[vfs.Ino, string]
+
+	nextID vfs.Ino
+
+	Stats ServiceStats
+}
+
+// NewService creates the metadata service on host, with its database on
+// a freshly attached local disk (the paper used a 25 GB ext3 volume).
+func NewService(net *netsim.Net, host *netsim.Host, cfg params.Config) *Service {
+	env := net.Env()
+	d := disk.New(env, "cofs-mdb", cfg.Disk)
+	db := mdb.NewAsync(env, d, cfg.COFS.DBOpTime, cfg.COFS.LogFlushInterval)
+	s := &Service{
+		net:    net,
+		host:   host,
+		cfg:    cfg.COFS,
+		Disk:   d,
+		DB:     db,
+		nextID: RootID + 1,
+	}
+	s.inodes = mdb.NewTable[vfs.Ino, inodeRow](db, "inode", mdb.DiscCopies)
+	s.dentries = mdb.NewTable[dentryKey, dentryRow](db, "dentry", mdb.DiscCopies)
+	s.dentries.AddIndex("parent", func(r dentryRow) string { return parentIndexKey(r.Parent) })
+	s.mappings = mdb.NewTable[vfs.Ino, string](db, "mapping", mdb.DiscCopies)
+
+	// Bootstrap the root directory outside simulated time.
+	s.inodes.Bootstrap(RootID, inodeRow{ID: RootID, Type: vfs.TypeDir, Mode: 0777, Nlink: 2})
+	return s
+}
+
+// Host returns the service node.
+func (s *Service) Host() *netsim.Host { return s.host }
+
+// call performs one client->service RPC charging the full (transaction
+// dispatch) service CPU.
+func call[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, fn func(p *sim.Proc) T) T {
+	return callCPU(p, s, from, req, resp, s.cfg.ServiceCPUPerOp, fn)
+}
+
+// callRead is the dirty-read fast path: Mnesia dirty reads skip the
+// transaction machinery, so the dispatch charge is much smaller.
+func callRead[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, fn func(p *sim.Proc) T) T {
+	return callCPU(p, s, from, req, resp, s.cfg.ServiceCPUPerOp*3/4, fn)
+}
+
+func callCPU[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
+	s.Stats.Requests++
+	return netsim.Call(p, s.net, from, s.host, req, resp, func(p *sim.Proc) T {
+		p.Sleep(cpu)
+		return fn(p)
+	})
+}
+
+type attrReply struct {
+	attr vfs.Attr
+	err  error
+}
+
+// Lookup resolves (parent, name) and returns the child's attributes.
+func (s *Service) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name string) (vfs.Attr, error) {
+	s.Stats.Lookups++
+	r := callRead(p, s, from, 128, 192, func(p *sim.Proc) attrReply {
+		de, ok := mdb.DirtyGet(p, s.dentries, dentryKey{Parent: parent, Name: name})
+		if !ok {
+			din, dirOK := mdb.DirtyGet(p, s.inodes, parent)
+			if dirOK && din.Type != vfs.TypeDir {
+				return attrReply{err: vfs.ErrNotDir}
+			}
+			return attrReply{err: vfs.ErrNotExist}
+		}
+		row, ok := mdb.DirtyGet(p, s.inodes, de.Child)
+		if !ok {
+			return attrReply{err: vfs.ErrNotExist}
+		}
+		return attrReply{attr: row.attr()}
+	})
+	return r.attr, r.err
+}
+
+// Getattr returns the attributes of id.
+func (s *Service) Getattr(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, error) {
+	s.Stats.Getattrs++
+	r := callRead(p, s, from, 96, 192, func(p *sim.Proc) attrReply {
+		row, ok := mdb.DirtyGet(p, s.inodes, id)
+		if !ok {
+			return attrReply{err: vfs.ErrNotExist}
+		}
+		return attrReply{attr: row.attr()}
+	})
+	return r.attr, r.err
+}
+
+// Setattr updates attributes of id (chmod/chown/utime/truncate record).
+func (s *Service) Setattr(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
+	s.Stats.Updates++
+	return s.updateRow(p, from, id, func(row *inodeRow) error {
+		if set.HasMode && ctx.UID != 0 && ctx.UID != row.UID {
+			return vfs.ErrPerm
+		}
+		// POSIX: only root may change ownership.
+		if set.HasOwner && ctx.UID != 0 {
+			return vfs.ErrPerm
+		}
+		if set.HasMode {
+			row.Mode = set.Mode
+		}
+		if set.HasOwner {
+			row.UID, row.GID = set.UID, set.GID
+		}
+		if set.HasSize && row.Type == vfs.TypeRegular {
+			row.Size = set.Size
+		}
+		if set.HasTimes {
+			row.Atime, row.Mtime = set.Atime, set.Mtime
+		}
+		row.Ctime = p.Now()
+		return nil
+	})
+}
+
+// updateRow applies fn to id's row in a durable transaction.
+func (s *Service) updateRow(p *sim.Proc, from *netsim.Host, id vfs.Ino, fn func(*inodeRow) error) (vfs.Attr, error) {
+	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+		var out attrReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			row, ok := mdb.Get(tx, s.inodes, id)
+			if !ok {
+				out.err = vfs.ErrNotExist
+				return
+			}
+			if err := fn(&row); err != nil {
+				out.err = err
+				return
+			}
+			mdb.Put(tx, s.inodes, id, row)
+			out.attr = row.attr()
+		})
+		return out
+	})
+	return r.attr, r.err
+}
+
+type createReply struct {
+	attr  vfs.Attr
+	upath string
+	err   error
+}
+
+// dirRow loads parent and verifies it is a directory the caller may
+// modify. Runs inside a transaction.
+func (s *Service) dirRow(tx *mdb.Tx, ctx vfs.Ctx, parent vfs.Ino, wantWrite bool) (inodeRow, error) {
+	din, ok := mdb.Get(tx, s.inodes, parent)
+	if !ok {
+		return inodeRow{}, vfs.ErrNotExist
+	}
+	if din.Type != vfs.TypeDir {
+		return inodeRow{}, vfs.ErrNotDir
+	}
+	bit := uint32(4)
+	if wantWrite {
+		bit = 2
+	}
+	if !canAccess(ctx, din.UID, din.GID, din.Mode, bit) {
+		return inodeRow{}, vfs.ErrPerm
+	}
+	return din, nil
+}
+
+func canAccess(ctx vfs.Ctx, uid, gid, mode, bit uint32) bool {
+	if ctx.UID == 0 {
+		return true
+	}
+	switch {
+	case ctx.UID == uid:
+		return mode&(bit<<6) != 0
+	case ctx.GID == gid:
+		return mode&(bit<<3) != 0
+	default:
+		return mode&bit != 0
+	}
+}
+
+// Create allocates a new object of the given type under parent. For
+// regular files, bucket is the underlying directory chosen by the
+// client's placement driver: the service composes and records the
+// mapping <bucket>/f<id> inside the transaction and returns it. The
+// transaction commits durably (the service's ext3-backed log,
+// group-committed across clients).
+func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
+	s.Stats.Creates++
+	r := call(p, s, from, 256, 192, func(p *sim.Proc) createReply {
+		var out createReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			din, err := s.dirRow(tx, ctx, parent, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			key := dentryKey{Parent: parent, Name: name}
+			if _, exists := mdb.Get(tx, s.dentries, key); exists {
+				out.err = vfs.ErrExist
+				return
+			}
+			id := s.nextID
+			s.nextID++
+			row := inodeRow{
+				ID: id, Type: t, Mode: mode, UID: ctx.UID, GID: ctx.GID,
+				Nlink: 1, Mtime: p.Now(), Ctime: p.Now(), Target: target,
+			}
+			if t == vfs.TypeDir {
+				row.Nlink = 2
+				din.Nlink++
+			}
+			if t == vfs.TypeSymlink {
+				row.Size = int64(len(target))
+			}
+			din.Mtime = p.Now()
+			mdb.Put(tx, s.inodes, id, row)
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id})
+			mdb.Put(tx, s.inodes, parent, din)
+			if bucket != "" {
+				out.upath = fmt.Sprintf("%s/f%016x", bucket, uint64(id))
+				mdb.Put(tx, s.mappings, id, out.upath)
+			}
+			out.attr = row.attr()
+		})
+		return out
+	})
+	return r.attr, r.upath, r.err
+}
+
+// Readlink returns a symlink's target.
+func (s *Service) Readlink(p *sim.Proc, from *netsim.Host, id vfs.Ino) (string, error) {
+	type reply struct {
+		target string
+		err    error
+	}
+	r := callRead(p, s, from, 96, 256, func(p *sim.Proc) reply {
+		row, ok := mdb.DirtyGet(p, s.inodes, id)
+		if !ok {
+			return reply{err: vfs.ErrNotExist}
+		}
+		if row.Type != vfs.TypeSymlink {
+			return reply{err: vfs.ErrInvalid}
+		}
+		return reply{target: row.Target}
+	})
+	return r.target, r.err
+}
+
+type mappingReply struct {
+	attr  vfs.Attr
+	upath string
+	err   error
+}
+
+// OpenInfo returns the attributes and underlying mapping of a regular
+// file in one round trip (used by open).
+func (s *Service) OpenInfo(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, string, error) {
+	r := callRead(p, s, from, 96, 256, func(p *sim.Proc) mappingReply {
+		row, ok := mdb.DirtyGet(p, s.inodes, id)
+		if !ok {
+			return mappingReply{err: vfs.ErrNotExist}
+		}
+		upath, _ := mdb.DirtyGet(p, s.mappings, id)
+		return mappingReply{attr: row.attr(), upath: upath}
+	})
+	return r.attr, r.upath, r.err
+}
+
+type removeReply struct {
+	upath   string
+	id      vfs.Ino
+	removed bool
+	isDir   bool
+	err     error
+}
+
+// Remove unlinks (parent, name). It returns the id of the affected
+// object (so client caches can invalidate it) and, for regular files
+// whose last link went away, the underlying path to delete; rmdir
+// requires an empty directory.
+func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+	s.Stats.Removes++
+	r := call(p, s, from, 160, 128, func(p *sim.Proc) removeReply {
+		var out removeReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			din, err := s.dirRow(tx, ctx, parent, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			key := dentryKey{Parent: parent, Name: name}
+			de, ok := mdb.Get(tx, s.dentries, key)
+			if !ok {
+				out.err = vfs.ErrNotExist
+				return
+			}
+			id := de.Child
+			out.id = id
+			row, _ := mdb.Get(tx, s.inodes, id)
+			if rmdir {
+				if row.Type != vfs.TypeDir {
+					out.err = vfs.ErrNotDir
+					return
+				}
+				if n := len(mdb.IndexKeys(tx, s.dentries, "parent", parentIndexKey(id))); n > 0 {
+					out.err = vfs.ErrNotEmpty
+					return
+				}
+				din.Nlink--
+				mdb.Delete(tx, s.inodes, id)
+				mdb.Delete(tx, s.dentries, key)
+				mdb.Put(tx, s.inodes, parent, din)
+				out.isDir = true
+				return
+			}
+			if row.Type == vfs.TypeDir {
+				out.err = vfs.ErrIsDir
+				return
+			}
+			mdb.Delete(tx, s.dentries, key)
+			row.Nlink--
+			din.Mtime = p.Now()
+			mdb.Put(tx, s.inodes, parent, din)
+			if row.Nlink <= 0 {
+				out.upath, _ = mdb.Get(tx, s.mappings, id)
+				out.removed = true
+				mdb.Delete(tx, s.inodes, id)
+				mdb.Delete(tx, s.mappings, id)
+			} else {
+				mdb.Put(tx, s.inodes, id, row)
+			}
+		})
+		return out
+	})
+	return r.upath, r.id, r.err
+}
+
+// Rename moves (srcDir, srcName) to (dstDir, dstName), replacing a
+// compatible target. The underlying mapping is untouched: renames never
+// reach the underlying file system. It returns the id of a replaced
+// target (0 if none) for client cache invalidation, plus the underlying
+// path to delete when the replaced file's last link went away.
+func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	r := call(p, s, from, 224, 128, func(p *sim.Proc) removeReply {
+		var out removeReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			sd, err := s.dirRow(tx, ctx, srcDir, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			dd, err := s.dirRow(tx, ctx, dstDir, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			srcKey := dentryKey{Parent: srcDir, Name: srcName}
+			srcDe, ok := mdb.Get(tx, s.dentries, srcKey)
+			if !ok {
+				out.err = vfs.ErrNotExist
+				return
+			}
+			id := srcDe.Child
+			if dstName == "" || len(dstName) > vfs.MaxNameLen {
+				out.err = vfs.ErrInvalid
+				return
+			}
+			moving, _ := mdb.Get(tx, s.inodes, id)
+			dstKey := dentryKey{Parent: dstDir, Name: dstName}
+			if dstDe, ok := mdb.Get(tx, s.dentries, dstKey); ok {
+				existing := dstDe.Child
+				if existing == id {
+					// POSIX no-op: same object under both names.
+					return
+				}
+				out.id = existing
+				tgt, _ := mdb.Get(tx, s.inodes, existing)
+				if tgt.Type == vfs.TypeDir {
+					if moving.Type != vfs.TypeDir {
+						out.err = vfs.ErrIsDir
+						return
+					}
+					if n := len(mdb.IndexKeys(tx, s.dentries, "parent", parentIndexKey(existing))); n > 0 {
+						out.err = vfs.ErrNotEmpty
+						return
+					}
+					dd.Nlink--
+					mdb.Delete(tx, s.inodes, existing)
+				} else {
+					if moving.Type == vfs.TypeDir {
+						out.err = vfs.ErrNotDir
+						return
+					}
+					tgt.Nlink--
+					if tgt.Nlink <= 0 {
+						out.upath, _ = mdb.Get(tx, s.mappings, existing)
+						out.removed = true
+						mdb.Delete(tx, s.inodes, existing)
+						mdb.Delete(tx, s.mappings, existing)
+					} else {
+						mdb.Put(tx, s.inodes, existing, tgt)
+					}
+				}
+			}
+			mdb.Delete(tx, s.dentries, srcKey)
+			mdb.Put(tx, s.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id})
+			if moving.Type == vfs.TypeDir && srcDir != dstDir {
+				sd.Nlink--
+				dd.Nlink++
+			}
+			sd.Mtime = p.Now()
+			dd.Mtime = p.Now()
+			mdb.Put(tx, s.inodes, srcDir, sd)
+			if srcDir != dstDir {
+				mdb.Put(tx, s.inodes, dstDir, dd)
+			}
+		})
+		return out
+	})
+	return r.upath, r.id, r.err
+}
+
+// Link adds a hard link to id at (parent, name).
+func (s *Service) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+		var out attrReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			din, err := s.dirRow(tx, ctx, parent, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			row, ok := mdb.Get(tx, s.inodes, id)
+			if !ok {
+				out.err = vfs.ErrNotExist
+				return
+			}
+			if row.Type == vfs.TypeDir {
+				out.err = vfs.ErrIsDir
+				return
+			}
+			key := dentryKey{Parent: parent, Name: name}
+			if _, exists := mdb.Get(tx, s.dentries, key); exists {
+				out.err = vfs.ErrExist
+				return
+			}
+			row.Nlink++
+			din.Mtime = p.Now()
+			mdb.Put(tx, s.inodes, id, row)
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id})
+			mdb.Put(tx, s.inodes, parent, din)
+			out.attr = row.attr()
+		})
+		return out
+	})
+	return r.attr, r.err
+}
+
+type readdirReply struct {
+	entries []vfs.DirEntry
+	attrs   []vfs.Attr
+	err     error
+}
+
+// ReaddirPlus lists the virtual directory and returns every entry's
+// attributes in the same response (NFSv3 READDIRPLUS style): one RPC
+// serves a whole `ls -l`. The client prefills its attribute cache from
+// the reply (see FS.Readdir), turning the per-entry stat round trips of
+// the paper's "large directory traversals" trigger into local hits. The
+// listing is served from the dentry table's parent index, and the
+// response transfer cost scales with the number of entries.
+func (s *Service) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
+	s.Stats.Requests++
+	r := netsim.CallDyn(p, s.net, from, s.host, 96, func(p *sim.Proc) readdirReply {
+		p.Sleep(s.cfg.ServiceCPUPerOp)
+		var out readdirReply
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, err := s.dirRow(tx, ctx, dir, false); err != nil {
+				out.err = err
+				return
+			}
+			keys := mdb.IndexKeys(tx, s.dentries, "parent", parentIndexKey(dir))
+			sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+			for _, k := range keys {
+				de, ok := mdb.Get(tx, s.dentries, k)
+				if !ok {
+					continue
+				}
+				row, _ := mdb.Get(tx, s.inodes, de.Child)
+				out.entries = append(out.entries, vfs.DirEntry{Name: k.Name, Ino: de.Child, Type: row.Type})
+				out.attrs = append(out.attrs, row.attr())
+			}
+		})
+		return out
+	}, func(r readdirReply) int64 { return 96 + int64(len(r.entries))*160 })
+	return r.entries, r.attrs, r.err
+}
+
+// Readdir lists the virtual directory (names and types only).
+func (s *Service) Readdir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	ents, _, err := s.ReaddirPlus(p, from, ctx, dir)
+	return ents, err
+}
+
+// WriteBack records a writer's size/mtime at close (close-to-open
+// consistency for attributes the service serves from its tables).
+func (s *Service) WriteBack(p *sim.Proc, from *netsim.Host, id vfs.Ino, size int64, mtime time.Duration) error {
+	s.Stats.Updates++
+	_, err := s.updateRow(p, from, id, func(row *inodeRow) error {
+		if row.Type != vfs.TypeRegular {
+			return vfs.ErrInvalid
+		}
+		row.Size = size
+		row.Mtime = mtime
+		return nil
+	})
+	return err
+}
+
+// CountObjects returns (files, dirs) for StatFS.
+func (s *Service) CountObjects(p *sim.Proc, from *netsim.Host) (int64, int64) {
+	type counts struct{ files, dirs int64 }
+	r := call(p, s, from, 64, 128, func(p *sim.Proc) counts {
+		var out counts
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			for _, row := range mdb.Select(tx, s.inodes, func(k vfs.Ino, v inodeRow) bool { return true }) {
+				out.files++
+				if row.Type == vfs.TypeDir {
+					out.dirs++
+				}
+			}
+		})
+		return out
+	})
+	return r.files, r.dirs
+}
+
+// Mapping returns the underlying path of a regular file (cofsctl).
+func (s *Service) Mapping(id vfs.Ino) (string, bool) {
+	return s.mappings.Peek(id)
+}
+
+// EachMapping visits every (file id, underlying path) pair in
+// deterministic order (tooling and tests).
+func (s *Service) EachMapping(fn func(id vfs.Ino, upath string)) {
+	s.mappings.Each(fn)
+}
+
+// CheckInvariants validates referential integrity of the service tables:
+// every dentry points at a live inode, nlink matches dentry references
+// for files, and every regular file has a mapping. Tests call it after
+// workloads.
+func (s *Service) CheckInvariants() error {
+	refs := make(map[vfs.Ino]int)
+	parents := make(map[vfs.Ino]bool)
+	var walkErr error
+	s.dentries.Each(func(k dentryKey, de dentryRow) {
+		if de.Parent != k.Parent || de.Name != k.Name {
+			walkErr = fmt.Errorf("core: dentry row %v disagrees with its key %v", de, k)
+			return
+		}
+		row, ok := s.inodes.Peek(de.Child)
+		if !ok {
+			walkErr = fmt.Errorf("core: dentry %v/%s points at missing inode %d", k.Parent, k.Name, de.Child)
+			return
+		}
+		if row.Type != vfs.TypeDir {
+			refs[de.Child]++
+		}
+		parents[k.Parent] = true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	var err error
+	s.inodes.Each(func(id vfs.Ino, row inodeRow) {
+		if row.Type != vfs.TypeDir {
+			if refs[id] != row.Nlink {
+				err = fmt.Errorf("core: inode %d nlink=%d, %d dentries", id, row.Nlink, refs[id])
+			}
+			if row.Type == vfs.TypeRegular {
+				if _, ok := s.mappings.Peek(id); !ok {
+					err = fmt.Errorf("core: regular file %d has no mapping", id)
+				}
+			}
+		}
+	})
+	return err
+}

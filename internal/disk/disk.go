@@ -1,0 +1,131 @@
+// Package disk models a rotational disk of the paper's era (2006-ish
+// SCSI/SATA): a single head serializing requests, positioning cost for
+// random accesses, a media transfer rate, and a journal with group commit
+// — the behaviour behind both the file servers' metadata storage and the
+// ext3 volume backing the COFS metadata service.
+package disk
+
+import (
+	"time"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+// Disk is a simulated disk device. All request timing is charged to the
+// calling simulated process; the head is a capacity-1 resource so
+// concurrent requests queue.
+type Disk struct {
+	env  *sim.Env
+	head *sim.Resource
+	p    params.DiskParams
+
+	lastPos    int64 // crude sequentiality tracker: last accessed block
+	positioned bool  // false until the first access
+
+	Reads  int64
+	Writes int64
+	Syncs  int64
+
+	journal *journal
+}
+
+// New creates a disk with the given parameters.
+func New(env *sim.Env, name string, p params.DiskParams) *Disk {
+	d := &Disk{
+		env:  env,
+		head: sim.NewResource(env, name+".head", 1),
+		p:    p,
+	}
+	d.journal = &journal{env: env, disk: d, done: sim.NewCond(env)}
+	return d
+}
+
+func (d *Disk) transfer(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / d.p.TransferRate * float64(time.Second))
+}
+
+// access performs one positioned transfer. pos identifies the block so
+// back-to-back accesses to adjacent positions pay the sequential cost.
+func (d *Disk) access(p *sim.Proc, pos, bytes int64) {
+	d.head.Acquire(p)
+	cost := d.p.AccessTime
+	if d.positioned && (pos == d.lastPos || pos == d.lastPos+1) {
+		cost = d.p.SeqAccessTime
+	}
+	d.positioned = true
+	d.lastPos = pos
+	p.Sleep(cost + d.transfer(bytes))
+	d.head.Release(p)
+}
+
+// Read performs a read of bytes at block position pos.
+func (d *Disk) Read(p *sim.Proc, pos, bytes int64) {
+	d.Reads++
+	d.access(p, pos, bytes)
+}
+
+// Write performs a write of bytes at block position pos.
+func (d *Disk) Write(p *sim.Proc, pos, bytes int64) {
+	d.Writes++
+	d.access(p, pos, bytes)
+}
+
+// Sync forces outstanding state to the platter (one fsync, no batching).
+func (d *Disk) Sync(p *sim.Proc) {
+	d.Syncs++
+	d.head.Acquire(p)
+	p.Sleep(d.p.SyncTime)
+	d.head.Release(p)
+}
+
+// Commit appends to the disk's journal and waits for it to become durable.
+// Concurrent committers are batched into one flush (group commit): all
+// requests that arrive while a flush is in progress are covered together
+// by the next flush. This is what makes heavily queued metadata updates
+// sub-linear in the number of writers.
+func (d *Disk) Commit(p *sim.Proc) {
+	d.journal.commit(p)
+}
+
+// journal implements ext3-style group commit on top of the disk head.
+type journal struct {
+	env      *sim.Env
+	disk     *Disk
+	flushing bool
+	// gen counts completed flushes; a committer needs the flush that
+	// *starts* at or after its arrival.
+	gen     int64
+	done    *sim.Cond
+	pending int
+}
+
+func (j *journal) commit(p *sim.Proc) {
+	target := j.gen + 1
+	if j.flushing {
+		// A flush is running but may have started before our data was
+		// in the log buffer: we need the one after it.
+		target = j.gen + 2
+	}
+	j.pending++
+	for j.gen < target {
+		if j.flushing {
+			j.done.Wait(p)
+			continue
+		}
+		// Become the flusher for the next generation; everyone whose
+		// target is this generation rides along.
+		j.flushing = true
+		j.disk.Syncs++
+		j.disk.head.Acquire(p)
+		p.Sleep(j.disk.p.SyncTime)
+		j.disk.head.Release(p)
+		j.gen++
+		j.flushing = false
+		j.done.Broadcast()
+	}
+	j.pending--
+}

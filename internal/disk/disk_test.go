@@ -1,0 +1,143 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+func testParams() params.DiskParams {
+	return params.DiskParams{
+		AccessTime:    4 * time.Millisecond,
+		SeqAccessTime: 500 * time.Microsecond,
+		TransferRate:  50e6,
+		SyncTime:      3 * time.Millisecond,
+	}
+}
+
+func TestRandomVsSequential(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	var randT, seqT time.Duration
+	env.Spawn("a", func(p *sim.Proc) {
+		start := p.Now()
+		d.Read(p, 100, 4096)
+		randT = p.Now() - start
+		start = p.Now()
+		d.Read(p, 101, 4096) // adjacent: sequential cost
+		seqT = p.Now() - start
+	})
+	env.MustRun()
+	if randT <= seqT {
+		t.Fatalf("random %v should exceed sequential %v", randT, seqT)
+	}
+	if randT < 4*time.Millisecond {
+		t.Fatalf("random read %v below positioning time", randT)
+	}
+}
+
+func TestHeadSerializes(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	for i := 0; i < 4; i++ {
+		pos := int64(i * 1000)
+		env.Spawn("w", func(p *sim.Proc) { d.Write(p, pos, 4096) })
+	}
+	env.MustRun()
+	// 4 random writes with one head: at least 4 * 4ms.
+	if env.Now() < 16*time.Millisecond {
+		t.Fatalf("end=%v, want >= 16ms (serialized)", env.Now())
+	}
+	if d.Writes != 4 {
+		t.Fatalf("writes=%d", d.Writes)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	var small, large time.Duration
+	env.Spawn("a", func(p *sim.Proc) {
+		start := p.Now()
+		d.Read(p, 0, 4096)
+		small = p.Now() - start
+		start = p.Now()
+		d.Read(p, 5000, 50<<20) // 50 MB at 50 MB/s: ~1s
+		large = p.Now() - start
+	})
+	env.MustRun()
+	if large < time.Second {
+		t.Fatalf("50MB read took %v, want >= 1s", large)
+	}
+	if small > 10*time.Millisecond {
+		t.Fatalf("4KB read took %v", small)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	n := 16
+	done := 0
+	for i := 0; i < n; i++ {
+		env.Spawn("c", func(p *sim.Proc) {
+			d.Commit(p)
+			done++
+		})
+	}
+	env.MustRun()
+	if done != n {
+		t.Fatalf("done=%d", done)
+	}
+	// All 16 arrive together: first takes flush 1; the other 15 need
+	// flush 2 (their data may have missed flush 1's log write). Total
+	// time ~ 2 syncs, NOT 16.
+	if d.Syncs > 3 {
+		t.Fatalf("syncs=%d, want <= 3 (group commit)", d.Syncs)
+	}
+	if env.Now() > 10*time.Millisecond {
+		t.Fatalf("end=%v, want ~6ms", env.Now())
+	}
+}
+
+func TestSequentialCommitsDontBatch(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	env.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d.Commit(p)
+		}
+	})
+	env.MustRun()
+	if d.Syncs != 3 {
+		t.Fatalf("syncs=%d, want 3", d.Syncs)
+	}
+	if env.Now() != 9*time.Millisecond {
+		t.Fatalf("end=%v, want 9ms", env.Now())
+	}
+}
+
+func TestCommitDurabilityOrdering(t *testing.T) {
+	// A committer arriving while a flush is in flight must wait for a
+	// *subsequent* flush, never return early.
+	env := sim.NewEnv(1)
+	d := New(env, "d0", testParams())
+	var first, second time.Duration
+	env.Spawn("a", func(p *sim.Proc) {
+		d.Commit(p)
+		first = p.Now()
+	})
+	env.SpawnAfter("b", time.Millisecond, func(p *sim.Proc) {
+		d.Commit(p) // arrives mid-flush of a
+		second = p.Now()
+	})
+	env.MustRun()
+	if first != 3*time.Millisecond {
+		t.Fatalf("first commit at %v, want 3ms", first)
+	}
+	if second != 6*time.Millisecond {
+		t.Fatalf("second commit at %v, want 6ms (next flush)", second)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cofs/internal/bench"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/stats"
+)
+
+// This file holds the parameter-sensitivity ablations for the design
+// choices DESIGN.md calls out: the 512-entry underlying directory cap
+// (section III-B), the packed-inode false-sharing mechanism the paper
+// blames for cross-node stat conflicts (section II-B), the network
+// round-trip dependence of both stacks, and the metadata service's
+// soft-real-time log flushing (section III-C).
+
+// AblationDirCap sweeps COFS's MaxEntriesPerDir on a create workload
+// large enough (2048 files/node) that the cap actually splits
+// directories. Randomization is disabled so every (node, pid) stream
+// has exactly one bucket and the cap is the only thing bounding
+// underlying directory size. Only create is swept: COFS serves stat,
+// utime and open from its metadata service without touching the
+// underlying file system, so they cannot depend on the cap by
+// construction. The paper fixed the cap at 512 to stay inside GPFS's
+// optimized region (Fig. 1 shows create leaving the fast region at
+// ~512): larger caps let the underlying directory outgrow the
+// create-delegation window and every create past it becomes a server
+// round trip, while tiny caps only add spill overhead.
+func AblationDirCap(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: underlying directory cap (4 nodes, 2048 files/node, no randomization) ==")
+	caps := []int{64, 128, 256, 512, 1024, 4096, 0} // 0 = unbounded
+	create := &stats.Series{Label: "create (ms)"}
+	spills := &stats.Series{Label: "bucket spills"}
+	for _, cap := range caps {
+		ms, sp := dirCapCreate(seed, cap)
+		x := float64(cap)
+		if cap == 0 {
+			x = 1 << 20 // render "unbounded" as a large x
+		}
+		create.Append(x, ms)
+		spills.Append(x, float64(sp))
+	}
+	fmt.Fprint(w, stats.Table("dir cap (0->inf)", create, spills))
+	fmt.Fprintln(w, "(x = 1048576 denotes an unbounded directory)")
+	fmt.Fprintln(w)
+}
+
+// dirCapCreate measures one dir-cap point: mean create latency and
+// total bucket spills (4 nodes, 2048 files/node). Placement is pinned
+// to one bucket per node so the cap is the only variable — the default
+// policy's hash collisions would add cross-node noise to the sweep.
+func dirCapCreate(seed int64, cap int) (ms float64, spills int64) {
+	cfg := params.Default()
+	cfg.COFS.MaxEntriesPerDir = cap
+	cfg.COFS.RandomSubdirs = 1
+	t, _, d := cofsTarget(seed, 4, cfg, core.NodeHashPlacement{Fanout: 64})
+	res := bench.Metarates(t, bench.MetaratesConfig{
+		Nodes: 4, ProcsPerNode: 1, FilesPerProc: 2048,
+		Dir: "/shared", Ops: []string{"create"},
+	})
+	for _, fs := range d.FSs {
+		spills += fs.Stats.BucketSpills
+	}
+	return res.MeanMs("create"), spills
+}
+
+// dirCapCreateMs is dirCapCreate without the spill count (tests).
+func dirCapCreateMs(seed int64, cap int) float64 {
+	ms, _ := dirCapCreate(seed, cap)
+	return ms
+}
+
+// AblationFalseSharing sweeps the GPFS-like stack's InodesPerBlock on
+// the parallel stat workload of Fig. 2 (4 nodes, few files per node —
+// the regime where the paper observes that *fewer* files mean *more*
+// conflicts). Packing has two opposing effects the paper describes in
+// one breath: a fetched block carries several entries' attributes
+// (bandwidth amortization, which is why the serial column *improves*
+// with packing) and cross-node accesses to entries that share a block
+// conflict (false sharing). The parallel/serial penalty ratio isolates
+// the second effect: with one inode per lock unit there is nothing to
+// falsely share and the ratio stays near 1, while realistic packing
+// makes the parallel case pay multi-fold. This demonstrates mechanism
+// (3) of DESIGN.md section 5 experimentally.
+func AblationFalseSharing(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: packed-inode false sharing (bare GPFS-like, 128 files/node) ==")
+	packs := []int{1, 4, 8, 16, 32, 64, 128}
+	serialS := &stats.Series{Label: "1-node stat (ms)"}
+	parS := &stats.Series{Label: "4-node stat (ms)"}
+	ratioS := &stats.Series{Label: "penalty ratio"}
+	for _, pack := range packs {
+		cfg := params.Default()
+		cfg.PFS.InodesPerBlock = pack
+		run := func(nodes int) float64 {
+			t, _ := gpfsTarget(seed, nodes, cfg)
+			res := bench.Metarates(t, bench.MetaratesConfig{
+				Nodes: nodes, ProcsPerNode: 1, FilesPerProc: 128,
+				Dir: "/shared", Ops: []string{"stat"},
+			})
+			return res.MeanMs("stat")
+		}
+		serial := run(1)
+		par := run(4)
+		serialS.Append(float64(pack), serial)
+		parS.Append(float64(pack), par)
+		ratioS.Append(float64(pack), par/serial)
+	}
+	fmt.Fprint(w, stats.Table("inodes per block", serialS, parS, ratioS))
+	fmt.Fprintln(w)
+}
+
+// AblationNetwork sweeps the per-hop network latency for both stacks on
+// the parallel create workload. GPFS's token ping-pong multiplies every
+// added microsecond across revoke/grant chains, while COFS pays a flat
+// two round trips (service + local create), so the gap widens with
+// latency — the effect that made the paper's 64-node hierarchical
+// (higher-latency) cluster *more* favourable to COFS, not less.
+func AblationNetwork(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: network hop latency vs create time (4 nodes, 512 files/node) ==")
+	hops := []time.Duration{25 * time.Microsecond, 55 * time.Microsecond, 110 * time.Microsecond, 220 * time.Microsecond}
+	g := &stats.Series{Label: "gpfs create (ms)"}
+	c := &stats.Series{Label: "cofs create (ms)"}
+	for _, hop := range hops {
+		cfg := params.Default()
+		cfg.Network.HopLatency = hop
+		gt, _ := gpfsTarget(seed, 4, cfg)
+		gres := bench.Metarates(gt, bench.MetaratesConfig{
+			Nodes: 4, ProcsPerNode: 1, FilesPerProc: 512,
+			Dir: "/shared", Ops: []string{"create"},
+		})
+		g.Append(float64(hop.Microseconds()), gres.MeanMs("create"))
+		ct, _, _ := cofsTarget(seed, 4, cfg, nil)
+		cres := bench.Metarates(ct, bench.MetaratesConfig{
+			Nodes: 4, ProcsPerNode: 1, FilesPerProc: 512,
+			Dir: "/shared", Ops: []string{"create"},
+		})
+		c.Append(float64(hop.Microseconds()), cres.MeanMs("create"))
+	}
+	fmt.Fprint(w, stats.Table("hop latency (us)", g, c))
+	fmt.Fprintln(w)
+}
+
+// AblationFlush sweeps the metadata service's log flush policy: 0 forces
+// the WAL to disk inside every commit (full durability, like running
+// Mnesia with sync transactions), larger intervals batch flushes in the
+// background (the soft-real-time trade the paper's prototype makes; a
+// crash loses at most one interval of commits — see examples/failover).
+func AblationFlush(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: service log flush policy vs create time (4 nodes, 512 files/node) ==")
+	fmt.Fprintf(w, "%-28s%14s\n", "flush policy", "create (ms)")
+	for _, iv := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		name := "sync (flush per commit)"
+		if iv > 0 {
+			name = fmt.Sprintf("async, %v interval", iv)
+		}
+		fmt.Fprintf(w, "%-28s%14.3f\n", name, flushCreateMs(seed, iv))
+	}
+	fmt.Fprintln(w)
+}
+
+// flushCreateMs measures one flush-policy point: mean create latency at
+// the given WAL flush interval (0 = force per commit).
+func flushCreateMs(seed int64, interval time.Duration) float64 {
+	cfg := params.Default()
+	cfg.COFS.LogFlushInterval = interval
+	t, _, _ := cofsTarget(seed, 4, cfg, nil)
+	res := bench.Metarates(t, bench.MetaratesConfig{
+		Nodes: 4, ProcsPerNode: 1, FilesPerProc: 512,
+		Dir: "/shared", Ops: []string{"create"},
+	})
+	return res.MeanMs("create")
+}
+
+// MDTestExp runs the mdtest-style tree benchmark (internal/bench) on
+// both stacks in the contended configuration: one shared tree, shifted
+// stats (rank r stats rank r+1's files, guaranteeing cross-node
+// attribute reads). It extends the paper's flat-shared-directory
+// evaluation to tree-shaped namespaces.
+func MDTestExp(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Extension: mdtest (shared tree, 4 nodes, depth 2 x branch 4, 256 files/rank, shifted stats) ==")
+	cfg := bench.MDTestConfig{
+		Nodes: 4, Depth: 2, Branch: 4, FilesPerRank: 256,
+		Shared: true, StatShift: true,
+	}
+	gt, _ := gpfsTarget(seed, 4, params.Default())
+	g := bench.MDTest(gt, cfg)
+	ct, _, _ := cofsTarget(seed, 4, params.Default(), nil)
+	c := bench.MDTest(ct, cfg)
+	fmt.Fprintf(w, "%-14s%16s%16s%14s\n", "phase", "gpfs ops/s", "cofs ops/s", "speedup")
+	for _, ph := range bench.MDTestPhases {
+		fmt.Fprintf(w, "%-14s%16.1f%16.1f%13.1fx\n", ph, g.Rate(ph), c.Rate(ph), c.Rate(ph)/g.Rate(ph))
+	}
+	fmt.Fprintln(w)
+}

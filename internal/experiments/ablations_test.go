@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAblationDriversSmoke runs every ablation/extension driver once and
+// checks it produces its table (drivers panic internally on any file
+// system error, so a completed run with output is a meaningful check).
+// Using a tiny seed keeps each driver deterministic.
+func TestAblationDriversSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(w *bytes.Buffer)
+		want string
+	}{
+		{"dircap", func(w *bytes.Buffer) { AblationDirCap(w, 1) }, "dir cap"},
+		{"falsesharing", func(w *bytes.Buffer) { AblationFalseSharing(w, 1) }, "penalty ratio"},
+		{"network", func(w *bytes.Buffer) { AblationNetwork(w, 1) }, "hop latency"},
+		{"flush", func(w *bytes.Buffer) { AblationFlush(w, 1) }, "sync (flush per commit)"},
+		{"mdtest", func(w *bytes.Buffer) { MDTestExp(w, 1) }, "file-stat"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() {
+				t.Skip("full-simulation driver")
+			}
+			var buf bytes.Buffer
+			tc.fn(&buf)
+			out := buf.String()
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestDirCapValidates512 pins the design-choice result behind the
+// paper's 512-entry cap: an unbounded underlying directory must be
+// measurably worse for parallel creates than the capped configuration.
+func TestDirCapValidates512(t *testing.T) {
+	capped := dirCapCreateMs(1, 512)
+	unbounded := dirCapCreateMs(1, 0)
+	if unbounded <= capped*1.5 {
+		t.Errorf("unbounded dir create %.3f ms not clearly worse than capped %.3f ms", unbounded, capped)
+	}
+}
+
+// TestFlushSyncCostsMore pins the soft-real-time trade: forcing the WAL
+// per commit must cost creates more than background flushing.
+func TestFlushSyncCostsMore(t *testing.T) {
+	sync := flushCreateMs(1, 0)
+	async := flushCreateMs(1, 100*time.Millisecond)
+	if sync <= async {
+		t.Errorf("sync commit create %.3f ms not more expensive than async %.3f ms", sync, async)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cofs/internal/bench"
+	"cofs/internal/params"
+)
+
+func TestSweepOpSmoke(t *testing.T) {
+	s := sweepOp(1, "create", []int{2}, []int{32})
+	g, ok := s["gpfs2"]
+	if !ok || len(g.Y) != 1 {
+		t.Fatalf("missing gpfs series: %+v", s)
+	}
+	c := s["cofs2"]
+	if c.Y[0] <= 0 || g.Y[0] <= 0 {
+		t.Fatalf("non-positive latencies: gpfs=%v cofs=%v", g.Y[0], c.Y[0])
+	}
+	if c.Y[0] >= g.Y[0] {
+		t.Fatalf("cofs %.2f not faster than gpfs %.2f", c.Y[0], g.Y[0])
+	}
+}
+
+func TestTargetsIndependent(t *testing.T) {
+	// Two testbeds from the same seed are identical; the helpers must
+	// not share state between calls.
+	a, _ := gpfsTarget(3, 2, params.Default())
+	b, _ := gpfsTarget(3, 2, params.Default())
+	ra := bench.Metarates(a, bench.MetaratesConfig{Nodes: 2, ProcsPerNode: 1, FilesPerProc: 16, Dir: "/d", Ops: []string{"stat"}})
+	rb := bench.Metarates(b, bench.MetaratesConfig{Nodes: 2, ProcsPerNode: 1, FilesPerProc: 16, Dir: "/d", Ops: []string{"stat"}})
+	if ra.MeanMs("stat") != rb.MeanMs("stat") {
+		t.Fatalf("same-seed runs differ: %v vs %v", ra.MeanMs("stat"), rb.MeanMs("stat"))
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if v := verdict(100, 100); v != "comparable" {
+		t.Fatalf("verdict(equal)=%q", v)
+	}
+	if v := verdict(100, 50); !strings.HasPrefix(v, "gpfs") {
+		t.Fatalf("verdict(gpfs wins)=%q", v)
+	}
+	if v := verdict(50, 100); !strings.HasPrefix(v, "cofs") {
+		t.Fatalf("verdict(cofs wins)=%q", v)
+	}
+	if v := verdict(0, 10); v != "n/a" {
+		t.Fatalf("verdict(zero)=%q", v)
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	if byteLabel(256<<20) != "256MB" || byteLabel(4<<30) != "4GB" {
+		t.Fatal("byteLabel wrong")
+	}
+}

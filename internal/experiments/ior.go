@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cofs/internal/bench"
+	"cofs/internal/params"
+)
+
+// table1Case is one cell family of Table I.
+type table1Case struct {
+	name   string
+	shared bool
+	random bool
+}
+
+// Table1 reproduces "Impact of COFS on data transfers, depending on use
+// pattern": IOR aggregate rates for GPFS vs COFS across access patterns,
+// file layouts, node counts and aggregate sizes, with the qualitative
+// verdicts the paper tabulates.
+func Table1(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Table I: IOR data-transfer rates, GPFS vs COFS over GPFS (MB/s) ==")
+	cases := []table1Case{
+		{name: "separate files", shared: false, random: false},
+		{name: "separate files (random)", shared: false, random: true},
+		{name: "single shared file", shared: true, random: false},
+		{name: "single shared file (random)", shared: true, random: true},
+	}
+	sizes := []int64{256 << 20, 1 << 30, 4 << 30}
+	nodes := []int{1, 4, 8}
+	for _, tc := range cases {
+		fmt.Fprintf(w, "\n-- %s --\n", tc.name)
+		fmt.Fprintf(w, "%-8s%-10s%12s%12s%12s%12s%14s\n",
+			"nodes", "aggr", "gpfs wr", "cofs wr", "gpfs rd", "cofs rd", "verdict(wr/rd)")
+		for _, n := range nodes {
+			for _, size := range sizes {
+				g := runIOR(seed, n, size, tc, false)
+				c := runIOR(seed, n, size, tc, true)
+				fmt.Fprintf(w, "%-8d%-10s%12.1f%12.1f%12.1f%12.1f%9s/%s\n",
+					n, byteLabel(size),
+					g.WriteMBps, c.WriteMBps, g.ReadMBps, c.ReadMBps,
+					verdict(g.WriteMBps, c.WriteMBps), verdict(g.ReadMBps, c.ReadMBps))
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nverdicts: 'comparable' within 15%, otherwise the faster stack and factor.")
+	fmt.Fprintln(w)
+}
+
+func runIOR(seed int64, nodes int, size int64, tc table1Case, useCOFS bool) *bench.IORResult {
+	cfg := bench.IORConfig{
+		Nodes:          nodes,
+		AggregateBytes: size,
+		TransferSize:   1 << 20,
+		Shared:         tc.shared,
+		Random:         tc.random,
+		Dir:            "/ior",
+		ReadBack:       true,
+	}
+	if useCOFS {
+		t, _, _ := cofsTarget(seed, nodes, params.Default(), nil)
+		return bench.IOR(t, cfg)
+	}
+	t, _ := gpfsTarget(seed, nodes, params.Default())
+	return bench.IOR(t, cfg)
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGB", n>>30)
+	default:
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+}
+
+func verdict(gpfs, cofs float64) string {
+	if gpfs <= 0 || cofs <= 0 {
+		return "n/a"
+	}
+	ratio := cofs / gpfs
+	switch {
+	case ratio > 1.15:
+		return fmt.Sprintf("cofs %.1fx", ratio)
+	case ratio < 1/1.15:
+		return fmt.Sprintf("gpfs %.1fx", 1/ratio)
+	default:
+		return "comparable"
+	}
+}

@@ -1,0 +1,135 @@
+// Package lru implements a small generic LRU cache with hit/miss
+// statistics, used for the simulated client and server buffer caches.
+package lru
+
+import "container/list"
+
+// Cache is a fixed-capacity least-recently-used cache. Not safe for
+// concurrent use; simulation code is single-threaded.
+type Cache[K comparable, V any] struct {
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+
+	Hits      int64
+	Misses    int64
+	Evictions int64
+
+	// OnEvict, if set, is called with each evicted key/value (e.g. to
+	// write back dirty blocks).
+	OnEvict func(K, V)
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding at most capacity entries (capacity >= 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		panic("lru: capacity must be >= 1")
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.Hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.Misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value without updating recency or statistics.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without side effects.
+func (c *Cache[K, V]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates key, marking it most recently used. It evicts the
+// least recently used entry if the cache is over capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = val
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// Remove deletes key if present, without calling OnEvict.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return c.ll.Len() }
+
+// Capacity returns the configured capacity.
+func (c *Cache[K, V]) Capacity() int { return c.capacity }
+
+// Clear drops every entry without calling OnEvict.
+func (c *Cache[K, V]) Clear() {
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Keys returns the cached keys from most to least recently used.
+func (c *Cache[K, V]) Keys() []K {
+	keys := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[K, V]).key)
+	}
+	return keys
+}
+
+func (c *Cache[K, V]) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*entry[K, V])
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.Evictions++
+	if c.OnEvict != nil {
+		c.OnEvict(ent.key, ent.val)
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (c *Cache[K, V]) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

@@ -1,0 +1,520 @@
+// Package mdb is the Mnesia-style soft-real-time table store backing the
+// COFS metadata service (paper, section III-C): named tables with
+// primary-key access and secondary indexes, serializable transactions,
+// dirty (lock-free) reads, and — for disc-copies tables — a write-ahead
+// log with group commit on the service node's local ext3-like disk, plus
+// crash recovery by log replay.
+//
+// The store is deliberately single-node (as deployed in the paper);
+// transactions serialize on one transaction mutex, which matches the
+// soft-real-time profile of small metadata queries, and all timing is
+// charged to the calling simulated process.
+package mdb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/disk"
+	"cofs/internal/sim"
+)
+
+// Storage selects a table's durability class, mirroring Mnesia's
+// ram_copies vs disc_copies.
+type Storage int
+
+// Storage classes.
+const (
+	RamCopies Storage = iota
+	DiscCopies
+)
+
+type walOp byte
+
+const (
+	walPut walOp = iota
+	walDelete
+)
+
+type walRec struct {
+	table string
+	op    walOp
+	key   any
+	val   any
+}
+
+type table interface {
+	name() string
+	storage() Storage
+	applyWAL(rec walRec)
+	clear()
+	rows() int
+	snapshotWAL() []walRec
+}
+
+// DB is a collection of tables sharing a transaction lock and a WAL.
+type DB struct {
+	env    *sim.Env
+	disk   *disk.Disk // nil: no durable tables allowed
+	opTime time.Duration
+	tables map[string]table
+
+	txMu *sim.Mutex
+
+	// wal is the durable log; walFlushed marks how much of it has been
+	// forced to disk (group commit can leave a committed-but-unflushed
+	// window only during a crash *inside* Commit, which the simulation
+	// does not model — Commit returns only after the force).
+	wal        []walRec
+	walFlushed int
+
+	// flushInterval > 0 selects Mnesia-style asynchronous log flushing:
+	// commits return immediately and a background dump forces the log
+	// every interval (transactions committed inside the window are lost
+	// by a crash — the soft-real-time trade the paper's prototype
+	// makes). flushInterval == 0 forces the log on every commit.
+	flushInterval  time.Duration
+	flushScheduled bool
+
+	// replicas receive committed WAL records (see replica.go).
+	replicas []*Replica
+
+	Commits      int64
+	Transactions int64
+	DirtyOps     int64
+	LogFlushes   int64
+}
+
+// New creates a database with synchronous (force-per-commit) logging.
+// d may be nil when only RamCopies tables are used; opTime is the CPU
+// charge per table operation.
+func New(env *sim.Env, d *disk.Disk, opTime time.Duration) *DB {
+	return &DB{
+		env:    env,
+		disk:   d,
+		opTime: opTime,
+		tables: make(map[string]table),
+		txMu:   sim.NewMutex(env, "mdb.tx"),
+	}
+}
+
+// NewAsync creates a database whose log is flushed in the background
+// every interval, mirroring Mnesia's batched disc_copies dumps.
+func NewAsync(env *sim.Env, d *disk.Disk, opTime, interval time.Duration) *DB {
+	db := New(env, d, opTime)
+	db.flushInterval = interval
+	return db
+}
+
+// maybeScheduleFlush arms one background flush when unflushed log
+// records exist. The flusher writes the tail sequentially, syncs, and
+// re-arms itself if more records arrived meanwhile.
+func (db *DB) maybeScheduleFlush() {
+	if db.flushScheduled || db.walFlushed == len(db.wal) {
+		return
+	}
+	db.flushScheduled = true
+	db.env.SpawnAfter("mdb.logflush", db.flushInterval, func(p *sim.Proc) {
+		target := len(db.wal)
+		db.LogFlushes++
+		db.disk.Write(p, 0, int64(target-db.walFlushed)*64)
+		db.disk.Sync(p)
+		db.walFlushed = target
+		db.flushScheduled = false
+		db.maybeScheduleFlush()
+	})
+}
+
+// Table is a typed table with a primary key and optional secondary
+// indexes.
+type Table[K comparable, V any] struct {
+	db      *DB
+	tblName string
+	class   Storage
+	data    map[K]V
+	indexes []*index[K, V]
+}
+
+type index[K comparable, V any] struct {
+	name    string
+	extract func(V) string
+	buckets map[string]map[K]struct{}
+}
+
+// NewTable registers a table with the database. Creating a DiscCopies
+// table on a DB without a disk panics.
+func NewTable[K comparable, V any](db *DB, name string, class Storage) *Table[K, V] {
+	if _, dup := db.tables[name]; dup {
+		panic("mdb: duplicate table " + name)
+	}
+	if class == DiscCopies && db.disk == nil {
+		panic("mdb: disc_copies table requires a disk")
+	}
+	t := &Table[K, V]{
+		db:      db,
+		tblName: name,
+		class:   class,
+		data:    make(map[K]V),
+	}
+	db.tables[name] = t
+	return t
+}
+
+// AddIndex registers a secondary index computed by extract. Must be
+// called before any rows are inserted.
+func (t *Table[K, V]) AddIndex(name string, extract func(V) string) {
+	if len(t.data) > 0 {
+		panic("mdb: AddIndex on non-empty table")
+	}
+	t.indexes = append(t.indexes, &index[K, V]{
+		name:    name,
+		extract: extract,
+		buckets: make(map[string]map[K]struct{}),
+	})
+}
+
+func (t *Table[K, V]) name() string     { return t.tblName }
+func (t *Table[K, V]) storage() Storage { return t.class }
+func (t *Table[K, V]) rows() int        { return len(t.data) }
+
+func (t *Table[K, V]) clear() {
+	t.data = make(map[K]V)
+	for _, ix := range t.indexes {
+		ix.buckets = make(map[string]map[K]struct{})
+	}
+}
+
+func (t *Table[K, V]) applyWAL(rec walRec) {
+	key := rec.key.(K)
+	switch rec.op {
+	case walPut:
+		t.put(key, rec.val.(V))
+	case walDelete:
+		t.del(key)
+	}
+}
+
+func (t *Table[K, V]) put(key K, val V) {
+	if old, ok := t.data[key]; ok {
+		for _, ix := range t.indexes {
+			ix.remove(key, old)
+		}
+	}
+	t.data[key] = val
+	for _, ix := range t.indexes {
+		ix.add(key, val)
+	}
+}
+
+func (t *Table[K, V]) del(key K) {
+	if old, ok := t.data[key]; ok {
+		for _, ix := range t.indexes {
+			ix.remove(key, old)
+		}
+		delete(t.data, key)
+	}
+}
+
+func (ix *index[K, V]) add(key K, val V) {
+	b := ix.extract(val)
+	if ix.buckets[b] == nil {
+		ix.buckets[b] = make(map[K]struct{})
+	}
+	ix.buckets[b][key] = struct{}{}
+}
+
+func (ix *index[K, V]) remove(key K, val V) {
+	b := ix.extract(val)
+	if m, ok := ix.buckets[b]; ok {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(ix.buckets, b)
+		}
+	}
+}
+
+// Tx is a transaction handle. Operations performed through it charge CPU
+// time and are logged for durable tables at commit.
+type Tx struct {
+	db      *DB
+	p       *sim.Proc
+	log     []walRec
+	durable bool
+	ops     int
+}
+
+// Transaction runs fn as a serializable transaction: table operations
+// are exclusive with other transactions; on return, mutations of
+// disc-copies tables are forced to the log (group commit). Mirrors
+// mnesia:transaction.
+func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
+	db.Transactions++
+	db.txMu.Lock(p)
+	tx := &Tx{db: db, p: p}
+	fn(tx)
+	// Apply the write set.
+	for _, rec := range tx.log {
+		db.tables[rec.table].applyWAL(rec)
+	}
+	db.wal = append(db.wal, tx.log...)
+	db.txMu.Unlock(p)
+	if tx.durable {
+		db.Commits++
+		if db.flushInterval > 0 {
+			db.maybeScheduleFlush()
+			db.notifyCommit()
+			return
+		}
+		db.disk.Commit(p)
+		db.walFlushed = len(db.wal)
+		db.notifyCommit()
+	}
+}
+
+func (tx *Tx) charge() {
+	tx.ops++
+	if tx.db.opTime > 0 {
+		tx.p.Sleep(tx.db.opTime)
+	}
+}
+
+// Get returns the row for key within a transaction.
+func Get[K comparable, V any](tx *Tx, t *Table[K, V], key K) (V, bool) {
+	tx.charge()
+	// Reads observe the transaction's own uncommitted writes.
+	for i := len(tx.log) - 1; i >= 0; i-- {
+		rec := tx.log[i]
+		if rec.table == t.tblName {
+			if k, ok := rec.key.(K); ok && k == key {
+				if rec.op == walDelete {
+					var zero V
+					return zero, false
+				}
+				return rec.val.(V), true
+			}
+		}
+	}
+	v, ok := t.data[key]
+	return v, ok
+}
+
+// Put writes a row within a transaction.
+func Put[K comparable, V any](tx *Tx, t *Table[K, V], key K, val V) {
+	tx.charge()
+	tx.log = append(tx.log, walRec{table: t.tblName, op: walPut, key: key, val: val})
+	if t.class == DiscCopies {
+		tx.durable = true
+	}
+}
+
+// Delete removes a row within a transaction.
+func Delete[K comparable, V any](tx *Tx, t *Table[K, V], key K) {
+	tx.charge()
+	tx.log = append(tx.log, walRec{table: t.tblName, op: walDelete, key: key})
+	if t.class == DiscCopies {
+		tx.durable = true
+	}
+}
+
+// IndexKeys returns the primary keys whose indexed value equals bucket,
+// in deterministic (sorted by formatted key) order.
+//
+// Unlike Get, IndexKeys reads the committed index only: a transaction's
+// own uncommitted Puts and Deletes are NOT reflected (they reach the
+// index at commit). Query the index before mutating related rows in the
+// same transaction.
+func IndexKeys[K comparable, V any](tx *Tx, t *Table[K, V], indexName, bucket string) []K {
+	tx.charge()
+	var ix *index[K, V]
+	for _, cand := range t.indexes {
+		if cand.name == indexName {
+			ix = cand
+			break
+		}
+	}
+	if ix == nil {
+		panic(fmt.Sprintf("mdb: table %s has no index %s", t.tblName, indexName))
+	}
+	keys := make([]K, 0, len(ix.buckets[bucket]))
+	for k := range ix.buckets[bucket] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	return keys
+}
+
+// Select returns all values matching pred, in deterministic order.
+func Select[K comparable, V any](tx *Tx, t *Table[K, V], pred func(K, V) bool) []V {
+	tx.charge()
+	keys := make([]K, 0, len(t.data))
+	for k := range t.data {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	var out []V
+	for _, k := range keys {
+		if pred(k, t.data[k]) {
+			out = append(out, t.data[k])
+		}
+	}
+	return out
+}
+
+// DirtyGet reads without transaction isolation (mnesia:dirty_read).
+func DirtyGet[K comparable, V any](p *sim.Proc, t *Table[K, V], key K) (V, bool) {
+	t.db.DirtyOps++
+	if t.db.opTime > 0 {
+		p.Sleep(t.db.opTime)
+	}
+	v, ok := t.data[key]
+	return v, ok
+}
+
+// Len returns the number of rows in the table.
+func (t *Table[K, V]) Len() int { return len(t.data) }
+
+// Crash simulates a service-node crash: every table loses its in-memory
+// contents. Durable state survives in the flushed WAL. Attached replicas
+// are forced to resynchronize — the truncated WAL invalidates their
+// shipped offsets, and a standby must converge to the state the primary
+// can actually recover, not to the pre-crash tail it may have seen.
+func (db *DB) Crash() {
+	for _, t := range db.tables {
+		t.clear()
+	}
+	db.wal = db.wal[:db.walFlushed]
+	for _, r := range db.replicas {
+		r.resync = true
+		r.pump()
+	}
+}
+
+// Recover replays the flushed WAL into disc-copies tables, charging the
+// log read to the calling process. Ram-copies tables stay empty (as with
+// Mnesia after a restart).
+func (db *DB) Recover(p *sim.Proc) {
+	if db.disk != nil {
+		// One sequential log scan: position once, then stream.
+		db.disk.Read(p, 0, int64(len(db.wal))*64)
+	}
+	for _, rec := range db.wal {
+		t := db.tables[rec.table]
+		if t.storage() == DiscCopies {
+			t.applyWAL(rec)
+		}
+	}
+}
+
+// Checkpoint dumps disc-copies tables and truncates the WAL, charging a
+// table scan write to the calling process.
+func (db *DB) Checkpoint(p *sim.Proc) {
+	var rows int64
+	for _, t := range db.tables {
+		if t.storage() == DiscCopies {
+			rows += int64(t.rows())
+		}
+	}
+	if db.disk != nil {
+		db.disk.Write(p, 1, rows*64)
+		db.disk.Sync(p)
+	}
+	// Rebuild the WAL as a snapshot prefix: replaying it must still
+	// reconstruct the tables, so dump every durable row. Tables are
+	// visited in name order for determinism.
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var snapshot []walRec
+	for _, name := range names {
+		t := db.tables[name]
+		if t.storage() != DiscCopies {
+			continue
+		}
+		snapshot = append(snapshot, t.snapshotWAL()...)
+	}
+	db.wal = snapshot
+	db.walFlushed = len(db.wal)
+	db.notifyCheckpoint()
+}
+
+// snapshotWAL emits put records reconstructing the table.
+func (t *Table[K, V]) snapshotWAL() []walRec {
+	keys := make([]K, 0, len(t.data))
+	for k := range t.data {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	out := make([]walRec, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, walRec{table: t.tblName, op: walPut, key: k, val: t.data[k]})
+	}
+	return out
+}
+
+// WALLen reports the current log length (for tests and cofsctl).
+func (db *DB) WALLen() int { return len(db.wal) }
+
+// KV pairs a key with its value for SelectKeys results.
+type KV[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// SelectKeys returns matching key/value pairs in deterministic order.
+func SelectKeys[K comparable, V any](tx *Tx, t *Table[K, V], pred func(K, V) bool) []KV[K, V] {
+	tx.charge()
+	keys := make([]K, 0, len(t.data))
+	for k := range t.data {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	var out []KV[K, V]
+	for _, k := range keys {
+		if pred(k, t.data[k]) {
+			out = append(out, KV[K, V]{Key: k, Val: t.data[k]})
+		}
+	}
+	return out
+}
+
+// Bootstrap inserts a row directly, bypassing transactions and timing;
+// it is for initial state only (e.g. the root directory) and also seeds
+// the WAL so recovery reproduces it.
+func (t *Table[K, V]) Bootstrap(key K, val V) {
+	t.put(key, val)
+	rec := walRec{table: t.tblName, op: walPut, key: key, val: val}
+	t.db.wal = append(t.db.wal, rec)
+	t.db.walFlushed = len(t.db.wal)
+}
+
+// Peek reads a row without timing charges (inspection/invariant checks).
+func (t *Table[K, V]) Peek(key K) (V, bool) {
+	v, ok := t.data[key]
+	return v, ok
+}
+
+// Each visits every row in deterministic (formatted-key) order, without
+// timing charges. For tests and tooling.
+func (t *Table[K, V]) Each(fn func(K, V)) {
+	keys := make([]K, 0, len(t.data))
+	for k := range t.data {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	for _, k := range keys {
+		fn(k, t.data[k])
+	}
+}

@@ -1,0 +1,132 @@
+package mdb
+
+import (
+	"time"
+
+	"cofs/internal/sim"
+)
+
+// Replica ships committed WAL records from a primary DB to a standby DB,
+// mirroring Mnesia's multi-node table copies (the paper chose Mnesia for
+// its "support for transactions and fault tolerance mechanisms", section
+// III-C; the measured prototype ran a single service node, so
+// replication is an extension — see DESIGN.md).
+//
+// Shipping is asynchronous: after every commit a ship is scheduled delay
+// later (batching whatever accumulated), so the standby trails the
+// primary by at most one delay window under load. A primary crash loses
+// the unshipped tail on the standby exactly as the flush window loses
+// the unflushed tail on the local disk.
+type Replica struct {
+	env   *sim.Env
+	src   *DB
+	dst   *DB
+	delay time.Duration
+
+	shipped  int  // src.wal records applied to dst
+	inflight bool // a ship is scheduled
+	resync   bool // primary checkpointed: dst must be rebuilt
+	stopped  bool
+
+	// Ships counts shipping rounds; Records counts records shipped.
+	Ships   int64
+	Records int64
+}
+
+// Replicate attaches a standby to a primary. The standby must declare
+// the same table names (typically by constructing the same schema); its
+// existing contents are overwritten as records arrive. delay models the
+// network + apply latency of one shipping round.
+func Replicate(env *sim.Env, src, dst *DB, delay time.Duration) *Replica {
+	r := &Replica{env: env, src: src, dst: dst, delay: delay}
+	src.replicas = append(src.replicas, r)
+	// Records already in the primary's WAL (bootstrap rows) ship on the
+	// first commit; nothing to do eagerly.
+	r.pump()
+	return r
+}
+
+// Stop detaches the replica: no further records ship. Call before
+// promoting the standby.
+func (r *Replica) Stop() { r.stopped = true }
+
+// Lag reports how many WAL records the standby is behind.
+func (r *Replica) Lag() int {
+	if n := len(r.src.wal) - r.shipped; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// pump schedules one shipping round if needed.
+func (r *Replica) pump() {
+	if r.stopped || r.inflight {
+		return
+	}
+	if !r.resync && r.shipped >= len(r.src.wal) {
+		return
+	}
+	r.inflight = true
+	r.env.SpawnAfter("mdb.replica", r.delay, func(p *sim.Proc) {
+		r.inflight = false
+		if r.stopped {
+			return
+		}
+		r.ship(p)
+		r.pump()
+	})
+}
+
+// ship applies the pending WAL tail to the standby, charging the apply
+// cost to the shipping process.
+func (r *Replica) ship(p *sim.Proc) {
+	if r.resync {
+		// The primary checkpointed: its WAL was rewritten as a
+		// snapshot, so record offsets no longer line up. Rebuild the
+		// standby from scratch.
+		for _, t := range r.dst.tables {
+			t.clear()
+		}
+		r.dst.wal = nil
+		r.shipped = 0
+		r.resync = false
+	}
+	target := len(r.src.wal)
+	if r.shipped >= target {
+		return
+	}
+	batch := r.src.wal[r.shipped:target]
+	for _, rec := range batch {
+		if t, ok := r.dst.tables[rec.table]; ok {
+			t.applyWAL(rec)
+		}
+		if r.dst.opTime > 0 {
+			p.Sleep(r.dst.opTime / 4) // bulk apply is cheaper than queries
+		}
+	}
+	// The standby logs what it applied so its own recovery works.
+	r.dst.wal = append(r.dst.wal, batch...)
+	if r.dst.disk != nil {
+		r.dst.disk.Write(p, 0, int64(len(batch))*64)
+	}
+	r.dst.walFlushed = len(r.dst.wal)
+	r.shipped = target
+	r.Ships++
+	r.Records += int64(len(batch))
+}
+
+// notifyCommit is called by the primary after each transaction commit.
+func (db *DB) notifyCommit() {
+	for _, r := range db.replicas {
+		r.pump()
+	}
+}
+
+// notifyCheckpoint is called by the primary after Checkpoint rewrote the
+// WAL: replicas must resynchronize from the snapshot.
+func (db *DB) notifyCheckpoint() {
+	for _, r := range db.replicas {
+		r.resync = true
+		r.pump()
+	}
+}

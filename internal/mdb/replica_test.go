@@ -1,0 +1,213 @@
+package mdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/disk"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+// replPair builds a primary and standby DB with one shared-schema table
+// each, plus a replica shipping with the given delay.
+func replPair(t *testing.T, delay time.Duration) (*sim.Env, *DB, *DB, *Table[int, string], *Table[int, string], *Replica) {
+	t.Helper()
+	env := sim.NewEnv(42)
+	src := NewAsync(env, disk.New(env, "primary", params.Default().Disk), 0, 50*time.Millisecond)
+	dst := New(env, disk.New(env, "standby", params.Default().Disk), 0)
+	st := NewTable[int, string](src, "t", DiscCopies)
+	dt := NewTable[int, string](dst, "t", DiscCopies)
+	rep := Replicate(env, src, dst, delay)
+	return env, src, dst, st, dt, rep
+}
+
+func TestReplicaShipsCommittedRecords(t *testing.T) {
+	env, src, _, st, dt, rep := replPair(t, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			src.Transaction(p, func(tx *Tx) {
+				Put(tx, st, i, fmt.Sprintf("v%d", i))
+			})
+		}
+	})
+	env.MustRun()
+	if rep.Lag() != 0 {
+		t.Fatalf("lag = %d after drain, want 0", rep.Lag())
+	}
+	for i := 0; i < 100; i++ {
+		got, ok := dt.Peek(i)
+		if !ok || got != fmt.Sprintf("v%d", i) {
+			t.Fatalf("standby row %d = (%q, %v)", i, got, ok)
+		}
+	}
+	if rep.Records < 100 {
+		t.Errorf("shipped %d records, want >= 100", rep.Records)
+	}
+	if rep.Ships >= rep.Records {
+		t.Errorf("shipping did not batch: %d ships for %d records", rep.Ships, rep.Records)
+	}
+}
+
+func TestReplicaShipsDeletes(t *testing.T) {
+	env, src, _, st, dt, _ := replPair(t, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		src.Transaction(p, func(tx *Tx) {
+			Put(tx, st, 1, "a")
+			Put(tx, st, 2, "b")
+		})
+		src.Transaction(p, func(tx *Tx) {
+			Delete(tx, st, 1)
+		})
+	})
+	env.MustRun()
+	if _, ok := dt.Peek(1); ok {
+		t.Error("deleted row survived on standby")
+	}
+	if v, ok := dt.Peek(2); !ok || v != "b" {
+		t.Errorf("row 2 = (%q, %v), want (b, true)", v, ok)
+	}
+}
+
+func TestReplicaLagWindowLosesTail(t *testing.T) {
+	// With a large shipping delay, records committed just before the
+	// crash are not on the standby: the replication analogue of the
+	// soft-real-time flush window.
+	env, src, _, st, dt, rep := replPair(t, 10*time.Second)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			src.Transaction(p, func(tx *Tx) {
+				Put(tx, st, i, "x")
+			})
+		}
+		// Crash before the first ship fires.
+		if rep.Lag() == 0 {
+			t.Error("expected non-zero lag before first ship")
+		}
+		rep.Stop()
+		src.Crash()
+	})
+	env.MustRun()
+	if n := dt.Len(); n != 0 {
+		t.Errorf("standby has %d rows, want 0 (nothing shipped)", n)
+	}
+}
+
+func TestReplicaResyncAfterCheckpoint(t *testing.T) {
+	env, src, _, st, dt, rep := replPair(t, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			src.Transaction(p, func(tx *Tx) {
+				Put(tx, st, i, "v")
+			})
+		}
+		src.Transaction(p, func(tx *Tx) {
+			Delete(tx, st, 7)
+		})
+		// Checkpoint rewrites the WAL as a snapshot; the replica must
+		// resynchronize, including the delete of row 7.
+		src.Checkpoint(p)
+		src.Transaction(p, func(tx *Tx) {
+			Put(tx, st, 100, "post-checkpoint")
+		})
+	})
+	env.MustRun()
+	if rep.Lag() != 0 {
+		t.Fatalf("lag = %d, want 0", rep.Lag())
+	}
+	if _, ok := dt.Peek(7); ok {
+		t.Error("row deleted before checkpoint reappeared on standby")
+	}
+	if v, ok := dt.Peek(100); !ok || v != "post-checkpoint" {
+		t.Errorf("post-checkpoint row = (%q, %v)", v, ok)
+	}
+	if dt.Len() != 20 {
+		t.Errorf("standby rows = %d, want 20", dt.Len())
+	}
+}
+
+func TestReplicaStandbyRecoversFromOwnLog(t *testing.T) {
+	// The standby journals what it applies: after a standby restart,
+	// its own WAL replay reconstructs the shipped state.
+	env, src, dst, st, dt, _ := replPair(t, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			src.Transaction(p, func(tx *Tx) {
+				Put(tx, st, i, "v")
+			})
+		}
+	})
+	env.MustRun()
+	if dt.Len() != 30 {
+		t.Fatalf("standby rows before crash = %d, want 30", dt.Len())
+	}
+	dst.Crash()
+	if dt.Len() != 0 {
+		t.Fatal("crash must clear standby tables")
+	}
+	env.Spawn("recover", func(p *sim.Proc) { dst.Recover(p) })
+	env.MustRun()
+	if dt.Len() != 30 {
+		t.Errorf("standby rows after recovery = %d, want 30", dt.Len())
+	}
+}
+
+func TestReplicaStopHaltsShipping(t *testing.T) {
+	env, src, _, st, dt, rep := replPair(t, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 1, "a") })
+	})
+	env.MustRun()
+	rep.Stop()
+	env.Spawn("writer2", func(p *sim.Proc) {
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 2, "b") })
+	})
+	env.MustRun()
+	if _, ok := dt.Peek(2); ok {
+		t.Error("record shipped after Stop")
+	}
+	if _, ok := dt.Peek(1); !ok {
+		t.Error("record shipped before Stop missing")
+	}
+}
+
+func TestReplicaResyncAfterPrimaryCrash(t *testing.T) {
+	// A primary crash truncates the WAL, invalidating the replica's
+	// shipped offset. The replica must rebuild to the primary's
+	// recoverable state: rows the standby saw but the primary lost in
+	// the flush window must disappear, and records committed after
+	// recovery must ship.
+	env := sim.NewEnv(7)
+	src := NewAsync(env, disk.New(env, "primary", params.Default().Disk), 0, time.Second)
+	dst := New(env, disk.New(env, "standby", params.Default().Disk), 0)
+	st := NewTable[int, string](src, "t", DiscCopies)
+	dt := NewTable[int, string](dst, "t", DiscCopies)
+	Replicate(env, src, dst, time.Millisecond)
+
+	env.Spawn("writer", func(p *sim.Proc) {
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 1, "flushed") })
+		p.Sleep(2 * time.Second) // the async flusher covers row 1
+		// Row 2 ships to the standby (1 ms) but the crash strikes
+		// before the next 1 s log flush: the primary loses it.
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 2, "window") })
+		p.Sleep(10 * time.Millisecond)
+		if _, ok := dt.Peek(2); !ok {
+			t.Error("standby should have seen the window row before the crash")
+		}
+		src.Crash()
+		src.Recover(p)
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 3, "post") })
+	})
+	env.MustRun()
+
+	if _, ok := dt.Peek(2); ok {
+		t.Error("window row survived on standby after resync (diverges from primary)")
+	}
+	if v, ok := dt.Peek(1); !ok || v != "flushed" {
+		t.Errorf("flushed row = (%q, %v), want (flushed, true)", v, ok)
+	}
+	if v, ok := dt.Peek(3); !ok || v != "post" {
+		t.Errorf("post-recovery row = (%q, %v), want (post, true)", v, ok)
+	}
+}

@@ -1,0 +1,211 @@
+// Package netsim models the cluster interconnect: hosts with NICs,
+// switches, shared uplinks, and a synchronous RPC primitive. Two
+// topologies mirror the paper's testbeds: a flat blade center with
+// external file servers (sections II-A, IV) and the hierarchical 64-node
+// extension of Fig. 6, where some blades cross several switches to reach
+// the servers.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+// Link is a shared, bidirectional network segment (a NIC or a trunk).
+// Transfers serialize on the link resource for their transmission time.
+type Link struct {
+	ID        int
+	Name      string
+	Bandwidth float64 // bytes per second
+	res       *sim.Resource
+}
+
+// Host is a machine on the network: compute node, file server or the COFS
+// metadata service node.
+type Host struct {
+	ID   int
+	Name string
+	// CPU models the host's processors (capacity = cores); RPC handlers
+	// and local work acquire it.
+	CPU *sim.Resource
+	nic *Link
+	// switchID is the blade-center switch this host hangs off.
+	switchID int
+}
+
+// Net is the interconnect: hosts, links and routes.
+type Net struct {
+	env   *sim.Env
+	p     params.NetworkParams
+	hosts []*Host
+	links []*Link
+	// uplinks[a][b] is the trunk chain between switch a and switch b
+	// (nil or empty when directly connected / same switch).
+	uplinks map[[2]int][]*Link
+
+	Messages int64
+	Bytes    int64
+}
+
+// New creates an empty network.
+func New(env *sim.Env, p params.NetworkParams) *Net {
+	return &Net{env: env, p: p, uplinks: make(map[[2]int][]*Link)}
+}
+
+// Env returns the simulation environment.
+func (n *Net) Env() *sim.Env { return n.env }
+
+// Params returns the network parameters.
+func (n *Net) Params() params.NetworkParams { return n.p }
+
+func (n *Net) newLink(name string, bw float64) *Link {
+	l := &Link{ID: len(n.links), Name: name, Bandwidth: bw, res: sim.NewResource(n.env, "link:"+name, 1)}
+	n.links = append(n.links, l)
+	return l
+}
+
+// AddHost creates a host with cores CPUs attached to the given switch.
+func (n *Net) AddHost(name string, cores, switchID int) *Host {
+	h := &Host{
+		ID:       len(n.hosts),
+		Name:     name,
+		CPU:      sim.NewResource(n.env, "cpu:"+name, cores),
+		nic:      n.newLink("nic:"+name, n.p.EdgeBandwidth),
+		switchID: switchID,
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Connect installs a chain of hops trunk links between two switches. Hops
+// is the number of intermediate links (each adds latency and shares
+// uplink bandwidth).
+func (n *Net) Connect(switchA, switchB, hops int) {
+	if switchA == switchB {
+		return
+	}
+	key := switchKey(switchA, switchB)
+	var chain []*Link
+	for i := 0; i < hops; i++ {
+		chain = append(chain, n.newLink(fmt.Sprintf("trunk:%d-%d.%d", switchA, switchB, i), n.p.UplinkBandwidth))
+	}
+	n.uplinks[key] = chain
+}
+
+func switchKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// route returns the shared links a transfer from a to b must cross, plus
+// the hop count for latency.
+func (n *Net) route(a, b *Host) (links []*Link, hops int) {
+	if a == b {
+		return nil, 0
+	}
+	links = []*Link{a.nic, b.nic}
+	hops = 2 // host->switch, switch->host
+	if a.switchID != b.switchID {
+		chain, ok := n.uplinks[switchKey(a.switchID, b.switchID)]
+		if !ok {
+			panic(fmt.Sprintf("netsim: no route between switch %d and %d", a.switchID, b.switchID))
+		}
+		links = append(links, chain...)
+		hops += len(chain)
+	}
+	return links, hops
+}
+
+// Transfer moves bytes from a to b, charging propagation latency per hop
+// and serialization on every shared link along the route. Links are held
+// concurrently for the duration of the bottleneck transmission,
+// approximating a pipelined (cut-through) transfer; acquisition follows a
+// global order to stay deadlock-free.
+func (n *Net) Transfer(p *sim.Proc, a, b *Host, bytes int64) {
+	n.Messages++
+	n.Bytes += bytes
+	if a == b {
+		// Loopback: no network involvement.
+		return
+	}
+	links, hops := n.route(a, b)
+	size := bytes + n.p.RPCOverheadBytes
+	minBW := links[0].Bandwidth
+	for _, l := range links {
+		if l.Bandwidth < minBW {
+			minBW = l.Bandwidth
+		}
+	}
+	tx := time.Duration(float64(size) / minBW * float64(time.Second))
+
+	ordered := make([]*Link, len(links))
+	copy(ordered, links)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, l := range ordered {
+		l.res.Acquire(p)
+	}
+	// Links are occupied for the serialization time only; propagation
+	// and switching latency is charged after they are released, so a
+	// small message does not block a NIC for its wire latency.
+	p.Sleep(tx)
+	for i := len(ordered) - 1; i >= 0; i-- {
+		ordered[i].res.Release(p)
+	}
+	p.Sleep(time.Duration(hops) * n.p.HopLatency)
+}
+
+// Call performs a synchronous RPC from client to server: request
+// transfer, handler execution on one of the server's CPUs, response
+// transfer. The handler runs in the caller's process but is charged to
+// (and queues on) the server's CPU resource. It returns the handler's
+// result.
+func Call[T any](p *sim.Proc, n *Net, client, server *Host, reqBytes, respBytes int64, handler func(p *sim.Proc) T) T {
+	n.Transfer(p, client, server, reqBytes)
+	server.CPU.Acquire(p)
+	res := handler(p)
+	server.CPU.Release(p)
+	n.Transfer(p, server, client, respBytes)
+	return res
+}
+
+// CallDyn is Call with the response size computed from the handler's
+// result — for responses whose payload depends on served data, such as
+// directory listings.
+func CallDyn[T any](p *sim.Proc, n *Net, client, server *Host, reqBytes int64, handler func(p *sim.Proc) T, respBytes func(T) int64) T {
+	n.Transfer(p, client, server, reqBytes)
+	server.CPU.Acquire(p)
+	res := handler(p)
+	server.CPU.Release(p)
+	n.Transfer(p, server, client, respBytes(res))
+	return res
+}
+
+// OneWay sends a message and charges handler time on the destination CPU
+// without a response transfer (used for asynchronous notifications).
+func OneWay(p *sim.Proc, n *Net, from, to *Host, bytes int64, handler func(p *sim.Proc)) {
+	n.Transfer(p, from, to, bytes)
+	to.CPU.Acquire(p)
+	handler(p)
+	to.CPU.Release(p)
+}
+
+// RTT returns the baseline round-trip latency between two hosts for an
+// empty payload, useful for tests and sanity checks.
+func (n *Net) RTT(a, b *Host) time.Duration {
+	if a == b {
+		return 0
+	}
+	_, hops := n.route(a, b)
+	oneWay := time.Duration(hops)*n.p.HopLatency +
+		time.Duration(float64(n.p.RPCOverheadBytes)/n.p.EdgeBandwidth*float64(time.Second))
+	return 2 * oneWay
+}
+
+// Hosts returns all hosts in creation order.
+func (n *Net) Hosts() []*Host { return n.hosts }

@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+func testNet(env *sim.Env) *Net {
+	p := params.NetworkParams{
+		HopLatency:       50 * time.Microsecond,
+		EdgeBandwidth:    100e6,
+		UplinkBandwidth:  100e6,
+		RPCOverheadBytes: 0,
+	}
+	return New(env, p)
+}
+
+func TestTransferLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 0)
+	var took time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, a, b, 0)
+		took = p.Now() - start
+	})
+	env.MustRun()
+	if took != 100*time.Microsecond { // 2 hops * 50us
+		t.Fatalf("latency %v, want 100us", took)
+	}
+}
+
+func TestTransferBandwidth(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 0)
+	var took time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, a, b, 100<<20) // 100 MB at 100 MB/s
+		took = p.Now() - start
+	})
+	env.MustRun()
+	want := time.Duration(float64(100<<20) / 100e6 * float64(time.Second))
+	if took < want || took > want+time.Millisecond {
+		t.Fatalf("transfer %v, want ~%v", took, want)
+	}
+}
+
+func TestLoopbackIsFree(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	env.Spawn("x", func(p *sim.Proc) {
+		n.Transfer(p, a, a, 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("loopback took %v", p.Now())
+		}
+	})
+	env.MustRun()
+}
+
+func TestNICContention(t *testing.T) {
+	// Two clients sending to one server serialize on the server NIC.
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	srv := n.AddHost("srv", 2, 0)
+	c1 := n.AddHost("c1", 2, 0)
+	c2 := n.AddHost("c2", 2, 0)
+	for _, c := range []*Host{c1, c2} {
+		client := c
+		env.Spawn("send", func(p *sim.Proc) {
+			n.Transfer(p, client, srv, 50<<20) // 0.5 s each
+		})
+	}
+	env.MustRun()
+	// Serialized: ~1.05s; parallel would be ~0.53s.
+	if env.Now() < time.Second {
+		t.Fatalf("end=%v, want >= 1s (NIC serialization)", env.Now())
+	}
+}
+
+func TestHierarchicalRouteLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 3)
+	n.Connect(0, 3, 2) // two trunk hops between the switches
+	var flatRTT, farRTT time.Duration
+	c := n.AddHost("c", 2, 0)
+	env.Spawn("x", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, a, c, 0)
+		flatRTT = p.Now() - start
+		start = p.Now()
+		n.Transfer(p, a, b, 0)
+		farRTT = p.Now() - start
+	})
+	env.MustRun()
+	if farRTT <= flatRTT {
+		t.Fatalf("cross-switch %v should exceed same-switch %v", farRTT, flatRTT)
+	}
+	if farRTT != 200*time.Microsecond { // 4 hops
+		t.Fatalf("cross-switch latency %v, want 200us", farRTT)
+	}
+}
+
+func TestMissingRoutePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 9)
+	panicked := false
+	env.Spawn("x", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		n.Transfer(p, a, b, 0)
+	})
+	env.MustRun()
+	if !panicked {
+		t.Fatal("expected panic for missing route")
+	}
+}
+
+func TestCallChargesServerCPU(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	srv := n.AddHost("srv", 1, 0) // single CPU: handlers serialize
+	c1 := n.AddHost("c1", 2, 0)
+	c2 := n.AddHost("c2", 2, 0)
+	results := 0
+	for _, c := range []*Host{c1, c2} {
+		client := c
+		env.Spawn("rpc", func(p *sim.Proc) {
+			v := Call(p, n, client, srv, 128, 128, func(p *sim.Proc) int {
+				p.Sleep(10 * time.Millisecond)
+				return 7
+			})
+			if v != 7 {
+				t.Errorf("rpc result %d", v)
+			}
+			results++
+		})
+	}
+	env.MustRun()
+	if results != 2 {
+		t.Fatalf("results=%d", results)
+	}
+	// Handlers serialized on 1 CPU: >= 20ms total.
+	if env.Now() < 20*time.Millisecond {
+		t.Fatalf("end=%v, want >= 20ms", env.Now())
+	}
+}
+
+func TestRTTSymmetric(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 0)
+	if n.RTT(a, b) != n.RTT(b, a) {
+		t.Fatal("RTT not symmetric")
+	}
+	if n.RTT(a, a) != 0 {
+		t.Fatal("self RTT not zero")
+	}
+	if n.RTT(a, b) != 200*time.Microsecond {
+		t.Fatalf("RTT=%v, want 200us", n.RTT(a, b))
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 0)
+	env.Spawn("x", func(p *sim.Proc) {
+		n.Transfer(p, a, b, 1000)
+		n.Transfer(p, b, a, 500)
+	})
+	env.MustRun()
+	if n.Messages != 2 || n.Bytes != 1500 {
+		t.Fatalf("messages=%d bytes=%d", n.Messages, n.Bytes)
+	}
+}
+
+func TestDisjointPairsTransferInParallel(t *testing.T) {
+	// Transfers between disjoint host pairs share no links and must
+	// overlap fully in time.
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a1, b1 := n.AddHost("a1", 2, 0), n.AddHost("b1", 2, 0)
+	a2, b2 := n.AddHost("a2", 2, 0), n.AddHost("b2", 2, 0)
+	for _, pair := range [][2]*Host{{a1, b1}, {a2, b2}} {
+		src, dst := pair[0], pair[1]
+		env.Spawn("x", func(p *sim.Proc) { n.Transfer(p, src, dst, 100<<20) })
+	}
+	env.MustRun()
+	oneTransfer := time.Duration(float64(100<<20)/100e6*1e9) + 100*time.Microsecond
+	if env.Now() > oneTransfer+time.Millisecond {
+		t.Fatalf("disjoint transfers serialized: %v > %v", env.Now(), oneTransfer)
+	}
+}
+
+func TestPropagationDoesNotOccupyLink(t *testing.T) {
+	// Two small messages over the same link: serialization is a few
+	// microseconds, so both must complete in ~one propagation delay,
+	// not two.
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 0)
+	for i := 0; i < 2; i++ {
+		env.Spawn("msg", func(p *sim.Proc) { n.Transfer(p, a, b, 64) })
+	}
+	env.MustRun()
+	if env.Now() > 150*time.Microsecond {
+		t.Fatalf("small messages serialized on propagation: %v", env.Now())
+	}
+}
+
+// TestCallDynChargesResponseBySize: a CallDyn whose computed response is
+// large must take longer than one whose response is small, with the
+// handler work identical.
+func TestCallDynChargesResponseBySize(t *testing.T) {
+	elapsed := func(respBytes int64) time.Duration {
+		env := sim.NewEnv(1)
+		net := New(env, params.Default().Network)
+		a := net.AddHost("a", 2, 0)
+		b := net.AddHost("b", 2, 0)
+		var d time.Duration
+		env.Spawn("call", func(p *sim.Proc) {
+			start := p.Now()
+			CallDyn(p, net, a, b, 64, func(p *sim.Proc) int64 {
+				return respBytes
+			}, func(n int64) int64 { return n })
+			d = p.Now() - start
+		})
+		env.MustRun()
+		return d
+	}
+	small := elapsed(128)
+	big := elapsed(4 << 20)
+	if big <= small {
+		t.Fatalf("4MB response (%v) not slower than 128B (%v)", big, small)
+	}
+	// The difference must be roughly the serialization time of 4 MB at
+	// edge bandwidth.
+	want := time.Duration(float64(4<<20) / params.Default().Network.EdgeBandwidth * float64(time.Second))
+	got := big - small
+	if got < want/2 || got > want*2 {
+		t.Errorf("payload cost %v, want within 2x of %v", got, want)
+	}
+}

@@ -1,0 +1,601 @@
+package pfs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+	"cofs/internal/vfs"
+)
+
+var ctx = cluster.Ctx(0, 1)
+
+// single spins up a 1-node testbed and runs fn on node 0.
+func single(t *testing.T, fn func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount)) *cluster.Testbed {
+	t.Helper()
+	tb := cluster.New(1, 1, params.Default())
+	tb.Env.Spawn("test", func(p *sim.Proc) { fn(tb, p, tb.Mounts[0]) })
+	if err := tb.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestCreateStatRoundtrip(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		f, err := m.Create(p, ctx, "/a", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close(p)
+		attr, err := m.Stat(p, ctx, "/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Type != vfs.TypeRegular || attr.Mode != 0644 || attr.UID != 1000 {
+			t.Fatalf("attr=%+v", attr)
+		}
+		if _, err := m.Stat(p, ctx, "/missing"); err != vfs.ErrNotExist {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestCreateExistsFails(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		f, err := m.Create(p, ctx, "/dup", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, 0, 100)
+		f.Close(p)
+		// Mount.Create retries as open+trunc on ErrExist (POSIX
+		// O_CREAT): the file must end up truncated, not duplicated.
+		g, err := m.Create(p, ctx, "/dup", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Close(p)
+		attr, _ := m.Stat(p, ctx, "/dup")
+		if attr.Size != 0 {
+			t.Fatalf("size=%d, want truncated 0", attr.Size)
+		}
+	})
+}
+
+func TestMkdirTreeAndReaddir(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		if err := m.MkdirAll(p, ctx, "/x/y", 0755); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			f, err := m.Create(p, ctx, fmt.Sprintf("/x/y/f%d", i), 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Close(p)
+		}
+		ents, err := m.Readdir(p, ctx, "/x/y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 5 {
+			t.Fatalf("entries=%d", len(ents))
+		}
+		if ents[0].Name != "f0" || ents[4].Name != "f4" {
+			t.Fatalf("sorted order broken: %v", ents)
+		}
+	})
+}
+
+func TestUnlinkAndHardLink(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.Close(p)
+		if err := m.Link(p, ctx, "/f", "/g"); err != nil {
+			t.Fatal(err)
+		}
+		attr, _ := m.Stat(p, ctx, "/g")
+		if attr.Nlink != 2 {
+			t.Fatalf("nlink=%d", attr.Nlink)
+		}
+		if err := m.Unlink(p, ctx, "/f"); err != nil {
+			t.Fatal(err)
+		}
+		attr, err := m.Stat(p, ctx, "/g")
+		if err != nil || attr.Nlink != 1 {
+			t.Fatalf("attr=%+v err=%v", attr, err)
+		}
+		if err := m.Unlink(p, ctx, "/g"); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := m.StatFS(p, ctx)
+		if st.Files != 1 { // only root left
+			t.Fatalf("files=%d", st.Files)
+		}
+	})
+}
+
+func TestRenameAndSymlink(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		m.MkdirAll(p, ctx, "/a", 0755)
+		m.MkdirAll(p, ctx, "/b", 0755)
+		f, _ := m.Create(p, ctx, "/a/file", 0600)
+		f.Close(p)
+		if err := m.Rename(p, ctx, "/a/file", "/b/moved"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat(p, ctx, "/a/file"); err != vfs.ErrNotExist {
+			t.Fatal("source survived")
+		}
+		if _, err := m.Stat(p, ctx, "/b/moved"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Symlink(p, ctx, "/b/moved", "/lnk"); err != nil {
+			t.Fatal(err)
+		}
+		tgt, err := m.Readlink(p, ctx, "/lnk")
+		if err != nil || tgt != "/b/moved" {
+			t.Fatalf("readlink=%q err=%v", tgt, err)
+		}
+	})
+}
+
+func TestPermissionChecks(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		if err := m.Mkdir(p, ctx, "/locked", 0500); err != nil {
+			t.Fatal(err)
+		}
+		other := vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200}
+		if _, err := m.Create(p, other, "/locked/f", 0644); err != vfs.ErrPerm {
+			t.Fatalf("create in 0500 dir by other uid: %v", err)
+		}
+		// Owner with only r-x also cannot create.
+		if _, err := m.Create(p, ctx, "/locked/f", 0644); err != vfs.ErrPerm {
+			t.Fatalf("create in r-x dir by owner: %v", err)
+		}
+		f, _ := m.Create(p, ctx, "/private", 0600)
+		f.Close(p)
+		if _, err := m.Open(p, other, "/private", vfs.OpenRead); err != vfs.ErrPerm {
+			t.Fatalf("open 0600 by other: %v", err)
+		}
+		if _, err := m.Chmod(p, other, "/private", 0777); err != vfs.ErrPerm {
+			t.Fatalf("chmod by non-owner: %v", err)
+		}
+	})
+}
+
+func TestUtimeSetsTimes(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.Close(p)
+		before := p.Now()
+		p.Sleep(10 * time.Millisecond)
+		attr, err := m.Utime(p, ctx, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Mtime <= before {
+			t.Fatalf("mtime=%v not advanced past %v", attr.Mtime, before)
+		}
+	})
+}
+
+func TestDataReadWrite(t *testing.T) {
+	single(t, func(tb *cluster.Testbed, p *sim.Proc, m *vfs.Mount) {
+		f, _ := m.Create(p, ctx, "/data", 0644)
+		n, err := f.WriteAt(p, 0, 10<<20)
+		if err != nil || n != 10<<20 {
+			t.Fatalf("write=%d err=%v", n, err)
+		}
+		attr, _ := m.Stat(p, ctx, "/data")
+		if attr.Size != 10<<20 {
+			t.Fatalf("size=%d", attr.Size)
+		}
+		// Cached read (just written): memory speed.
+		start := p.Now()
+		f.ReadAt(p, 0, 10<<20)
+		cached := p.Now() - start
+		f.Close(p)
+		if cached > 50*time.Millisecond {
+			t.Fatalf("cached read took %v, want memory speed", cached)
+		}
+	})
+}
+
+func TestRemoteReadSlowerThanCached(t *testing.T) {
+	cfg := params.Default()
+	tb := cluster.New(1, 2, cfg)
+	var cached, remote time.Duration
+	tb.Env.Spawn("writer", func(p *sim.Proc) {
+		m0 := tb.Mounts[0]
+		f, err := m0.Create(p, cluster.Ctx(0, 1), "/big", 0644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteAt(p, 0, 32<<20)
+		f.Close(p)
+
+		start := p.Now()
+		g, _ := m0.Open(p, cluster.Ctx(0, 1), "/big", vfs.OpenRead)
+		g.ReadAt(p, 0, 32<<20)
+		g.Close(p)
+		cached = p.Now() - start
+
+		// Node 1 reads the same file: must fetch from servers.
+		m1 := tb.Mounts[1]
+		start = p.Now()
+		h, err := m1.Open(p, cluster.Ctx(1, 1), "/big", vfs.OpenRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.ReadAt(p, 0, 32<<20)
+		h.Close(p)
+		remote = p.Now() - start
+	})
+	tb.Run()
+	if remote < 5*cached {
+		t.Fatalf("remote read %v not much slower than cached %v", remote, cached)
+	}
+}
+
+// createFiles creates n files under dir from the given node, returning
+// the mean per-create latency.
+func createFiles(tb *cluster.Testbed, node, pid int, dir string, n int, tag string) *stats.Summary {
+	sum := &stats.Summary{}
+	tb.Env.Spawn(fmt.Sprintf("creator%d", node), func(p *sim.Proc) {
+		m := tb.Mounts[node]
+		cx := cluster.Ctx(node, pid)
+		for i := 0; i < n; i++ {
+			start := p.Now()
+			f, err := m.Create(p, cx, fmt.Sprintf("%s/%s-%06d", dir, tag, i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+			sum.Add(p.Now() - start)
+		}
+	})
+	return sum
+}
+
+func TestSingleNodeCreateFastInSmallDir(t *testing.T) {
+	cfg := params.Default()
+	tb := cluster.New(1, 1, cfg)
+	tb.Env.Spawn("setup", func(p *sim.Proc) {
+		if err := tb.Mounts[0].Mkdir(p, ctx, "/d", 0777); err != nil {
+			panic(err)
+		}
+	})
+	tb.Run()
+	before := tb.Clients[0].Stats.LocalCreates
+	sum := createFiles(tb, 0, 1, "/d", 400, "x")
+	tb.Run()
+	if got := sum.MeanMs(); got > 2.0 {
+		t.Fatalf("small-dir single-node create mean %.3fms, want < 2ms (delegated)", got)
+	}
+	if got := tb.Clients[0].Stats.LocalCreates - before; got != 400 {
+		t.Fatalf("local creates=%d, want 400", got)
+	}
+}
+
+func TestCreateSlowsBeyondDelegationLimit(t *testing.T) {
+	cfg := params.Default()
+	tb := cluster.New(1, 1, cfg)
+	tb.Env.Spawn("setup", func(p *sim.Proc) {
+		if err := tb.Mounts[0].Mkdir(p, ctx, "/d", 0777); err != nil {
+			panic(err)
+		}
+	})
+	tb.Run()
+	small := createFiles(tb, 0, 1, "/d", 500, "a")
+	tb.Run()
+	large := createFiles(tb, 0, 1, "/d", 500, "b") // entries 500..1000
+	tb.Run()
+	if small.MeanMs() >= large.MeanMs() {
+		t.Fatalf("create small=%.3fms large=%.3fms: no slowdown past delegation limit",
+			small.MeanMs(), large.MeanMs())
+	}
+	if large.MeanMs() < 1.5 {
+		t.Fatalf("past-limit create %.3fms suspiciously fast", large.MeanMs())
+	}
+}
+
+// statPhase has node 0 create files in dir, then each node stat its
+// rank-strided subset in parallel; returns per-node mean stat latencies.
+func statPhase(t *testing.T, nodes, filesTotal int) (perOp *stats.Summary, tb *cluster.Testbed) {
+	t.Helper()
+	cfg := params.Default()
+	tb = cluster.New(1, nodes, cfg)
+	tb.Env.Spawn("setup", func(p *sim.Proc) {
+		m := tb.Mounts[0]
+		if err := m.Mkdir(p, ctx, "/shared", 0777); err != nil {
+			panic(err)
+		}
+		for i := 0; i < filesTotal; i++ {
+			f, err := m.Create(p, ctx, fmt.Sprintf("/shared/f%06d", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+		}
+	})
+	tb.Run()
+	perOp = &stats.Summary{}
+	for n := 0; n < nodes; n++ {
+		node := n
+		tb.Env.Spawn(fmt.Sprintf("stat%d", node), func(p *sim.Proc) {
+			m := tb.Mounts[node]
+			cx := cluster.Ctx(node, 1)
+			for i := node; i < filesTotal; i += nodes {
+				start := p.Now()
+				if _, err := m.Stat(p, cx, fmt.Sprintf("/shared/f%06d", i)); err != nil {
+					panic(err)
+				}
+				perOp.Add(p.Now() - start)
+			}
+		})
+	}
+	tb.Run()
+	if err := tb.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return perOp, tb
+}
+
+func TestSingleNodeStatCliffAt1024(t *testing.T) {
+	fast, _ := statPhase(t, 1, 900)
+	slow, _ := statPhase(t, 1, 2600)
+	if fast.MeanMs() > 1.0 {
+		t.Fatalf("stat below maxFilesToCache: %.3fms, want sub-ms", fast.MeanMs())
+	}
+	if slow.MeanMs() < 4*fast.MeanMs() {
+		t.Fatalf("no cliff: %.3fms below vs %.3fms above cache capacity",
+			fast.MeanMs(), slow.MeanMs())
+	}
+}
+
+func TestParallelStatCostlierThanLocal(t *testing.T) {
+	local, _ := statPhase(t, 1, 512)
+	shared, _ := statPhase(t, 4, 2048) // 512 per node
+	if shared.MeanMs() < 3*local.MeanMs() {
+		t.Fatalf("parallel shared-dir stat %.3fms vs local %.3fms: false sharing missing",
+			shared.MeanMs(), local.MeanMs())
+	}
+}
+
+func TestParallelCreateScalesBadlyWithNodes(t *testing.T) {
+	perNodeCreate := func(nodes, files int) float64 {
+		cfg := params.Default()
+		tb := cluster.New(1, nodes, cfg)
+		tb.Env.Spawn("setup", func(p *sim.Proc) {
+			if err := tb.Mounts[0].Mkdir(p, ctx, "/shared", 0777); err != nil {
+				panic(err)
+			}
+		})
+		tb.Run()
+		sum := &stats.Summary{}
+		for n := 0; n < nodes; n++ {
+			node := n
+			tb.Env.Spawn(fmt.Sprintf("c%d", node), func(p *sim.Proc) {
+				m := tb.Mounts[node]
+				cx := cluster.Ctx(node, 1)
+				for i := 0; i < files; i++ {
+					start := p.Now()
+					f, err := m.Create(p, cx, fmt.Sprintf("/shared/n%d-%06d", node, i), 0644)
+					if err != nil {
+						panic(err)
+					}
+					f.Close(p)
+					sum.Add(p.Now() - start)
+				}
+			})
+		}
+		tb.Run()
+		if err := tb.FS.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return sum.MeanMs()
+	}
+	one := perNodeCreate(1, 256)
+	four := perNodeCreate(4, 256)
+	eight := perNodeCreate(8, 256)
+	if four < 5*one {
+		t.Fatalf("4-node shared create %.2fms vs single %.2fms: contention too cheap", four, one)
+	}
+	if eight <= four {
+		t.Fatalf("8-node create %.2fms not worse than 4-node %.2fms", eight, four)
+	}
+	t.Logf("create ms/op: 1n=%.2f 4n=%.2f 8n=%.2f", one, four, eight)
+}
+
+func TestSplitDirsAvoidContention(t *testing.T) {
+	// The COFS hypothesis at the pfs level: creates into per-node small
+	// directories are far cheaper than into one shared directory.
+	run := func(shared bool) float64 {
+		cfg := params.Default()
+		tb := cluster.New(1, 4, cfg)
+		tb.Env.Spawn("setup", func(p *sim.Proc) {
+			m := tb.Mounts[0]
+			if err := m.Mkdir(p, ctx, "/out", 0777); err != nil {
+				panic(err)
+			}
+			if !shared {
+				for n := 0; n < 4; n++ {
+					if err := m.Mkdir(p, ctx, fmt.Sprintf("/out/n%d", n), 0777); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		tb.Run()
+		sum := &stats.Summary{}
+		for n := 0; n < 4; n++ {
+			node := n
+			tb.Env.Spawn("creator", func(p *sim.Proc) {
+				m := tb.Mounts[node]
+				cx := cluster.Ctx(node, 1)
+				dir := "/out"
+				if !shared {
+					dir = fmt.Sprintf("/out/n%d", node)
+				}
+				for i := 0; i < 200; i++ {
+					start := p.Now()
+					f, err := m.Create(p, cx, fmt.Sprintf("%s/f%d-%d", dir, node, i), 0644)
+					if err != nil {
+						panic(err)
+					}
+					f.Close(p)
+					sum.Add(p.Now() - start)
+				}
+			})
+		}
+		tb.Run()
+		return sum.MeanMs()
+	}
+	sharedMs := run(true)
+	splitMs := run(false)
+	if sharedMs < 4*splitMs {
+		t.Fatalf("shared=%.2fms split=%.2fms: splitting should win big", sharedMs, splitMs)
+	}
+	t.Logf("shared=%.2fms split=%.2fms speedup=%.1fx", sharedMs, splitMs, sharedMs/splitMs)
+}
+
+func TestDeterminism(t *testing.T) {
+	elapsed := func() time.Duration {
+		tb := cluster.New(42, 4, params.Default())
+		tb.Env.Spawn("setup", func(p *sim.Proc) {
+			if err := tb.Mounts[0].Mkdir(p, ctx, "/d", 0777); err != nil {
+				panic(err)
+			}
+		})
+		tb.Run()
+		for n := 0; n < 4; n++ {
+			createFiles(tb, n, 1, "/d", 100, fmt.Sprintf("n%d", n))
+		}
+		tb.Run()
+		return tb.Env.Now()
+	}
+	a, b := elapsed(), elapsed()
+	if a != b {
+		t.Fatalf("same seed, different end times: %v vs %v", a, b)
+	}
+}
+
+func TestTokenInvariantsAfterMixedWorkload(t *testing.T) {
+	tb := cluster.New(7, 4, params.Default())
+	tb.Env.Spawn("setup", func(p *sim.Proc) {
+		if err := tb.Mounts[0].Mkdir(p, ctx, "/mix", 0777); err != nil {
+			panic(err)
+		}
+	})
+	tb.Run()
+	for n := 0; n < 4; n++ {
+		node := n
+		tb.Env.Spawn("worker", func(p *sim.Proc) {
+			m := tb.Mounts[node]
+			cx := cluster.Ctx(node, 1)
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("/mix/f%d-%d", node, i)
+				f, err := m.Create(p, cx, name, 0644)
+				if err != nil {
+					panic(err)
+				}
+				f.WriteAt(p, 0, 4096)
+				f.Close(p)
+				m.Stat(p, cx, name)
+				m.Utime(p, cx, name)
+				if i%3 == 0 {
+					m.Unlink(p, cx, name)
+				}
+			}
+		})
+	}
+	tb.Run()
+	if err := tb.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelinquishMakesNextUserCheap verifies the install-time admin path:
+// after node 0 builds a directory tree and relinquishes, node 1's first
+// creates in those directories trigger no revocations against node 0.
+func TestRelinquishMakesNextUserCheap(t *testing.T) {
+	tb := cluster.New(3, 2, params.Default())
+	ctx0 := cluster.Ctx(0, 1)
+	ctx1 := cluster.Ctx(1, 1)
+	tb.Env.Spawn("install", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if err := tb.Mounts[0].MkdirAll(p, ctx0, fmt.Sprintf("/inst/d%02d", i), 0777); err != nil {
+				panic(err)
+			}
+		}
+		tb.Clients[0].Relinquish(p)
+	})
+	tb.Run()
+
+	before := tb.Clients[0].Stats.Revocations
+	tb.Env.Spawn("use", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			f, err := tb.Mounts[1].Create(p, ctx1, fmt.Sprintf("/inst/d%02d/f", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+		}
+	})
+	tb.Run()
+	if got := tb.Clients[0].Stats.Revocations - before; got != 0 {
+		t.Errorf("installer was revoked %d times after Relinquish, want 0", got)
+	}
+	if err := tb.FS.Tokens.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelinquishFlushesDirtyState: relinquishing after mutations must
+// not lose them — another client sees every file.
+func TestRelinquishFlushesDirtyState(t *testing.T) {
+	tb := cluster.New(5, 2, params.Default())
+	ctx0 := cluster.Ctx(0, 1)
+	tb.Env.Spawn("write-then-relinquish", func(p *sim.Proc) {
+		if err := tb.Mounts[0].Mkdir(p, ctx0, "/d", 0777); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 10; i++ {
+			f, err := tb.Mounts[0].Create(p, ctx0, fmt.Sprintf("/d/f%d", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.WriteAt(p, 0, 4096)
+			f.Close(p)
+		}
+		tb.Clients[0].Relinquish(p)
+	})
+	tb.Run()
+	tb.Env.Spawn("verify", func(p *sim.Proc) {
+		ctx1 := cluster.Ctx(1, 1)
+		for i := 0; i < 10; i++ {
+			attr, err := tb.Mounts[1].Stat(p, ctx1, fmt.Sprintf("/d/f%d", i))
+			if err != nil {
+				panic(err)
+			}
+			if attr.Size != 4096 {
+				t.Errorf("f%d size=%d, want 4096", i, attr.Size)
+			}
+		}
+	})
+	tb.Run()
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mutex is a FIFO mutual-exclusion lock for simulated processes. The zero
+// value is not usable; create with NewMutex.
+type Mutex struct {
+	env   *Env
+	name  string
+	owner *Proc
+	queue []*Proc
+	// contention statistics
+	Acquires  int64
+	Contended int64
+	WaitTotal time.Duration
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(env *Env, name string) *Mutex {
+	return &Mutex{env: env, name: name}
+}
+
+// Lock acquires the mutex, blocking p until it is available. Grants are
+// strictly FIFO.
+func (m *Mutex) Lock(p *Proc) {
+	m.Acquires++
+	if m.owner == nil && len(m.queue) == 0 {
+		m.owner = p
+		return
+	}
+	m.Contended++
+	start := m.env.now
+	m.queue = append(m.queue, p)
+	p.park()
+	m.WaitTotal += m.env.now - start
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: mutex %q woke %q without ownership", m.name, p.name))
+	}
+}
+
+// Unlock releases the mutex and hands it to the longest waiter, if any.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: mutex %q unlocked by non-owner %q", m.name, p.name))
+	}
+	if len(m.queue) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	m.owner = next
+	m.env.unpark(next)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// QueueLen returns the number of waiting processes.
+func (m *Mutex) QueueLen() int { return len(m.queue) }
+
+// Resource is a counting resource with capacity slots (e.g. server worker
+// threads, a disk with one head, a link with N lanes). Acquire blocks when
+// all slots are busy; grants are FIFO.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Proc
+
+	Acquires  int64
+	Contended int64
+	WaitTotal time.Duration
+	BusyTotal time.Duration
+	lastBusy  time.Duration
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Acquire takes one slot, blocking until available.
+func (r *Resource) Acquire(p *Proc) {
+	r.Acquires++
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.take()
+		return
+	}
+	r.Contended++
+	start := r.env.now
+	r.queue = append(r.queue, p)
+	p.park()
+	r.WaitTotal += r.env.now - start
+	// Slot was transferred to us by Release.
+}
+
+func (r *Resource) take() {
+	if r.inUse == 0 {
+		r.lastBusy = r.env.now
+	}
+	r.inUse++
+}
+
+// Release frees one slot and wakes the longest waiter.
+func (r *Resource) Release(p *Proc) {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if len(r.queue) > 0 {
+		// Hand the slot directly to the next waiter; inUse unchanged.
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.env.unpark(next)
+		return
+	}
+	r.inUse--
+	if r.inUse == 0 {
+		r.BusyTotal += r.env.now - r.lastBusy
+	}
+}
+
+// Use acquires the resource, sleeps for hold, and releases it. It is the
+// common "serve me for duration d" idiom.
+func (r *Resource) Use(p *Proc, hold time.Duration) {
+	r.Acquire(p)
+	p.Sleep(hold)
+	r.Release(p)
+}
+
+// InUse returns the number of busy slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// WaitGroup waits for a collection of processes to finish, mirroring
+// sync.WaitGroup for simulated time.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup with zero count.
+func NewWaitGroup(env *Env) *WaitGroup { return &WaitGroup{env: env} }
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		wg.wakeAll()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+func (wg *WaitGroup) wakeAll() {
+	ws := wg.waiters
+	wg.waiters = nil
+	for _, w := range ws {
+		wg.env.unpark(w)
+	}
+}
+
+// Go spawns fn as a process tracked by the WaitGroup.
+func (wg *WaitGroup) Go(name string, fn func(p *Proc)) {
+	wg.Add(1)
+	wg.env.Spawn(name, func(p *Proc) {
+		defer wg.Done()
+		fn(p)
+	})
+}
+
+// Queue is an unbounded FIFO channel between simulated processes.
+type Queue struct {
+	env     *Env
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(env *Env) *Queue { return &Queue{env: env} }
+
+// Put appends an item and wakes one waiting consumer.
+func (q *Queue) Put(item any) {
+	q.items = append(q.items, item)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.unpark(w)
+	}
+}
+
+// Get removes and returns the oldest item, blocking p while empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cond is a condition variable: processes Wait until another process calls
+// Signal or Broadcast.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Wait parks p until signaled. As with sync.Cond the caller must re-check
+// its predicate afterwards.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.unpark(w)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.env.unpark(w)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic, goroutine-based discrete-event
+// simulation kernel with a virtual clock.
+//
+// Model code runs inside simulated processes (Proc). A process advances
+// virtual time by calling Sleep, or blocks on synchronization primitives
+// (Mutex, Resource, Queue, WaitGroup, Cond) built on the kernel's
+// park/unpark mechanism. Exactly one process executes at a time; the kernel
+// hands control to the process whose next event has the smallest timestamp,
+// breaking ties by event sequence number, so runs are fully deterministic.
+//
+// The kernel is not safe for use from multiple OS threads outside the
+// simulated processes: all interaction must happen through a Proc.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus the event queue.
+// Create one with NewEnv, add root processes with Spawn, then call Run.
+type Env struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // signaled by a proc when it parks or exits
+	live    int           // procs spawned and not yet finished
+	parked  int           // procs blocked with no scheduled event
+	running bool
+	seed    int64
+	rngs    map[string]*rand.Rand
+
+	// Trace, when non-nil, receives a line per kernel decision. Used by
+	// tests and cofsctl; nil in normal runs.
+	Trace func(format string, args ...any)
+}
+
+// NewEnv returns an empty environment whose RNG streams derive from seed.
+// The same seed always produces the same simulation.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		seed:  seed,
+		rngs:  make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// RNG returns a deterministic random stream identified by name. Streams are
+// independent of each other and of event interleaving, so adding a new
+// consumer does not perturb existing ones.
+func (e *Env) RNG(name string) *rand.Rand {
+	r, ok := e.rngs[name]
+	if !ok {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= 1099511628211
+		}
+		r = rand.New(rand.NewSource(e.seed ^ int64(h)))
+		e.rngs[name] = r
+	}
+	return r
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc  // proc to wake, or nil for fn-only events
+	fn  func() // optional callback run in the kernel goroutine
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (e *Env) schedule(ev event)  { ev.seq = e.seq; e.seq++; heap.Push(&e.events, ev) }
+func (e *Env) scheduleAt(at time.Duration, p *Proc) {
+	e.schedule(event{at: at, p: p})
+}
+
+// Proc is a simulated process. All blocking primitives take the Proc so the
+// kernel knows which goroutine to park.
+type Proc struct {
+	env  *Env
+	wake chan struct{}
+	name string
+	// waiting is true while the proc is parked with no scheduled event;
+	// used for deadlock detection.
+	waiting bool
+	done    bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Spawn creates a process that will start executing fn at the current
+// virtual time (after already-scheduled events at this time).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAfter(name, 0, fn)
+}
+
+// SpawnAfter creates a process that starts after delay of virtual time.
+func (e *Env) SpawnAfter(name string, delay time.Duration, fn func(p *Proc)) *Proc {
+	if delay < 0 {
+		panic("sim: negative spawn delay")
+	}
+	p := &Proc{env: e, wake: make(chan struct{}), name: name}
+	e.live++
+	go func() {
+		<-p.wake
+		// The hand-back to the kernel is deferred so that a process
+		// killed by runtime.Goexit (e.g. t.Fatal inside a simulated
+		// process) still yields instead of wedging the kernel.
+		defer func() {
+			p.done = true
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.scheduleAt(e.now+delay, p)
+	return p
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e := p.env
+	e.scheduleAt(e.now+d, p)
+	p.block()
+}
+
+// park blocks the process until some other process unparks it. The caller
+// must guarantee an eventual Unpark, otherwise Run reports a deadlock.
+func (p *Proc) park() {
+	p.env.parked++
+	p.waiting = true
+	p.block()
+}
+
+// unpark schedules p to resume at the current virtual time.
+func (e *Env) unpark(p *Proc) {
+	if !p.waiting {
+		panic(fmt.Sprintf("sim: unpark of non-parked proc %q", p.name))
+	}
+	p.waiting = false
+	e.parked--
+	e.scheduleAt(e.now, p)
+}
+
+// block hands control back to the kernel and waits to be woken.
+func (p *Proc) block() {
+	e := p.env
+	e.yield <- struct{}{}
+	<-p.wake
+}
+
+// After schedules fn to run in the kernel context after delay. fn must not
+// block; it is intended for timers and unparks. Model code should prefer
+// spawning a process.
+func (e *Env) After(delay time.Duration, fn func()) {
+	e.schedule(event{at: e.now + delay, fn: fn})
+}
+
+// Run executes events until none remain. It returns an error if live
+// processes remain parked with an empty event queue (a model deadlock).
+func (e *Env) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.p.wake <- struct{}{}
+		<-e.yield
+	}
+	if e.live > 0 {
+		return fmt.Errorf("sim: deadlock: %d live process(es) parked with no pending events", e.live)
+	}
+	return nil
+}
+
+// MustRun is Run, panicking on deadlock. Benchmarks and examples use it.
+func (e *Env) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}

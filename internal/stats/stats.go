@@ -1,0 +1,147 @@
+// Package stats provides the small statistical helpers used by the
+// benchmark harnesses: streaming summaries, percentiles and formatted
+// series output in the units the paper reports (ms per operation, MB/s).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates a stream of duration samples using Welford's
+// algorithm, keeping the raw samples for percentile queries.
+type Summary struct {
+	samples []time.Duration
+	mean    float64 // nanoseconds
+	m2      float64
+	min     time.Duration
+	max     time.Duration
+}
+
+// Add records one sample.
+func (s *Summary) Add(d time.Duration) {
+	if len(s.samples) == 0 || d < s.min {
+		s.min = d
+	}
+	if len(s.samples) == 0 || d > s.max {
+		s.max = d
+	}
+	s.samples = append(s.samples, d)
+	n := float64(len(s.samples))
+	delta := float64(d) - s.mean
+	s.mean += delta / n
+	s.m2 += delta * (float64(d) - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean returns the average sample.
+func (s *Summary) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return time.Duration(s.mean)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(s.m2 / float64(len(s.samples)-1)))
+}
+
+// Min returns the smallest sample.
+func (s *Summary) Min() time.Duration { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() time.Duration { return s.max }
+
+// Percentile returns the q-th percentile (0 <= q <= 100) using
+// nearest-rank interpolation.
+func (s *Summary) Percentile(q float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// MeanMs returns the mean in (fractional) milliseconds, the unit used by
+// every latency figure in the paper.
+func (s *Summary) MeanMs() float64 { return float64(s.Mean()) / float64(time.Millisecond) }
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3fms std=%.3fms min=%.3fms max=%.3fms",
+		s.N(), s.MeanMs(),
+		float64(s.Std())/float64(time.Millisecond),
+		float64(s.Min())/float64(time.Millisecond),
+		float64(s.Max())/float64(time.Millisecond))
+}
+
+// Series is a labeled sequence of (x, y) points, used to print the data
+// behind one curve of a paper figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders a set of series sharing the same X axis as an aligned text
+// table with the given column headers.
+func Table(xHeader string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", xHeader)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-16.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%16.3f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MBps converts bytes moved in elapsed virtual time to MB/s (1 MB = 2^20).
+func MBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / elapsed.Seconds()
+}

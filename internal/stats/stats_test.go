@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, d := range []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		s.Add(d)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N=%d, want 3", s.N())
+	}
+	if s.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean=%v, want 2ms", s.Mean())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 3*time.Millisecond {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if got := s.Std(); got != time.Millisecond {
+		t.Fatalf("Std=%v, want 1ms", got)
+	}
+	if s.MeanMs() != 2.0 {
+		t.Fatalf("MeanMs=%v, want 2", s.MeanMs())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should return zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Percentile(0); got != time.Millisecond {
+		t.Fatalf("p0=%v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100=%v", got)
+	}
+	p50 := s.Percentile(50)
+	if p50 < 50*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Fatalf("p50=%v", p50)
+	}
+}
+
+func TestSummaryMeanMatchesNaive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, v := range raw {
+			d := time.Duration(v) * time.Microsecond
+			s.Add(d)
+			sum += float64(d)
+		}
+		naive := sum / float64(len(raw))
+		// Mean() truncates to integer nanoseconds; allow that plus
+		// float rounding.
+		return math.Abs(float64(s.Mean())-naive) < 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMinMaxInvariant(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() &&
+			s.Percentile(50) >= s.Min() && s.Percentile(50) <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := &Series{Label: "gpfs"}
+	b := &Series{Label: "cofs"}
+	a.Append(32, 20.5)
+	a.Append(64, 21.0)
+	b.Append(32, 2.5)
+	b.Append(64, 2.6)
+	out := Table("files", a, b)
+	if !strings.Contains(out, "gpfs") || !strings.Contains(out, "cofs") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "20.500") || !strings.Contains(lines[1], "2.500") {
+		t.Fatalf("row content wrong: %q", lines[1])
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	a := &Series{Label: "x"}
+	b := &Series{Label: "y"}
+	a.Append(1, 1)
+	a.Append(2, 2)
+	b.Append(1, 1)
+	out := Table("k", a, b)
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for ragged series:\n%s", out)
+	}
+}
+
+func TestMBps(t *testing.T) {
+	got := MBps(100<<20, 2*time.Second)
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MBps=%v, want 50", got)
+	}
+	if MBps(1, 0) != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+}

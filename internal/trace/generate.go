@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file generates synthetic traces of the two application families
+// the paper's case study blames for metadata pressure (section II):
+// large parallel applications dumping per-node checkpoint files into a
+// common directory, and large bunches of small loosely-coupled jobs
+// writing their outputs to a shared directory. A third generator emits
+// a randomized mixed workload for stress replay.
+
+// CheckpointConfig parameterizes GenCheckpoint.
+type CheckpointConfig struct {
+	// Nodes is the number of compute nodes in the parallel job.
+	Nodes int
+	// Rounds is the number of checkpoint epochs.
+	Rounds int
+	// BytesPerNode is the checkpoint payload each node dumps per epoch.
+	BytesPerNode int64
+	// Interval is the compute time between checkpoint epochs.
+	Interval time.Duration
+	// Dir is the shared checkpoint directory.
+	Dir string
+}
+
+// GenCheckpoint emits the paper's first motivating pattern: every epoch,
+// all nodes create a per-node checkpoint file in one shared directory
+// and dump their state into it; old checkpoints of the previous epoch
+// are removed once the new one is complete.
+func GenCheckpoint(cfg CheckpointConfig) *Trace {
+	if cfg.Dir == "" {
+		cfg.Dir = "/ckpt"
+	}
+	var t Trace
+	t.Ops = append(t.Ops, Op{Kind: Mkdir, Path: cfg.Dir, Mode: 0755})
+	for r := 0; r < cfg.Rounds; r++ {
+		at := time.Duration(r+1) * cfg.Interval
+		for n := 0; n < cfg.Nodes; n++ {
+			path := fmt.Sprintf("%s/ckpt-%03d.%04d", cfg.Dir, r, n)
+			t.Ops = append(t.Ops, Op{
+				At: at, Node: n, PID: 1, Kind: WriteFile,
+				Path: path, Bytes: cfg.BytesPerNode, Mode: 0644,
+			})
+			if r > 0 {
+				old := fmt.Sprintf("%s/ckpt-%03d.%04d", cfg.Dir, r-1, n)
+				t.Ops = append(t.Ops, Op{
+					At: at, Node: n, PID: 1, Kind: Unlink, Path: old,
+				})
+			}
+		}
+	}
+	t.SortByTime()
+	return &t
+}
+
+// BatchConfig parameterizes GenBatchJobs.
+type BatchConfig struct {
+	// Nodes is the number of nodes the batch scheduler spreads jobs on.
+	Nodes int
+	// Jobs is the total number of small jobs.
+	Jobs int
+	// FilesPerJob is how many output files each job writes.
+	FilesPerJob int
+	// BytesPerFile is the size of each output file.
+	BytesPerFile int64
+	// Stagger is the submission interval between consecutive jobs.
+	Stagger time.Duration
+	// Dir is the shared output directory all users point their jobs at.
+	Dir string
+}
+
+// GenBatchJobs emits the paper's second motivating pattern: bunches of
+// small jobs, launched in quick succession across the cluster, each
+// writing a handful of output files into one shared directory and
+// stat-ing its own outputs when done (the "did my job finish" check).
+func GenBatchJobs(cfg BatchConfig) *Trace {
+	if cfg.Dir == "" {
+		cfg.Dir = "/results"
+	}
+	var t Trace
+	t.Ops = append(t.Ops, Op{Kind: Mkdir, Path: cfg.Dir, Mode: 0755})
+	for j := 0; j < cfg.Jobs; j++ {
+		node := j % cfg.Nodes
+		pid := 100 + j/cfg.Nodes // distinct process per job on a node
+		at := time.Duration(j) * cfg.Stagger
+		for f := 0; f < cfg.FilesPerJob; f++ {
+			path := fmt.Sprintf("%s/job%05d.out%d", cfg.Dir, j, f)
+			t.Ops = append(t.Ops, Op{
+				At: at, Node: node, PID: pid, Kind: WriteFile,
+				Path: path, Bytes: cfg.BytesPerFile, Mode: 0644,
+			})
+		}
+		for f := 0; f < cfg.FilesPerJob; f++ {
+			path := fmt.Sprintf("%s/job%05d.out%d", cfg.Dir, j, f)
+			t.Ops = append(t.Ops, Op{
+				At: at, Node: node, PID: pid, Kind: Stat, Path: path,
+			})
+		}
+	}
+	t.SortByTime()
+	return &t
+}
+
+// MixedConfig parameterizes GenMixed.
+type MixedConfig struct {
+	// Nodes is the number of participating nodes.
+	Nodes int
+	// OpsPerNode is how many operations each node issues.
+	OpsPerNode int
+	// Dirs is the number of shared directories the workload spreads
+	// over.
+	Dirs int
+	// MaxBytes bounds the size of read/write transfers.
+	MaxBytes int64
+	// Spacing is the mean time between a stream's operations.
+	Spacing time.Duration
+}
+
+// GenMixed emits a randomized mixed metadata/data workload over a small
+// shared namespace: creates, stats, utimes, open/close, renames,
+// readdirs and deletes in proportions typical of the production traces
+// the paper describes (metadata-dominated). The generator only emits
+// operations that are valid at replay time (it tracks which files exist
+// per stream), so replays are error-free on a POSIX-compliant stack.
+func GenMixed(rng *rand.Rand, cfg MixedConfig) *Trace {
+	if cfg.Dirs < 1 {
+		cfg.Dirs = 1
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 20
+	}
+	var t Trace
+	for d := 0; d < cfg.Dirs; d++ {
+		t.Ops = append(t.Ops, Op{Kind: Mkdir, Path: fmt.Sprintf("/mix%02d", d), Mode: 0755})
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		var at time.Duration
+		var mine []string // files this stream created and has not removed
+		seq := 0
+		for i := 0; i < cfg.OpsPerNode; i++ {
+			at += time.Duration(1 + rng.Int63n(int64(cfg.Spacing)))
+			dir := fmt.Sprintf("/mix%02d", rng.Intn(cfg.Dirs))
+			roll := rng.Float64()
+			switch {
+			case roll < 0.35 || len(mine) == 0: // create-heavy, like the paper's workloads
+				path := fmt.Sprintf("%s/n%02d-f%05d", dir, n, seq)
+				seq++
+				t.Ops = append(t.Ops, Op{
+					At: at, Node: n, PID: 1, Kind: WriteFile,
+					Path: path, Bytes: rng.Int63n(cfg.MaxBytes), Mode: 0644,
+				})
+				mine = append(mine, path)
+			case roll < 0.55:
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: Stat, Path: mine[rng.Intn(len(mine))]})
+			case roll < 0.65:
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: Utime, Path: mine[rng.Intn(len(mine))]})
+			case roll < 0.75:
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: OpenClose, Path: mine[rng.Intn(len(mine))]})
+			case roll < 0.82:
+				t.Ops = append(t.Ops, Op{
+					At: at, Node: n, PID: 1, Kind: ReadFile,
+					Path: mine[rng.Intn(len(mine))], Bytes: 0,
+				})
+			case roll < 0.90:
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: Readdir, Path: dir})
+			case roll < 0.95:
+				j := rng.Intn(len(mine))
+				dst := fmt.Sprintf("%s/n%02d-r%05d", dir, n, seq)
+				seq++
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: Rename, Path: mine[j], Path2: dst})
+				mine[j] = dst
+			default:
+				j := rng.Intn(len(mine))
+				t.Ops = append(t.Ops, Op{At: at, Node: n, PID: 1, Kind: Unlink, Path: mine[j]})
+				mine[j] = mine[len(mine)-1]
+				mine = mine[:len(mine)-1]
+			}
+		}
+	}
+	t.SortByTime()
+	return &t
+}

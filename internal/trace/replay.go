@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/bench"
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+	"cofs/internal/vfs"
+)
+
+// ReplayOptions tunes Replay.
+type ReplayOptions struct {
+	// Timed honours each operation's At offset (streams sleep between
+	// operations, reproducing the recorded rhythm). When false, every
+	// stream issues its operations back-to-back — the as-fast-as-
+	// possible mode that exposes the file system's saturation
+	// behaviour.
+	Timed bool
+	// StopOnError aborts a stream on the first operation error.
+	// Otherwise errors are counted and replay continues (recorded
+	// applications often race deletes; the default mirrors that).
+	StopOnError bool
+}
+
+// ReplayResult reports a replay run.
+type ReplayResult struct {
+	// PerKind holds a latency summary per operation kind.
+	PerKind map[Kind]*stats.Summary
+	// Elapsed is virtual time from replay start to the last stream
+	// finishing.
+	Elapsed time.Duration
+	// Ops is the number of operations issued; Errors counts failures.
+	Ops    int
+	Errors int
+	// FirstErr preserves the first failure for diagnostics.
+	FirstErr error
+}
+
+// OpRate returns completed operations per virtual second.
+func (r *ReplayResult) OpRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops-r.Errors) / r.Elapsed.Seconds()
+}
+
+// Report renders a per-kind latency table.
+func (r *ReplayResult) Report() string {
+	kinds := make([]Kind, 0, len(r.PerKind))
+	for k := range r.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := fmt.Sprintf("%-10s%8s%12s%12s%12s\n", "op", "count", "mean(ms)", "p95(ms)", "max(ms)")
+	for _, k := range kinds {
+		s := r.PerKind[k]
+		out += fmt.Sprintf("%-10s%8d%12.3f%12.3f%12.3f\n",
+			k.String(), s.N(), s.MeanMs(),
+			float64(s.Percentile(95))/1e6, float64(s.Max())/1e6)
+	}
+	out += fmt.Sprintf("total: %d ops, %d errors, %.0f ops/s over %v\n",
+		r.Ops, r.Errors, r.OpRate(), r.Elapsed)
+	return out
+}
+
+// Replay drives the target from the trace: one simulated process per
+// (node, pid) stream, operations in recorded order. Mkdir operations
+// replay as mkdir -p during a serial prologue (directory skeletons are
+// setup, not the measured workload — the paper's benchmarks likewise
+// pre-create the shared directory).
+func Replay(t bench.Target, tr *Trace, opts ReplayOptions) (*ReplayResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if n := tr.Nodes(); n > len(t.Mounts) {
+		return nil, fmt.Errorf("trace: needs %d nodes, target has %d mounts", n, len(t.Mounts))
+	}
+	res := &ReplayResult{PerKind: make(map[Kind]*stats.Summary)}
+
+	// Prologue: directory skeleton, serial, unmeasured.
+	var dirs []Op
+	for _, op := range tr.Ops {
+		if op.Kind == Mkdir {
+			dirs = append(dirs, op)
+		}
+	}
+	t.Env.Spawn("trace.prologue", func(p *sim.Proc) {
+		for _, op := range dirs {
+			ctx := t.Ctx(op.Node, op.PID)
+			if err := t.Mounts[op.Node].MkdirAll(p, ctx, op.Path, op.Mode); err != nil && err != vfs.ErrExist {
+				panic(fmt.Sprintf("trace prologue: mkdir %s: %v", op.Path, err))
+			}
+		}
+	})
+	t.Env.MustRun()
+
+	streams := tr.Streams()
+	keys := make([][2]int, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	start := t.Env.Now()
+	type sample struct {
+		kind Kind
+		d    time.Duration
+	}
+	results := make([][]sample, len(keys))
+	errs := make([]int, len(keys))
+	firstErrs := make([]error, len(keys))
+
+	for si, key := range keys {
+		si, key := si, key
+		ops := streams[key]
+		m := t.Mounts[key[0]]
+		ctx := t.Ctx(key[0], key[1])
+		t.Env.Spawn(fmt.Sprintf("trace.n%d.p%d", key[0], key[1]), func(p *sim.Proc) {
+			for _, op := range ops {
+				if op.Kind == Mkdir {
+					continue // replayed in the prologue
+				}
+				if opts.Timed {
+					if wait := start + op.At - p.Now(); wait > 0 {
+						p.Sleep(wait)
+					}
+				}
+				t0 := p.Now()
+				err := replayOp(p, m, ctx, op)
+				d := p.Now() - t0
+				results[si] = append(results[si], sample{op.Kind, d})
+				if err != nil {
+					errs[si]++
+					if firstErrs[si] == nil {
+						firstErrs[si] = fmt.Errorf("%s %s (node %d): %w", op.Kind, op.Path, op.Node, err)
+					}
+					if opts.StopOnError {
+						return
+					}
+				}
+			}
+		})
+	}
+	t.Env.MustRun()
+
+	for si := range keys {
+		for _, s := range results[si] {
+			sum, ok := res.PerKind[s.kind]
+			if !ok {
+				sum = &stats.Summary{}
+				res.PerKind[s.kind] = sum
+			}
+			sum.Add(s.d)
+			res.Ops++
+		}
+		res.Errors += errs[si]
+		if res.FirstErr == nil && firstErrs[si] != nil {
+			res.FirstErr = firstErrs[si]
+		}
+	}
+	res.Elapsed = t.Env.Now() - start
+	return res, nil
+}
+
+// replayOp issues one operation against a mount.
+func replayOp(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, op Op) error {
+	switch op.Kind {
+	case Create:
+		f, err := m.Create(p, ctx, op.Path, op.Mode)
+		if err != nil {
+			return err
+		}
+		return f.Close(p)
+	case WriteFile:
+		f, err := m.Create(p, ctx, op.Path, op.Mode)
+		if err != nil {
+			return err
+		}
+		if op.Bytes > 0 {
+			if _, werr := f.WriteAt(p, 0, op.Bytes); werr != nil {
+				f.Close(p)
+				return werr
+			}
+		}
+		return f.Close(p)
+	case ReadFile:
+		f, err := m.Open(p, ctx, op.Path, vfs.OpenRead)
+		if err != nil {
+			return err
+		}
+		n := op.Bytes
+		if n == 0 {
+			attr, serr := m.Stat(p, ctx, op.Path)
+			if serr != nil {
+				f.Close(p)
+				return serr
+			}
+			n = attr.Size
+		}
+		if n > 0 {
+			if _, rerr := f.ReadAt(p, 0, n); rerr != nil {
+				f.Close(p)
+				return rerr
+			}
+		}
+		return f.Close(p)
+	case Stat:
+		_, err := m.Stat(p, ctx, op.Path)
+		return err
+	case Utime:
+		_, err := m.Utime(p, ctx, op.Path)
+		return err
+	case Chmod:
+		_, err := m.Chmod(p, ctx, op.Path, op.Mode)
+		return err
+	case OpenClose:
+		f, err := m.Open(p, ctx, op.Path, vfs.OpenRead)
+		if err != nil {
+			return err
+		}
+		return f.Close(p)
+	case Unlink:
+		return m.Unlink(p, ctx, op.Path)
+	case Rmdir:
+		return m.Rmdir(p, ctx, op.Path)
+	case Rename:
+		return m.Rename(p, ctx, op.Path, op.Path2)
+	case Readdir:
+		_, err := m.Readdir(p, ctx, op.Path)
+		return err
+	case Link:
+		return m.Link(p, ctx, op.Path, op.Path2)
+	case Symlink:
+		return m.Symlink(p, ctx, op.Path, op.Path2)
+	case Mkdir:
+		return m.MkdirAll(p, ctx, op.Path, op.Mode)
+	default:
+		return fmt.Errorf("trace: unhandled kind %v", op.Kind)
+	}
+}

@@ -1,0 +1,188 @@
+package trace_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cofs/internal/bench"
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/trace"
+	"cofs/internal/vfs"
+)
+
+// memTarget builds an n-node target over one shared in-memory file
+// system (cheap replay correctness checks).
+func memTarget(n int) bench.Target {
+	env := sim.NewEnv(1)
+	fs := vfs.NewMemFS()
+	mounts := make([]*vfs.Mount, n)
+	for i := range mounts {
+		mounts[i] = vfs.NewMount(fs, params.FUSEParams{})
+	}
+	return bench.Target{Env: env, Mounts: mounts, Ctx: cluster.Ctx}
+}
+
+func TestReplayCheckpointOnMemFS(t *testing.T) {
+	tgt := memTarget(4)
+	tr := trace.GenCheckpoint(trace.CheckpointConfig{
+		Nodes: 4, Rounds: 3, BytesPerNode: 1 << 16, Interval: time.Second,
+	})
+	res, err := trace.Replay(tgt, tr, trace.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay errors: %d (first: %v)", res.Errors, res.FirstErr)
+	}
+	if res.Ops != 20 { // 12 writes + 8 unlinks (mkdir is prologue)
+		t.Errorf("ops = %d, want 20", res.Ops)
+	}
+	// Only the final round's files remain.
+	env, m := tgt.Env, tgt.Mounts[0]
+	env.Spawn("verify", func(p *sim.Proc) {
+		ents, err := m.Readdir(p, cluster.Ctx(0, 1), "/ckpt")
+		if err != nil {
+			t.Errorf("readdir: %v", err)
+			return
+		}
+		if len(ents) != 4 {
+			t.Errorf("surviving checkpoints = %d, want 4", len(ents))
+		}
+	})
+	env.MustRun()
+}
+
+func TestReplayMixedNoErrors(t *testing.T) {
+	tgt := memTarget(4)
+	tr := trace.GenMixed(rand.New(rand.NewSource(3)), trace.MixedConfig{
+		Nodes: 4, OpsPerNode: 300, Dirs: 2, MaxBytes: 1 << 14, Spacing: time.Millisecond,
+	})
+	res, err := trace.Replay(tgt, tr, trace.ReplayOptions{StopOnError: true})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("mixed replay must be error-free, got %d (first: %v)", res.Errors, res.FirstErr)
+	}
+	if res.Ops == 0 || res.PerKind[trace.WriteFile].N() == 0 {
+		t.Error("no operations replayed")
+	}
+}
+
+func TestReplayTimedHonoursSchedule(t *testing.T) {
+	tgt := memTarget(2)
+	tr := trace.GenCheckpoint(trace.CheckpointConfig{
+		Nodes: 2, Rounds: 2, BytesPerNode: 1 << 10, Interval: 5 * time.Second,
+	})
+	res, err := trace.Replay(tgt, tr, trace.ReplayOptions{Timed: true})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Elapsed < 10*time.Second {
+		t.Errorf("timed replay took %v, want >= 10s (2 rounds x 5s)", res.Elapsed)
+	}
+	// As-fast-as-possible replay of the same trace must be much quicker.
+	tgt2 := memTarget(2)
+	res2, err := trace.Replay(tgt2, tr, trace.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("afap replay: %v", err)
+	}
+	if res2.Elapsed >= res.Elapsed {
+		t.Errorf("afap (%v) not faster than timed (%v)", res2.Elapsed, res.Elapsed)
+	}
+}
+
+func TestReplayTooManyNodes(t *testing.T) {
+	tgt := memTarget(1)
+	tr := trace.GenCheckpoint(trace.CheckpointConfig{Nodes: 4, Rounds: 1, BytesPerNode: 1, Interval: time.Second})
+	if _, err := trace.Replay(tgt, tr, trace.ReplayOptions{}); err == nil {
+		t.Error("replay accepted a trace needing more nodes than the target has")
+	}
+}
+
+func TestReplayErrorsCounted(t *testing.T) {
+	tgt := memTarget(1)
+	tr := &trace.Trace{}
+	tr.Ops = append(tr.Ops,
+		trace.Op{Kind: trace.Stat, Path: "/missing", Node: 0, PID: 1},
+		trace.Op{Kind: trace.Create, Path: "/ok", Node: 0, PID: 1, Mode: 0644},
+	)
+	res, err := trace.Replay(tgt, tr, trace.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Errors != 1 {
+		t.Errorf("errors = %d, want 1", res.Errors)
+	}
+	if res.FirstErr == nil {
+		t.Error("FirstErr not recorded")
+	}
+	if res.Ops != 2 {
+		t.Errorf("ops = %d, want 2 (continue past errors)", res.Ops)
+	}
+}
+
+// TestReplayGPFSvsCOFS replays the batch-jobs trace against both stacks
+// end to end, then measures the phase the paper's section II names as
+// the second metadata trigger: a cross-node sweep over the shared
+// output directory (readdir + stat of every entry from a node that did
+// not create the files). COFS must keep the sweep cheap; job submission
+// itself is allowed to trade GPFS's creator-local attribute handling
+// against COFS's service round trips (the examples/batchjobs README
+// story and Table I's small-file cells).
+func TestReplayGPFSvsCOFS(t *testing.T) {
+	const nodes = 4
+	run := func(useCOFS bool) (replay *trace.ReplayResult, sweepMs float64) {
+		tb := cluster.New(21, nodes, params.Default())
+		var tgt bench.Target
+		if useCOFS {
+			d := core.Deploy(tb, nil)
+			tgt = bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+		} else {
+			tgt = bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
+		}
+		tr := trace.GenBatchJobs(trace.BatchConfig{
+			Nodes: nodes - 1, Jobs: 48, FilesPerJob: 4, BytesPerFile: 4 << 10,
+			Stagger: 20 * time.Millisecond,
+		})
+		res, err := trace.Replay(tgt, tr, trace.ReplayOptions{Timed: true})
+		if err != nil {
+			t.Fatalf("replay (cofs=%v): %v", useCOFS, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("replay errors (cofs=%v): %d, first: %v", useCOFS, res.Errors, res.FirstErr)
+		}
+		// Analysis sweep from the node that ran no jobs.
+		var perEntry time.Duration
+		tgt.Env.Spawn("sweep", func(p *sim.Proc) {
+			m := tgt.Mounts[nodes-1]
+			ctx := cluster.Ctx(nodes-1, 1)
+			start := p.Now()
+			ents, err := m.Readdir(p, ctx, "/results")
+			if err != nil {
+				t.Errorf("readdir: %v", err)
+				return
+			}
+			for _, e := range ents {
+				if _, err := m.Stat(p, ctx, "/results/"+e.Name); err != nil {
+					t.Errorf("stat %s: %v", e.Name, err)
+					return
+				}
+			}
+			perEntry = (p.Now() - start) / time.Duration(len(ents))
+		})
+		tgt.Env.MustRun()
+		return res, float64(perEntry) / 1e6
+	}
+	gres, gSweep := run(false)
+	cres, cSweep := run(true)
+	t.Logf("job write mean: gpfs=%.2fms cofs=%.2fms; sweep per entry: gpfs=%.3fms cofs=%.3fms",
+		gres.PerKind[trace.WriteFile].MeanMs(), cres.PerKind[trace.WriteFile].MeanMs(), gSweep, cSweep)
+	if cSweep >= gSweep {
+		t.Errorf("COFS cross-node sweep (%.3f ms/entry) not cheaper than GPFS (%.3f ms/entry)", cSweep, gSweep)
+	}
+}

@@ -1,0 +1,41 @@
+package conformance
+
+import (
+	"testing"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// TestMemFS runs the battery against the in-memory reference file
+// system, mounted without FUSE crossing costs.
+func TestMemFS(t *testing.T) {
+	Run(t, func(t *testing.T) *System {
+		env := sim.NewEnv(1)
+		return &System{
+			Env:   env,
+			Mount: vfs.NewMount(vfs.NewMemFS(), params.FUSEParams{}),
+			User:  vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+			Other: vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+			Root:  vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+			// MemFS is the permissive reference model: no mode checks.
+			EnforcesPermissions: false,
+		}
+	})
+}
+
+// TestMemFSThroughFUSE repeats the battery with the FUSE cost model
+// active: crossing charges must never change semantics.
+func TestMemFSThroughFUSE(t *testing.T) {
+	Run(t, func(t *testing.T) *System {
+		env := sim.NewEnv(1)
+		return &System{
+			Env:   env,
+			Mount: vfs.NewMount(vfs.NewMemFS(), params.Default().FUSE),
+			User:  vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+			Other: vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+			Root:  vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package vfs
+
+import "cofs/internal/sim"
+
+// Filesystem is the VFS callback interface, patterned on the FUSE lowlevel
+// API the COFS prototype hooks (section III-A). All calls run inside a
+// simulated process and charge virtual time. Read and Write move modeled
+// bytes (counts, not buffers): the simulation tracks sizes and timing, not
+// file contents.
+type Filesystem interface {
+	// Root returns the root directory inode.
+	Root() Ino
+
+	// Lookup resolves name within directory dir.
+	Lookup(p *sim.Proc, ctx Ctx, dir Ino, name string) (Attr, error)
+	// Getattr returns the attributes of ino.
+	Getattr(p *sim.Proc, ctx Ctx, ino Ino) (Attr, error)
+	// Setattr updates attributes (chmod/chown/utime/truncate).
+	Setattr(p *sim.Proc, ctx Ctx, ino Ino, set SetAttr) (Attr, error)
+
+	// Create makes a regular file in dir and opens it.
+	Create(p *sim.Proc, ctx Ctx, dir Ino, name string, mode uint32) (Attr, Handle, error)
+	// Open opens an existing regular file.
+	Open(p *sim.Proc, ctx Ctx, ino Ino, flags OpenFlags) (Handle, error)
+	// Release closes an open handle.
+	Release(p *sim.Proc, ctx Ctx, h Handle) error
+	// Read moves n bytes from offset off; returns bytes read.
+	Read(p *sim.Proc, ctx Ctx, h Handle, off, n int64) (int64, error)
+	// Write moves n bytes at offset off; returns bytes written.
+	Write(p *sim.Proc, ctx Ctx, h Handle, off, n int64) (int64, error)
+	// Fsync flushes dirty data for the handle.
+	Fsync(p *sim.Proc, ctx Ctx, h Handle) error
+
+	// Mkdir creates a directory.
+	Mkdir(p *sim.Proc, ctx Ctx, dir Ino, name string, mode uint32) (Attr, error)
+	// Rmdir removes an empty directory.
+	Rmdir(p *sim.Proc, ctx Ctx, dir Ino, name string) error
+	// Unlink removes a regular file or symlink.
+	Unlink(p *sim.Proc, ctx Ctx, dir Ino, name string) error
+	// Rename moves an entry, replacing the target if it exists.
+	Rename(p *sim.Proc, ctx Ctx, srcDir Ino, srcName string, dstDir Ino, dstName string) error
+	// Link creates a hard link to a regular file.
+	Link(p *sim.Proc, ctx Ctx, ino Ino, dir Ino, name string) (Attr, error)
+	// Symlink creates a symbolic link holding target.
+	Symlink(p *sim.Proc, ctx Ctx, dir Ino, name, target string) (Attr, error)
+	// Readlink returns a symlink's target.
+	Readlink(p *sim.Proc, ctx Ctx, ino Ino) (string, error)
+	// Readdir lists a directory.
+	Readdir(p *sim.Proc, ctx Ctx, dir Ino) ([]DirEntry, error)
+
+	// StatFS reports filesystem-wide counters.
+	StatFS(p *sim.Proc, ctx Ctx) (Statfs, error)
+}

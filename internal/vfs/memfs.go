@@ -1,0 +1,421 @@
+package vfs
+
+import (
+	"sort"
+	"time"
+
+	"cofs/internal/sim"
+)
+
+// MemFS is a plain in-memory Filesystem with no timing model. It serves
+// as the semantic reference implementation: property tests run the same
+// operation sequences against MemFS and the simulated file systems and
+// require identical outcomes.
+type MemFS struct {
+	inodes  map[Ino]*memInode
+	nextIno Ino
+	handles map[Handle]*memHandle
+	nextH   Handle
+}
+
+type memInode struct {
+	attr    Attr
+	entries map[string]Ino
+	target  string // symlink
+}
+
+type memHandle struct {
+	ino   Ino
+	flags OpenFlags
+}
+
+// NewMemFS returns an empty file system with a root directory.
+func NewMemFS() *MemFS {
+	fs := &MemFS{
+		inodes:  make(map[Ino]*memInode),
+		nextIno: 1,
+		handles: make(map[Handle]*memHandle),
+		nextH:   1,
+	}
+	root := fs.alloc(TypeDir, 0755, 0, 0)
+	root.attr.Nlink = 2
+	return fs
+}
+
+func (fs *MemFS) alloc(t FileType, mode, uid, gid uint32) *memInode {
+	ino := fs.nextIno
+	fs.nextIno++
+	in := &memInode{
+		attr: Attr{Ino: ino, Type: t, Mode: mode, UID: uid, GID: gid, Nlink: 1},
+	}
+	if t == TypeDir {
+		in.entries = make(map[string]Ino)
+	}
+	fs.inodes[ino] = in
+	return in
+}
+
+func (fs *MemFS) dir(ino Ino) (*memInode, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	if in.attr.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	return in, nil
+}
+
+// Root returns the root inode.
+func (fs *MemFS) Root() Ino { return 1 }
+
+// Lookup implements Filesystem.
+func (fs *MemFS) Lookup(p *sim.Proc, ctx Ctx, dir Ino, name string) (Attr, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return Attr{}, err
+	}
+	ino, ok := d.entries[name]
+	if !ok {
+		return Attr{}, ErrNotExist
+	}
+	return fs.inodes[ino].attr, nil
+}
+
+// Getattr implements Filesystem.
+func (fs *MemFS) Getattr(p *sim.Proc, ctx Ctx, ino Ino) (Attr, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return Attr{}, ErrNotExist
+	}
+	return in.attr, nil
+}
+
+// Setattr implements Filesystem.
+func (fs *MemFS) Setattr(p *sim.Proc, ctx Ctx, ino Ino, set SetAttr) (Attr, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return Attr{}, ErrNotExist
+	}
+	applySetAttr(&in.attr, set, now(p))
+	return in.attr, nil
+}
+
+// applySetAttr applies set to attr, updating ctime.
+func applySetAttr(attr *Attr, set SetAttr, at int64) {
+	if set.HasMode {
+		attr.Mode = set.Mode
+	}
+	if set.HasOwner {
+		attr.UID, attr.GID = set.UID, set.GID
+	}
+	if set.HasSize && attr.Type == TypeRegular {
+		attr.Size = set.Size
+	}
+	if set.HasTimes {
+		attr.Atime, attr.Mtime = set.Atime, set.Mtime
+	}
+	attr.Ctime = durationOf(at)
+}
+
+// Create implements Filesystem.
+func (fs *MemFS) Create(p *sim.Proc, ctx Ctx, dir Ino, name string, mode uint32) (Attr, Handle, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return Attr{}, 0, err
+	}
+	if name == "" || len(name) > MaxNameLen {
+		return Attr{}, 0, ErrInvalid
+	}
+	if _, ok := d.entries[name]; ok {
+		return Attr{}, 0, ErrExist
+	}
+	in := fs.alloc(TypeRegular, mode, ctx.UID, ctx.GID)
+	in.attr.Mtime = durationOf(now(p))
+	d.entries[name] = in.attr.Ino
+	h := fs.openHandle(in.attr.Ino, OpenWrite)
+	return in.attr, h, nil
+}
+
+func (fs *MemFS) openHandle(ino Ino, flags OpenFlags) Handle {
+	h := fs.nextH
+	fs.nextH++
+	fs.handles[h] = &memHandle{ino: ino, flags: flags}
+	return h
+}
+
+// Open implements Filesystem.
+func (fs *MemFS) Open(p *sim.Proc, ctx Ctx, ino Ino, flags OpenFlags) (Handle, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	if in.attr.Type == TypeDir {
+		return 0, ErrIsDir
+	}
+	// The mount layer does not follow symbolic links, so opening one is
+	// an error (all stacked file systems agree on this).
+	if in.attr.Type == TypeSymlink {
+		return 0, ErrInvalid
+	}
+	if flags&OpenTrunc != 0 {
+		in.attr.Size = 0
+	}
+	return fs.openHandle(ino, flags), nil
+}
+
+// Release implements Filesystem.
+func (fs *MemFS) Release(p *sim.Proc, ctx Ctx, h Handle) error {
+	if _, ok := fs.handles[h]; !ok {
+		return ErrBadHandle
+	}
+	delete(fs.handles, h)
+	return nil
+}
+
+// Read implements Filesystem: returns min(n, size-off) bytes.
+func (fs *MemFS) Read(p *sim.Proc, ctx Ctx, h Handle, off, n int64) (int64, error) {
+	mh, ok := fs.handles[h]
+	if !ok {
+		return 0, ErrBadHandle
+	}
+	in := fs.inodes[mh.ino]
+	if off >= in.attr.Size {
+		return 0, nil
+	}
+	if off+n > in.attr.Size {
+		n = in.attr.Size - off
+	}
+	return n, nil
+}
+
+// Write implements Filesystem: extends the file size.
+func (fs *MemFS) Write(p *sim.Proc, ctx Ctx, h Handle, off, n int64) (int64, error) {
+	mh, ok := fs.handles[h]
+	if !ok {
+		return 0, ErrBadHandle
+	}
+	if mh.flags&OpenWrite == 0 {
+		return 0, ErrPerm
+	}
+	in := fs.inodes[mh.ino]
+	if off+n > in.attr.Size {
+		in.attr.Size = off + n
+	}
+	in.attr.Mtime = durationOf(now(p))
+	return n, nil
+}
+
+// Fsync implements Filesystem (no-op for memory).
+func (fs *MemFS) Fsync(p *sim.Proc, ctx Ctx, h Handle) error {
+	if _, ok := fs.handles[h]; !ok {
+		return ErrBadHandle
+	}
+	return nil
+}
+
+// Mkdir implements Filesystem.
+func (fs *MemFS) Mkdir(p *sim.Proc, ctx Ctx, dir Ino, name string, mode uint32) (Attr, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return Attr{}, err
+	}
+	if name == "" || len(name) > MaxNameLen {
+		return Attr{}, ErrInvalid
+	}
+	if _, ok := d.entries[name]; ok {
+		return Attr{}, ErrExist
+	}
+	in := fs.alloc(TypeDir, mode, ctx.UID, ctx.GID)
+	in.attr.Nlink = 2
+	d.entries[name] = in.attr.Ino
+	d.attr.Nlink++
+	return in.attr, nil
+}
+
+// Rmdir implements Filesystem.
+func (fs *MemFS) Rmdir(p *sim.Proc, ctx Ctx, dir Ino, name string) error {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return err
+	}
+	ino, ok := d.entries[name]
+	if !ok {
+		return ErrNotExist
+	}
+	child := fs.inodes[ino]
+	if child.attr.Type != TypeDir {
+		return ErrNotDir
+	}
+	if len(child.entries) > 0 {
+		return ErrNotEmpty
+	}
+	delete(d.entries, name)
+	delete(fs.inodes, ino)
+	d.attr.Nlink--
+	return nil
+}
+
+// Unlink implements Filesystem.
+func (fs *MemFS) Unlink(p *sim.Proc, ctx Ctx, dir Ino, name string) error {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return err
+	}
+	ino, ok := d.entries[name]
+	if !ok {
+		return ErrNotExist
+	}
+	child := fs.inodes[ino]
+	if child.attr.Type == TypeDir {
+		return ErrIsDir
+	}
+	delete(d.entries, name)
+	child.attr.Nlink--
+	if child.attr.Nlink <= 0 {
+		delete(fs.inodes, ino)
+	}
+	return nil
+}
+
+// Rename implements Filesystem.
+func (fs *MemFS) Rename(p *sim.Proc, ctx Ctx, srcDir Ino, srcName string, dstDir Ino, dstName string) error {
+	sd, err := fs.dir(srcDir)
+	if err != nil {
+		return err
+	}
+	dd, err := fs.dir(dstDir)
+	if err != nil {
+		return err
+	}
+	ino, ok := sd.entries[srcName]
+	if !ok {
+		return ErrNotExist
+	}
+	if dstName == "" || len(dstName) > MaxNameLen {
+		return ErrInvalid
+	}
+	moving := fs.inodes[ino]
+	if existing, ok := dd.entries[dstName]; ok {
+		if existing == ino {
+			// POSIX: both names already refer to the same object —
+			// rename does nothing and succeeds.
+			return nil
+		}
+		tgt := fs.inodes[existing]
+		if tgt.attr.Type == TypeDir {
+			if moving.attr.Type != TypeDir {
+				return ErrIsDir
+			}
+			if len(tgt.entries) > 0 {
+				return ErrNotEmpty
+			}
+			dd.attr.Nlink--
+		} else if moving.attr.Type == TypeDir {
+			return ErrNotDir
+		}
+		tgt.attr.Nlink--
+		if tgt.attr.Nlink <= 0 || tgt.attr.Type == TypeDir {
+			delete(fs.inodes, existing)
+		}
+	}
+	delete(sd.entries, srcName)
+	dd.entries[dstName] = ino
+	if moving.attr.Type == TypeDir && srcDir != dstDir {
+		sd.attr.Nlink--
+		dd.attr.Nlink++
+	}
+	return nil
+}
+
+// Link implements Filesystem.
+func (fs *MemFS) Link(p *sim.Proc, ctx Ctx, ino Ino, dir Ino, name string) (Attr, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return Attr{}, err
+	}
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return Attr{}, ErrNotExist
+	}
+	if in.attr.Type == TypeDir {
+		return Attr{}, ErrIsDir
+	}
+	if _, ok := d.entries[name]; ok {
+		return Attr{}, ErrExist
+	}
+	d.entries[name] = ino
+	in.attr.Nlink++
+	return in.attr, nil
+}
+
+// Symlink implements Filesystem.
+func (fs *MemFS) Symlink(p *sim.Proc, ctx Ctx, dir Ino, name, target string) (Attr, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return Attr{}, err
+	}
+	if _, ok := d.entries[name]; ok {
+		return Attr{}, ErrExist
+	}
+	in := fs.alloc(TypeSymlink, 0777, ctx.UID, ctx.GID)
+	in.target = target
+	in.attr.Size = int64(len(target))
+	d.entries[name] = in.attr.Ino
+	return in.attr, nil
+}
+
+// Readlink implements Filesystem.
+func (fs *MemFS) Readlink(p *sim.Proc, ctx Ctx, ino Ino) (string, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return "", ErrNotExist
+	}
+	if in.attr.Type != TypeSymlink {
+		return "", ErrInvalid
+	}
+	return in.target, nil
+}
+
+// Readdir implements Filesystem; entries are sorted by name for
+// determinism.
+func (fs *MemFS) Readdir(p *sim.Proc, ctx Ctx, dir Ino) ([]DirEntry, error) {
+	d, err := fs.dir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(d.entries))
+	for name := range d.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DirEntry, len(names))
+	for i, name := range names {
+		ino := d.entries[name]
+		out[i] = DirEntry{Name: name, Ino: ino, Type: fs.inodes[ino].attr.Type}
+	}
+	return out, nil
+}
+
+// StatFS implements Filesystem.
+func (fs *MemFS) StatFS(p *sim.Proc, ctx Ctx) (Statfs, error) {
+	var st Statfs
+	for _, in := range fs.inodes {
+		st.Files++
+		if in.attr.Type == TypeDir {
+			st.Dirs++
+		}
+	}
+	return st, nil
+}
+
+// now returns the virtual time in nanoseconds, tolerating a nil proc so
+// MemFS can run outside a simulation (pure semantic tests).
+func now(p *sim.Proc) int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.Now())
+}
+
+func durationOf(ns int64) time.Duration { return time.Duration(ns) }

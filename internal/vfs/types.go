@@ -1,0 +1,122 @@
+// Package vfs defines the virtual file system interface used to stack
+// file systems in the simulation, mirroring the role of the kernel VFS +
+// FUSE in the paper's prototype (section III): the same interface is
+// implemented by the GPFS-like client (internal/pfs) and by the COFS
+// interposition layer (internal/core), and consumed by applications
+// through a Mount.
+package vfs
+
+import (
+	"errors"
+	"time"
+)
+
+// Ino identifies a file system object within one Filesystem instance.
+type Ino uint64
+
+// InvalidIno is never a valid object.
+const InvalidIno Ino = 0
+
+// FileType distinguishes the object kinds the paper's prototype handles.
+type FileType int
+
+// File types.
+const (
+	TypeRegular FileType = iota
+	TypeDir
+	TypeSymlink
+)
+
+// String returns "regular", "dir" or "symlink".
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "unknown"
+	}
+}
+
+// Attr is the metadata the paper's metadata driver manages: type, owner,
+// permissions, link count, size and times (section III-C).
+type Attr struct {
+	Ino   Ino
+	Type  FileType
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Nlink int
+	Size  int64
+	// Times are virtual timestamps (durations since simulation start).
+	Atime time.Duration
+	Mtime time.Duration
+	Ctime time.Duration
+}
+
+// SetAttr describes an attribute update; nil-able semantics via Has flags.
+type SetAttr struct {
+	HasMode  bool
+	Mode     uint32
+	HasOwner bool
+	UID, GID uint32
+	HasSize  bool
+	Size     int64
+	HasTimes bool
+	Atime    time.Duration
+	Mtime    time.Duration
+}
+
+// DirEntry is one readdir record.
+type DirEntry struct {
+	Name string
+	Ino  Ino
+	Type FileType
+}
+
+// Ctx identifies the caller: which node and process issue the operation
+// (the placement driver hashes both, section III-B) plus credentials.
+type Ctx struct {
+	Node int
+	PID  int
+	UID  uint32
+	GID  uint32
+}
+
+// OpenFlags for Open/Create.
+type OpenFlags int
+
+// Open flags (simplified POSIX).
+const (
+	OpenRead OpenFlags = 1 << iota
+	OpenWrite
+	OpenTrunc
+)
+
+// Handle identifies an open file within a Filesystem.
+type Handle uint64
+
+// Statfs reports aggregate file system information.
+type Statfs struct {
+	Files int64 // number of objects
+	Dirs  int64
+}
+
+// Errors returned by Filesystem implementations.
+var (
+	ErrNotExist    = errors.New("vfs: no such file or directory")
+	ErrExist       = errors.New("vfs: file exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrPerm        = errors.New("vfs: permission denied")
+	ErrBadHandle   = errors.New("vfs: bad file handle")
+	ErrInvalid     = errors.New("vfs: invalid argument")
+	ErrNameTooLong = errors.New("vfs: name too long")
+)
+
+// MaxNameLen bounds a single path component.
+const MaxNameLen = 255

@@ -1,0 +1,405 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+var ctx = Ctx{Node: 0, PID: 1, UID: 1000, GID: 100}
+
+// run executes fn inside a one-process simulation.
+func run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	env.Spawn("test", fn)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bareMount(fs Filesystem) *Mount { return NewMount(fs, params.FUSEParams{}) }
+
+func TestMemFSCreateLookupStat(t *testing.T) {
+	fs := NewMemFS()
+	m := bareMount(fs)
+	run(t, func(p *sim.Proc) {
+		f, err := m.Create(p, ctx, "/a.txt", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		attr, err := m.Stat(p, ctx, "/a.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Type != TypeRegular || attr.Mode != 0644 || attr.UID != 1000 {
+			t.Fatalf("attr = %+v", attr)
+		}
+	})
+}
+
+func TestMountMkdirAllAndWalk(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		if err := m.MkdirAll(p, ctx, "/a/b/c", 0755); err != nil {
+			t.Fatal(err)
+		}
+		attr, err := m.Stat(p, ctx, "/a/b/c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Type != TypeDir {
+			t.Fatalf("type %v", attr.Type)
+		}
+		// MkdirAll is idempotent.
+		if err := m.MkdirAll(p, ctx, "/a/b/c", 0755); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMountStatMissing(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		if _, err := m.Stat(p, ctx, "/nope"); err != ErrNotExist {
+			t.Fatalf("err = %v, want ErrNotExist", err)
+		}
+		if _, err := m.Stat(p, ctx, "/nope/deeper"); err != ErrNotExist {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReadWriteSizes(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		f, err := m.Create(p, ctx, "/data", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.WriteAt(p, 0, 1000)
+		if err != nil || n != 1000 {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+		n, err = f.WriteAt(p, 500, 1000) // extends to 1500
+		if err != nil || n != 1000 {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+		attr, _ := m.Stat(p, ctx, "/data")
+		if attr.Size != 1500 {
+			t.Fatalf("size = %d, want 1500", attr.Size)
+		}
+		n, err = f.ReadAt(p, 1000, 9999) // short read at EOF
+		if err != nil || n != 500 {
+			t.Fatalf("read = %d, %v; want 500", n, err)
+		}
+		n, err = f.ReadAt(p, 5000, 10)
+		if err != nil || n != 0 {
+			t.Fatalf("read past EOF = %d, %v", n, err)
+		}
+		f.Close(p)
+		if _, err := f.ReadAt(p, 0, 1); err != ErrBadHandle {
+			t.Fatalf("read after close: %v", err)
+		}
+	})
+}
+
+func TestUnlinkAndNlink(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.Close(p)
+		if err := m.Link(p, ctx, "/f", "/g"); err != nil {
+			t.Fatal(err)
+		}
+		attr, _ := m.Stat(p, ctx, "/g")
+		if attr.Nlink != 2 {
+			t.Fatalf("nlink = %d, want 2", attr.Nlink)
+		}
+		if err := m.Unlink(p, ctx, "/f"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat(p, ctx, "/f"); err != ErrNotExist {
+			t.Fatalf("stat unlinked: %v", err)
+		}
+		attr, err := m.Stat(p, ctx, "/g")
+		if err != nil || attr.Nlink != 1 {
+			t.Fatalf("after unlink: %+v, %v", attr, err)
+		}
+	})
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/d/sub", 0755)
+		if err := m.Rmdir(p, ctx, "/d"); err != ErrNotEmpty {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		if err := m.Rmdir(p, ctx, "/d/sub"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Rmdir(p, ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := m.Create(p, ctx, "/file", 0644)
+		f.Close(p)
+		if err := m.Rmdir(p, ctx, "/file"); err != ErrNotDir {
+			t.Fatalf("rmdir on file: %v", err)
+		}
+		if err := m.Unlink(p, ctx, "/file"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		a, _ := m.Create(p, ctx, "/a", 0644)
+		a.Close(p)
+		b, _ := m.Create(p, ctx, "/b", 0600)
+		b.Close(p)
+		if err := m.Rename(p, ctx, "/a", "/b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat(p, ctx, "/a"); err != ErrNotExist {
+			t.Fatalf("source survived rename: %v", err)
+		}
+		attr, err := m.Stat(p, ctx, "/b")
+		if err != nil || attr.Mode != 0644 {
+			t.Fatalf("target = %+v, %v", attr, err)
+		}
+	})
+}
+
+func TestRenameDirAcrossDirs(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/src/inner", 0755)
+		m.MkdirAll(p, ctx, "/dst", 0755)
+		f, _ := m.Create(p, ctx, "/src/inner/x", 0644)
+		f.Close(p)
+		if err := m.Rename(p, ctx, "/src/inner", "/dst/moved"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Stat(p, ctx, "/dst/moved/x"); err != nil {
+			t.Fatalf("moved content missing: %v", err)
+		}
+	})
+}
+
+func TestSymlinkReadlink(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		if err := m.Symlink(p, ctx, "/target/file", "/lnk"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Readlink(p, ctx, "/lnk")
+		if err != nil || got != "/target/file" {
+			t.Fatalf("readlink = %q, %v", got, err)
+		}
+		attr, _ := m.Stat(p, ctx, "/lnk")
+		if attr.Type != TypeSymlink || attr.Size != int64(len("/target/file")) {
+			t.Fatalf("attr = %+v", attr)
+		}
+	})
+}
+
+func TestReaddirSorted(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		for _, n := range []string{"c", "a", "b"} {
+			f, err := m.Create(p, ctx, "/"+n, 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Close(p)
+		}
+		ents, err := m.Readdir(p, ctx, "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 3 || ents[0].Name != "a" || ents[2].Name != "c" {
+			t.Fatalf("entries = %+v", ents)
+		}
+	})
+}
+
+func TestUtimeAndChmod(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.Close(p)
+		p.Sleep(5 * time.Millisecond)
+		attr, err := m.Utime(p, ctx, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Mtime != 5*time.Millisecond {
+			t.Fatalf("mtime = %v", attr.Mtime)
+		}
+		attr, err = m.Chmod(p, ctx, "/f", 0400)
+		if err != nil || attr.Mode != 0400 {
+			t.Fatalf("chmod: %+v, %v", attr, err)
+		}
+	})
+}
+
+func TestCreateExistingTruncates(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		f.WriteAt(p, 0, 100)
+		f.Close(p)
+		g, err := m.Create(p, ctx, "/f", 0644)
+		if err != nil {
+			t.Fatalf("re-create: %v", err)
+		}
+		g.Close(p)
+		attr, _ := m.Stat(p, ctx, "/f")
+		if attr.Size != 0 {
+			t.Fatalf("size after re-create = %d, want 0 (truncated)", attr.Size)
+		}
+	})
+}
+
+func TestFUSECostsCharged(t *testing.T) {
+	fuse := params.FUSEParams{
+		CrossingTime: time.Millisecond,
+		CopyRate:     1e9,
+		MaxWrite:     1 << 20,
+	}
+	slow := NewMount(NewMemFS(), fuse)
+	fast := bareMount(NewMemFS())
+	var slowT, fastT time.Duration
+	run(t, func(p *sim.Proc) {
+		start := p.Now()
+		f, _ := fast.Create(p, ctx, "/f", 0644)
+		f.WriteAt(p, 0, 1<<20)
+		f.Close(p)
+		fastT = p.Now() - start
+
+		start = p.Now()
+		g, _ := slow.Create(p, ctx, "/f", 0644)
+		g.WriteAt(p, 0, 1<<20)
+		g.Close(p)
+		slowT = p.Now() - start
+	})
+	if slowT <= fastT {
+		t.Fatalf("FUSE mount %v not slower than bare %v", slowT, fastT)
+	}
+	// 3 crossings (create+write+close) plus ~1ms copy.
+	if slowT < 3*time.Millisecond {
+		t.Fatalf("slowT = %v, want >= 3ms", slowT)
+	}
+}
+
+func TestFUSESplitsLargeWrites(t *testing.T) {
+	fuse := params.FUSEParams{CrossingTime: time.Millisecond, MaxWrite: 128 << 10}
+	fs := NewMemFS()
+	m := NewMount(fs, fuse)
+	run(t, func(p *sim.Proc) {
+		f, _ := m.Create(p, ctx, "/f", 0644)
+		before := m.Ops
+		f.WriteAt(p, 0, 1<<20) // 1 MB in 128 KB chunks: 8 crossings
+		if got := m.Ops - before; got != 8 {
+			t.Fatalf("crossings = %d, want 8", got)
+		}
+	})
+}
+
+func TestDcacheAvoidsLookups(t *testing.T) {
+	fs := NewMemFS()
+	m := bareMount(fs)
+	run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/deep/nested/dir", 0755)
+		f, _ := m.Create(p, ctx, "/deep/nested/dir/f", 0644)
+		f.Close(p)
+		before := m.Ops
+		m.Stat(p, ctx, "/deep/nested/dir/f")
+		// All four components cached: only the Getattr op remains.
+		if got := m.Ops - before; got != 1 {
+			t.Fatalf("ops = %d, want 1 (dcache hit)", got)
+		}
+	})
+}
+
+func TestStatFS(t *testing.T) {
+	m := bareMount(NewMemFS())
+	run(t, func(p *sim.Proc) {
+		m.MkdirAll(p, ctx, "/d", 0755)
+		f, _ := m.Create(p, ctx, "/d/f", 0644)
+		f.Close(p)
+		st, err := m.StatFS(p, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Files != 3 || st.Dirs != 2 { // root, d, f
+			t.Fatalf("statfs = %+v", st)
+		}
+	})
+}
+
+// TestMemFSPropertyRandomOps drives MemFS with random operation sequences
+// and checks global invariants after each op.
+func TestMemFSPropertyRandomOps(t *testing.T) {
+	type op struct {
+		Kind byte
+		A, B uint8
+	}
+	f := func(ops []op) bool {
+		fs := NewMemFS()
+		m := bareMount(fs)
+		ok := true
+		env := sim.NewEnv(1)
+		env.Spawn("prop", func(p *sim.Proc) {
+			live := []string{}
+			name := func(x uint8) string { return fmt.Sprintf("n%d", x%16) }
+			for _, o := range ops {
+				switch o.Kind % 5 {
+				case 0:
+					if f, err := m.Create(p, ctx, "/"+name(o.A), 0644); err == nil {
+						f.Close(p)
+						live = append(live, name(o.A))
+					}
+				case 1:
+					m.Unlink(p, ctx, "/"+name(o.A))
+				case 2:
+					m.Mkdir(p, ctx, "/"+name(o.A), 0755)
+				case 3:
+					m.Rename(p, ctx, "/"+name(o.A), "/"+name(o.B))
+				case 4:
+					m.Stat(p, ctx, "/"+name(o.A))
+				}
+			}
+			// Invariant: every readdir entry resolves via lookup, and
+			// statfs counts match the entry walk.
+			ents, err := m.Readdir(p, ctx, "/")
+			if err != nil {
+				ok = false
+				return
+			}
+			for _, e := range ents {
+				if _, err := m.Stat(p, ctx, "/"+e.Name); err != nil {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
