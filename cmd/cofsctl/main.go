@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cofsctl [-nodes N] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|all
+//	cofsctl [-nodes N] [-shards M] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|all
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of compute nodes")
+	shards := flag.Int("shards", 1, "metadata service shards")
 	files := flag.Int("files", 32, "files per node to create in the demo workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
@@ -36,11 +37,13 @@ func main() {
 	switch what {
 	case "mapping", "tables", "stats", "fsck", "all":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-files F] [-corrupt] mapping|tables|stats|fsck|all")
+		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-shards M] [-files F] [-corrupt] mapping|tables|stats|fsck|all")
 		os.Exit(2)
 	}
 
-	tb := cluster.New(*seed, *nodes, params.Default())
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = *shards
+	tb := cluster.New(*seed, *nodes, cfg)
 	d := core.Deploy(tb, nil)
 
 	// Demo workload: shared dir, parallel creates, a few stats.
@@ -105,7 +108,10 @@ func main() {
 		})
 		tb.Run()
 		fmt.Printf("  objects=%d dirs=%d wal-records=%d commits=%d\n",
-			files, dirs, d.Service.DB.WALLen(), d.Service.DB.Commits)
+			files, dirs, d.Service.WALLen(), d.Service.Commits())
+		for i, n := range d.Service.ShardCounts() {
+			fmt.Printf("  shard%02d: %d inode rows\n", i, n)
+		}
 	}
 	if what == "fsck" || what == "all" {
 		fmt.Println("== fsck (service tables vs underlying file system) ==")
@@ -143,9 +149,9 @@ func main() {
 	}
 	if what == "stats" || what == "all" {
 		fmt.Println("== service / token statistics ==")
-		s := d.Service.Stats
-		fmt.Printf("  service: requests=%d creates=%d lookups=%d getattrs=%d updates=%d removes=%d\n",
-			s.Requests, s.Creates, s.Lookups, s.Getattrs, s.Updates, s.Removes)
+		s := d.Service.Stats()
+		fmt.Printf("  service: requests=%d creates=%d lookups=%d getattrs=%d updates=%d removes=%d peer-rpcs=%d\n",
+			s.Requests, s.Creates, s.Lookups, s.Getattrs, s.Updates, s.Removes, s.PeerCalls)
 		ts := tb.FS.Tokens.Stats
 		fmt.Printf("  underlying tokens: acquires=%d transfers=%d revocations=%d local-grants=%d\n",
 			ts.Acquires, ts.Transfers, ts.Revocations, ts.LocalGrants)

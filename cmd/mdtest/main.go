@@ -21,7 +21,9 @@ import (
 func main() {
 	var (
 		fs     = flag.String("fs", "cofs", "stack: gpfs | cofs")
-		nodes  = flag.Int("nodes", 4, "participating ranks (one per node)")
+		nodes  = flag.Int("nodes", 4, "participating compute nodes")
+		procs  = flag.Int("procs", 1, "ranks per node")
+		shards = flag.Int("shards", 1, "cofs metadata service shards")
 		depth  = flag.Int("depth", 2, "tree depth")
 		branch = flag.Int("branch", 4, "tree fanout per level")
 		files  = flag.Int("files", 128, "files per rank")
@@ -31,7 +33,9 @@ func main() {
 	)
 	flag.Parse()
 
-	tb := cluster.New(*seed, *nodes, params.Default())
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = *shards
+	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
 	switch *fs {
 	case "gpfs":
@@ -45,14 +49,14 @@ func main() {
 	}
 
 	res := bench.MDTest(tgt, bench.MDTestConfig{
-		Nodes: *nodes, Depth: *depth, Branch: *branch, FilesPerRank: *files,
+		Nodes: *nodes, ProcsPerNode: *procs, Depth: *depth, Branch: *branch, FilesPerRank: *files,
 		Shared: *shared, StatShift: *shift,
 	})
 	mode := "unique trees"
 	if *shared {
 		mode = "shared tree"
 	}
-	fmt.Printf("mdtest on %s: %d ranks, depth %d, branch %d, %d files/rank, %s, shift=%v\n\n",
-		*fs, *nodes, *depth, *branch, *files, mode, *shift)
+	fmt.Printf("mdtest on %s: %d ranks (%d nodes x %d), depth %d, branch %d, %d files/rank, %s, shift=%v\n\n",
+		*fs, *nodes**procs, *nodes, *procs, *depth, *branch, *files, mode, *shift)
 	fmt.Print(res.Report())
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	metarates [-fs gpfs|cofs] [-nodes N] [-procs P] [-files F] [-dir D] [-ops list] [-seed S]
+//	metarates [-fs gpfs|cofs] [-nodes N] [-shards M] [-procs P] [-files F] [-dir D] [-ops list] [-seed S]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 func main() {
 	fsKind := flag.String("fs", "gpfs", "file system under test: gpfs or cofs")
 	nodes := flag.Int("nodes", 4, "number of compute nodes")
+	shards := flag.Int("shards", 1, "cofs metadata service shards")
 	procs := flag.Int("procs", 1, "processes per node")
 	files := flag.Int("files", 256, "files per process")
 	dir := flag.String("dir", "/shared", "shared directory")
@@ -30,6 +31,7 @@ func main() {
 	flag.Parse()
 
 	cfg := params.Default()
+	cfg.COFS.MetadataShards = *shards
 	tb := cluster.New(*seed, *nodes, cfg)
 	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	var deployment *core.Deployment
@@ -67,9 +69,9 @@ func main() {
 			rate)
 	}
 	if deployment != nil {
-		st := deployment.Service.Stats
-		fmt.Printf("\ncofs service: %d requests (%d creates, %d lookups, %d getattrs, %d updates, %d removes)\n",
-			st.Requests, st.Creates, st.Lookups, st.Getattrs, st.Updates, st.Removes)
+		st := deployment.Service.Stats()
+		fmt.Printf("\ncofs service: %d requests (%d creates, %d lookups, %d getattrs, %d updates, %d removes, %d peer rpcs)\n",
+			st.Requests, st.Creates, st.Lookups, st.Getattrs, st.Updates, st.Removes, st.PeerCalls)
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())
 }

@@ -39,9 +39,9 @@ func main() {
 			f.WriteAt(p, 0, 8<<10)
 			f.Close(p)
 		}
-		cofs.Service.DB.Checkpoint(p)
+		cofs.Service.Checkpoint(p)
 		fmt.Printf("phase 1: 20 files created, service checkpointed (WAL %d records)\n",
-			cofs.Service.DB.WALLen())
+			cofs.Service.WALLen())
 	})
 	tb.Run()
 
@@ -70,13 +70,13 @@ func main() {
 		}
 		fmt.Println("phase 2: 5 flushed creates + 3 creates inside the flush window")
 		fmt.Println("\n*** metadata service crash (mid-flush-window) ***")
-		cofs.Service.DB.Crash()
+		cofs.Service.Crash()
 	})
 	tb.Run()
 
 	tb.Env.Spawn("recover", func(p *sim.Proc) {
 		start := p.Now()
-		cofs.Service.DB.Recover(p)
+		cofs.Service.Recover(p)
 		fmt.Printf("recovery: log replay took %v (virtual)\n\n", p.Now()-start)
 
 		m := cofs.Mounts[2]
@@ -121,7 +121,7 @@ func main() {
 	// Act 2: the primary dies for good; promote the hot standby that
 	// has been receiving WAL shipments all along.
 	fmt.Println("\n*** primary dies again; promoting hot standby ***")
-	cofs.Service.DB.Crash()
+	cofs.Service.Crash()
 	lost := standby.Promote(cofs)
 	fmt.Printf("promotion: %d records were still in the shipping pipeline (lost)\n", lost)
 

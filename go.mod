@@ -1,0 +1,3 @@
+module cofs
+
+go 1.24

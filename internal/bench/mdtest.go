@@ -20,8 +20,12 @@ import (
 
 // MDTestConfig configures one mdtest run.
 type MDTestConfig struct {
-	// Nodes is the number of participating ranks (one process each).
+	// Nodes is the number of participating compute nodes.
 	Nodes int
+	// ProcsPerNode is how many ranks each node runs (mdtest launches one
+	// MPI rank per slot; 0 means 1). Ranks are laid out round-robin over
+	// the nodes.
+	ProcsPerNode int
 	// Depth is the directory tree depth below the root work dir.
 	Depth int
 	// Branch is the fanout at every tree level.
@@ -127,6 +131,10 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	if cfg.Branch < 1 {
 		cfg.Branch = 1
 	}
+	if cfg.ProcsPerNode < 1 {
+		cfg.ProcsPerNode = 1
+	}
+	totalRanks := cfg.Nodes * cfg.ProcsPerNode
 	res := &MDTestResult{
 		PerPhase:  make(map[string]*stats.Summary),
 		PhaseTime: make(map[string]time.Duration),
@@ -145,7 +153,7 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	}
 	// treeOwners: in shared mode rank 0 builds the single tree; in
 	// unique mode every rank builds its own.
-	treeRanks := cfg.Nodes
+	treeRanks := totalRanks
 	if cfg.Shared {
 		treeRanks = 1
 	}
@@ -164,7 +172,7 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 			r := r
 			node := r % cfg.Nodes
 			t.Env.Spawn(fmt.Sprintf("mdtest.%s.%d", name, r), func(p *sim.Proc) {
-				ops[r] = fn(p, t.Mounts[node], t.Ctx(node, 1), r)
+				ops[r] = fn(p, t.Mounts[node], t.Ctx(node, 1+r/cfg.Nodes), r)
 				ends[r] = p.Now()
 			})
 		}
@@ -207,7 +215,7 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	}
 
 	// Phase 2: file creation (every rank, spread over its leaves).
-	phase("file-create", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+	phase("file-create", totalRanks, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
 		leaves := leavesOf(rank)
 		for i := 0; i < cfg.FilesPerRank; i++ {
 			path := mdFile(leaves, rankRoot(rank), rank, i)
@@ -223,10 +231,10 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	})
 
 	// Phase 3: file stat (optionally shifted to the next rank's files).
-	phase("file-stat", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+	phase("file-stat", totalRanks, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
 		target := rank
 		if cfg.StatShift {
-			target = (rank + 1) % cfg.Nodes
+			target = (rank + 1) % totalRanks
 		}
 		leaves := leavesOf(target)
 		for i := 0; i < cfg.FilesPerRank; i++ {
@@ -240,7 +248,7 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	})
 
 	// Phase 4: file removal (own files).
-	phase("file-remove", cfg.Nodes, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
+	phase("file-remove", totalRanks, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int {
 		leaves := leavesOf(rank)
 		for i := 0; i < cfg.FilesPerRank; i++ {
 			path := mdFile(leaves, rankRoot(rank), rank, i)

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"testing"
 
 	"cofs/internal/cluster"
@@ -30,6 +31,34 @@ func TestConformance(t *testing.T) {
 			Check:               d.Service.CheckInvariants,
 		}
 	})
+}
+
+// TestConformanceSharded repeats the battery against a sharded metadata
+// plane: shard count must be observationally invisible — only the
+// virtual-time costs may change. Cluster-wide referential integrity
+// (including row placement) is re-checked after every subtest.
+func TestConformanceSharded(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			conformance.Run(t, func(t *testing.T) *conformance.System {
+				cfg := params.Default()
+				cfg.COFS.MetadataShards = shards
+				tb := cluster.New(23+int64(shards), 1, cfg)
+				d := core.Deploy(tb, nil)
+				tb.Run()
+				return &conformance.System{
+					Env:                 tb.Env,
+					Mount:               d.Mounts[0],
+					User:                vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+					Other:               vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+					Root:                vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+					EnforcesPermissions: true,
+					Check:               d.Service.CheckInvariants,
+				}
+			})
+		})
+	}
 }
 
 // TestConformanceWithAttrCache repeats the battery with the client

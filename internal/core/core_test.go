@@ -333,11 +333,11 @@ func TestServiceCrashRecovery(t *testing.T) {
 			f.Close(p)
 		}
 		// Force the Mnesia-style log dump, then crash and recover.
-		r.d.Service.DB.Checkpoint(p)
+		r.d.Service.Checkpoint(p)
 		f2, _ := m.Create(p, ctx, "/dir/unflushed", 0644)
 		f2.Close(p)
-		r.d.Service.DB.Crash()
-		r.d.Service.DB.Recover(p)
+		r.d.Service.Crash()
+		r.d.Service.Recover(p)
 		for i := 0; i < 10; i++ {
 			if _, err := m.Stat(p, ctx, fmt.Sprintf("/dir/f%d", i)); err != nil {
 				t.Fatalf("file f%d lost after crash+recovery: %v", i, err)

@@ -53,8 +53,8 @@ func TestCrashMidWorkloadRecovery(t *testing.T) {
 		})
 	}
 	tb.Env.SpawnAfter("saboteur", 60*time.Millisecond, func(p *sim.Proc) {
-		d.Service.DB.Crash()
-		d.Service.DB.Recover(p)
+		d.Service.Crash()
+		d.Service.Recover(p)
 		d.Service.AdoptIDCounter()
 	})
 	tb.Run()
@@ -151,8 +151,8 @@ func TestCrashAttrCacheNoResurrection(t *testing.T) {
 			panic(err)
 		}
 		lostIno = attr.Ino
-		d.Service.DB.Crash()
-		d.Service.DB.Recover(p)
+		d.Service.Crash()
+		d.Service.Recover(p)
 		d.Service.AdoptIDCounter()
 	})
 	tb.Run()

@@ -8,19 +8,21 @@ import (
 	"cofs/internal/vfs"
 )
 
-// Deployment is a COFS layer installed over a testbed's file system: one
-// metadata service node plus a FUSE-mounted COFS client per compute node
+// Deployment is a COFS layer installed over a testbed's file system: a
+// metadata service plane (one shard per configured MetadataShards, each
+// on its own blade) plus a FUSE-mounted COFS client per compute node
 // (Fig. 3 of the paper).
 type Deployment struct {
-	Service *Service
+	Service *MDSCluster
 	FSs     []*FS
 	Mounts  []*vfs.Mount
 }
 
 // Deploy installs COFS on the testbed with the given placement policy
 // (nil selects the paper's hash placement with the configured fanout and
-// randomization). The service runs on a dedicated blade attached to the
-// original blade-center switch, as in section IV.
+// randomization). The service shards run on dedicated blades attached to
+// the original blade-center switch, as in section IV; the paper's
+// deployment is MetadataShards == 1.
 func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 	cfg := tb.Cfg
 	if place == nil {
@@ -29,8 +31,12 @@ func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 			RandomSubdirs: cfg.COFS.RandomSubdirs,
 		}
 	}
-	svcHost := tb.Net.AddHost("cofs-mds", cfg.COFS.ServiceWorkers, 0)
-	svc := NewService(tb.Net, svcHost, cfg)
+	shards := cfg.COFS.MetadataShards
+	if shards < 1 {
+		shards = 1
+	}
+	hosts := tb.AddServiceHosts("cofs-mds", shards, cfg.COFS.ServiceWorkers)
+	svc := NewMDSCluster(tb.Net, hosts, cfg)
 	d := &Deployment{Service: svc}
 	// Install-time initialization: pre-create the hash (and random)
 	// levels of the object tree from one node, so runtime creates land

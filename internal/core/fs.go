@@ -15,7 +15,7 @@ import (
 // system. Metadata operations become service RPCs; data operations pass
 // through to the underlying file system at the placement-mapped path.
 type FS struct {
-	svc   *Service
+	svc   *MDSCluster
 	host  *netsim.Host
 	node  int
 	under *vfs.Mount // the underlying (GPFS-like) file system, bare-mounted
@@ -69,8 +69,9 @@ type cofsHandle struct {
 // NewFS attaches a node to COFS. under must be a bare mount of the
 // node's underlying file system client; place selects the placement
 // policy (HashPlacement with the configured fanout/randomization for the
-// paper's behaviour).
-func NewFS(svc *Service, host *netsim.Host, node int, under *vfs.Mount, place Placement, cfg params.COFSParams, rng *rand.Rand) *FS {
+// paper's behaviour). svc is the (possibly sharded) metadata plane; the
+// client routes each operation to its coordinator shard.
+func NewFS(svc *MDSCluster, host *netsim.Host, node int, under *vfs.Mount, place Placement, cfg params.COFSParams, rng *rand.Rand) *FS {
 	return &FS{
 		svc:      svc,
 		host:     host,
@@ -90,8 +91,8 @@ func NewFS(svc *Service, host *netsim.Host, node int, under *vfs.Mount, place Pl
 // AttrCacheHits reports client attribute-cache hits (tooling/ablation).
 func (f *FS) AttrCacheHits() int64 { return f.attrs.Hits }
 
-// Service returns the metadata service (for tooling).
-func (f *FS) Service() *Service { return f.svc }
+// Service returns the metadata service plane (for tooling).
+func (f *FS) Service() *MDSCluster { return f.svc }
 
 // Root implements vfs.Filesystem.
 func (f *FS) Root() vfs.Ino { return RootID }

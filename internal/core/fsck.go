@@ -71,7 +71,7 @@ func (r *FsckReport) String() string {
 // paper's prototype would need: because COFS owns the only map from
 // virtual names to underlying paths (section III-C), underlying damage
 // is undetectable through the virtual mount alone.
-func Fsck(p *sim.Proc, svc *Service, under *vfs.Mount) *FsckReport {
+func Fsck(p *sim.Proc, svc *MDSCluster, under *vfs.Mount) *FsckReport {
 	r := &FsckReport{TableErr: svc.CheckInvariants()}
 
 	mapped := make(map[string]bool)

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"cofs/internal/netsim"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// This file implements the sharded metadata service plane: the paper's
+// future-work direction of distributing the metadata server itself
+// (section V). An MDSCluster runs N independent metadata shards, each a
+// *Service on its own simulated host with its own disk and Mnesia-style
+// tables. Clients route every operation to a coordinator shard chosen by
+// a deterministic shard map; operations whose rows span shards run an
+// explicit two-phase protocol over simulated shard-to-shard RPCs (see
+// twophase.go), so the virtual-time model keeps charging realistic
+// latency for the distribution the single-service prototype avoided.
+
+// ShardMap is the deterministic placement function of the metadata
+// plane. Inode rows (and their mappings) live on the shard derived from
+// the inode id; dentries live on the shard of their parent directory, so
+// Lookup and Readdir are always coordinated by a single shard.
+//
+// Placement is strided: shard s owns every id with (id-1) mod N == s,
+// and each shard allocates ids from its own stride. New regular files
+// and symlinks draw their id from the parent directory's shard, so a
+// create commits on one shard; new directories draw theirs from the
+// shard hashed from (parent, name), which spreads independent directory
+// subtrees — and the load of everything later created inside them —
+// across the whole plane.
+type ShardMap struct {
+	// Shards is the shard count N. 0 and 1 both mean "unsharded".
+	Shards int
+}
+
+// Of returns the shard owning an inode id. The same id maps to the same
+// shard on every run and across restarts with an unchanged shard count.
+func (m ShardMap) Of(ino vfs.Ino) int {
+	if m.Shards <= 1 {
+		return 0
+	}
+	return int((uint64(ino) - 1) % uint64(m.Shards))
+}
+
+// DirTarget returns the shard a new directory created as (parent, name)
+// allocates its inode from. Hashing the birth name (rather than
+// inheriting the parent's shard) is what keeps the map balanced: without
+// it, every object would transitively collapse onto the root's shard.
+func (m ShardMap) DirTarget(parent vfs.Ino, name string) int {
+	if m.Shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(parent) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return int(mix64(h.Sum64()) % uint64(m.Shards))
+}
+
+// MDSCluster is the sharded COFS metadata service plane. It exposes the
+// same operation surface the single Service used to, routing each call
+// to its coordinator shard; a deployment with one shard is behaviourally
+// and cost-identical to the paper's prototype.
+type MDSCluster struct {
+	// Map is the deterministic shard map.
+	Map    ShardMap
+	shards []*Service
+}
+
+// NewMDSCluster creates one metadata shard per host. The hosts must be
+// on the deployment's network; each shard gets a freshly attached local
+// disk named after its host.
+func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MDSCluster {
+	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}}
+	for i, h := range hosts {
+		c.shards = append(c.shards, newShard(net, h, cfg, c, i))
+	}
+	return c
+}
+
+// Shards returns the shard services in shard-id order (tooling/tests).
+func (c *MDSCluster) Shards() []*Service { return c.shards }
+
+// shard returns the shard owning ino.
+func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Map.Of(ino)] }
+
+// ---- routed operations (the client-facing surface used by FS) ----
+
+// Lookup resolves (parent, name); coordinated by the parent's shard.
+func (c *MDSCluster) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name string) (vfs.Attr, error) {
+	return c.shard(parent).Lookup(p, from, parent, name)
+}
+
+// Getattr returns the attributes of id from its owning shard.
+func (c *MDSCluster) Getattr(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, error) {
+	return c.shard(id).Getattr(p, from, id)
+}
+
+// Setattr updates attributes of id on its owning shard.
+func (c *MDSCluster) Setattr(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
+	return c.shard(id).Setattr(p, from, ctx, id, set)
+}
+
+// Create allocates a new object under parent; coordinated by the
+// parent's shard (which owns the new dentry).
+func (c *MDSCluster) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
+	return c.shard(parent).Create(p, from, ctx, parent, name, t, mode, bucket, target)
+}
+
+// Readlink returns a symlink's target from its owning shard.
+func (c *MDSCluster) Readlink(p *sim.Proc, from *netsim.Host, id vfs.Ino) (string, error) {
+	return c.shard(id).Readlink(p, from, id)
+}
+
+// OpenInfo returns attributes and underlying mapping of a regular file.
+func (c *MDSCluster) OpenInfo(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, string, error) {
+	return c.shard(id).OpenInfo(p, from, id)
+}
+
+// Remove unlinks (parent, name); coordinated by the parent's shard.
+func (c *MDSCluster) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+	return c.shard(parent).Remove(p, from, ctx, parent, name, rmdir)
+}
+
+// Rename moves (srcDir, srcName) to (dstDir, dstName); coordinated by
+// the source directory's shard.
+func (c *MDSCluster) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	return c.shard(srcDir).Rename(p, from, ctx, srcDir, srcName, dstDir, dstName)
+}
+
+// Link adds a hard link to id at (parent, name); coordinated by the
+// parent's shard.
+func (c *MDSCluster) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	return c.shard(parent).Link(p, from, ctx, id, parent, name)
+}
+
+// ReaddirPlus lists dir with attributes; coordinated by dir's shard.
+func (c *MDSCluster) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
+	return c.shard(dir).ReaddirPlus(p, from, ctx, dir)
+}
+
+// Readdir lists dir (names and types only).
+func (c *MDSCluster) Readdir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	ents, _, err := c.ReaddirPlus(p, from, ctx, dir)
+	return ents, err
+}
+
+// WriteBack records a writer's size/mtime at close on id's shard.
+func (c *MDSCluster) WriteBack(p *sim.Proc, from *netsim.Host, id vfs.Ino, size int64, mtime time.Duration) error {
+	return c.shard(id).WriteBack(p, from, id, size, mtime)
+}
+
+// CountObjects returns (files, dirs) aggregated over every shard, one
+// RPC per shard.
+func (c *MDSCluster) CountObjects(p *sim.Proc, from *netsim.Host) (int64, int64) {
+	var files, dirs int64
+	for _, s := range c.shards {
+		f, d := s.CountObjects(p, from)
+		files += f
+		dirs += d
+	}
+	return files, dirs
+}
+
+// Mapping returns the underlying path of a regular file (cofsctl).
+func (c *MDSCluster) Mapping(id vfs.Ino) (string, bool) {
+	return c.shard(id).mappings.Peek(id)
+}
+
+// EachMapping visits every (file id, underlying path) pair, shard by
+// shard in deterministic order (tooling and tests).
+func (c *MDSCluster) EachMapping(fn func(id vfs.Ino, upath string)) {
+	for _, s := range c.shards {
+		s.mappings.Each(fn)
+	}
+}
+
+// ---- whole-plane lifecycle (crash, recovery, tooling aggregates) ----
+
+// Crash crashes every shard's database (tables lost, flushed WAL kept).
+func (c *MDSCluster) Crash() {
+	for _, s := range c.shards {
+		s.DB.Crash()
+	}
+}
+
+// Recover replays every shard's flushed WAL.
+func (c *MDSCluster) Recover(p *sim.Proc) {
+	for _, s := range c.shards {
+		s.DB.Recover(p)
+	}
+}
+
+// Checkpoint dumps every shard's tables and truncates its WAL.
+func (c *MDSCluster) Checkpoint(p *sim.Proc) {
+	for _, s := range c.shards {
+		s.DB.Checkpoint(p)
+	}
+}
+
+// AdoptIDCounter recomputes every shard's id allocator from its tables
+// (after recovery or standby promotion).
+func (c *MDSCluster) AdoptIDCounter() {
+	for _, s := range c.shards {
+		s.AdoptIDCounter()
+	}
+}
+
+// Stats aggregates the per-shard service counters.
+func (c *MDSCluster) Stats() ServiceStats {
+	var out ServiceStats
+	for _, s := range c.shards {
+		out.Requests += s.Stats.Requests
+		out.Creates += s.Stats.Creates
+		out.Lookups += s.Stats.Lookups
+		out.Getattrs += s.Stats.Getattrs
+		out.Updates += s.Stats.Updates
+		out.Removes += s.Stats.Removes
+		out.PeerCalls += s.Stats.PeerCalls
+	}
+	return out
+}
+
+// WALLen reports the total log length across shards (cofsctl).
+func (c *MDSCluster) WALLen() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.DB.WALLen()
+	}
+	return n
+}
+
+// Commits reports total durable commits across shards (cofsctl).
+func (c *MDSCluster) Commits() int64 {
+	var n int64
+	for _, s := range c.shards {
+		n += s.DB.Commits
+	}
+	return n
+}
+
+// ShardCounts returns the number of inode rows per shard (tooling and
+// the balance property tests).
+func (c *MDSCluster) ShardCounts() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.inodes.Len()
+	}
+	return out
+}
+
+// CheckInvariants validates referential integrity of the whole plane:
+// every row lives on the shard the map assigns it, every dentry points
+// at a live inode (wherever it lives), dentry types mirror inode types,
+// nlink matches the cluster-wide dentry references for non-directories,
+// and every regular file has a mapping co-located with its inode. Tests
+// call it after workloads.
+func (c *MDSCluster) CheckInvariants() error {
+	type loc struct {
+		row   inodeRow
+		shard int
+	}
+	inodes := make(map[vfs.Ino]loc)
+	var err error
+	for si, s := range c.shards {
+		si, s := si, s
+		s.inodes.Each(func(id vfs.Ino, row inodeRow) {
+			if c.Map.Of(id) != si {
+				err = fmt.Errorf("core: inode %d on shard %d, map says %d", id, si, c.Map.Of(id))
+			}
+			if row.ID != id {
+				err = fmt.Errorf("core: inode row %d disagrees with its key %d", row.ID, id)
+			}
+			inodes[id] = loc{row: row, shard: si}
+		})
+		s.mappings.Each(func(id vfs.Ino, upath string) {
+			if c.Map.Of(id) != si {
+				err = fmt.Errorf("core: mapping for %d on shard %d, map says %d", id, si, c.Map.Of(id))
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	refs := make(map[vfs.Ino]int)
+	dirRefs := make(map[vfs.Ino]int) // parent -> child-directory count
+	for si, s := range c.shards {
+		si := si
+		s.dentries.Each(func(k dentryKey, de dentryRow) {
+			if de.Parent != k.Parent || de.Name != k.Name {
+				err = fmt.Errorf("core: dentry row %v disagrees with its key %v", de, k)
+				return
+			}
+			if c.Map.Of(k.Parent) != si {
+				err = fmt.Errorf("core: dentry %d/%s on shard %d, map says %d", k.Parent, k.Name, si, c.Map.Of(k.Parent))
+				return
+			}
+			l, ok := inodes[de.Child]
+			if !ok {
+				err = fmt.Errorf("core: dentry %v/%s points at missing inode %d", k.Parent, k.Name, de.Child)
+				return
+			}
+			if l.row.Type != de.Type {
+				err = fmt.Errorf("core: dentry %v/%s type %v disagrees with inode type %v", k.Parent, k.Name, de.Type, l.row.Type)
+				return
+			}
+			if l.row.Type != vfs.TypeDir {
+				refs[de.Child]++
+			} else {
+				dirRefs[k.Parent]++
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	ids := make([]vfs.Ino, 0, len(inodes))
+	for id := range inodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l := inodes[id]
+		if l.row.Type == vfs.TypeDir {
+			// A directory's nlink is itself + "." plus one ".." per
+			// child directory.
+			if want := 2 + dirRefs[id]; l.row.Nlink != want {
+				return fmt.Errorf("core: directory %d nlink=%d, want %d (2 + %d subdirs)", id, l.row.Nlink, want, dirRefs[id])
+			}
+			continue
+		}
+		if refs[id] != l.row.Nlink {
+			return fmt.Errorf("core: inode %d nlink=%d, %d dentries", id, l.row.Nlink, refs[id])
+		}
+		if l.row.Type == vfs.TypeRegular {
+			if _, ok := c.shards[l.shard].mappings.Peek(id); !ok {
+				return fmt.Errorf("core: regular file %d has no mapping", id)
+			}
+		}
+	}
+	return nil
+}

@@ -17,8 +17,19 @@ import (
 // identical outcomes: errors, final listings, and file sizes. This is
 // the virtualization claim of the paper stated as a property — the
 // re-organized underlying layout must be unobservable through the
-// virtual namespace.
+// virtual namespace. The property is checked at 1, 2 and 4 metadata
+// shards: shard count (and with it the cross-shard two-phase paths for
+// rename, link and remove) must be observationally invisible too.
 func TestCOFSMemFSOracleDeepProperty(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			testOracleDeep(t, shards)
+		})
+	}
+}
+
+func testOracleDeep(t *testing.T, shards int) {
 	type op struct {
 		Kind byte
 		A, B uint8
@@ -26,7 +37,9 @@ func TestCOFSMemFSOracleDeepProperty(t *testing.T) {
 	}
 	octx := vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100}
 	f := func(ops []op) bool {
-		tb := cluster.New(1, 1, params.Default())
+		cfg := params.Default()
+		cfg.COFS.MetadataShards = shards
+		tb := cluster.New(1, 1, cfg)
 		d := core.Deploy(tb, nil)
 		m := d.Mounts[0]
 		om := vfs.NewMount(vfs.NewMemFS(), params.FUSEParams{})

@@ -9,71 +9,89 @@ import (
 )
 
 // This file implements hot-standby replication for the COFS metadata
-// service. The paper's prototype ran one service node and leaned on
+// plane. The paper's prototype ran one service node and leaned on
 // Mnesia's fault-tolerance mechanisms (section III-C); this extension
-// exercises the multi-node half of that design: a standby service on a
-// second host receives the primary's committed transactions via WAL
-// shipping (mdb.Replica) and can be promoted when the primary dies.
+// exercises the multi-node half of that design: a standby service per
+// metadata shard, on its own host, receives the primary shard's
+// committed transactions via WAL shipping (mdb.Replica) and the whole
+// standby plane can be promoted when the primaries die.
 
-// Standby is a passive metadata service tracking a primary.
+// Standby is a passive metadata plane tracking a primary, shard for
+// shard.
 type Standby struct {
-	// Service is the standby service instance (do not serve requests
-	// from it before Promote).
-	Service *Service
-	// Replica is the WAL shipping channel from the primary.
-	Replica *mdb.Replica
+	// Cluster is the standby plane (do not serve requests from it
+	// before Promote).
+	Cluster *MDSCluster
+	// Replicas are the per-shard WAL shipping channels, in shard order.
+	Replicas []*mdb.Replica
 }
 
-// DeployStandby attaches a standby metadata service to a running COFS
-// deployment. The standby runs on its own host (with its own disk)
-// connected to the original blade-center switch, and receives the
+// DeployStandby attaches a standby metadata plane to a running COFS
+// deployment: one standby shard (own host, own disk) per primary shard,
+// connected to the original blade-center switch, receiving the
 // primary's committed transactions with the given shipping delay.
 func DeployStandby(tb *cluster.Testbed, d *Deployment, delay time.Duration) *Standby {
-	host := tb.Net.AddHost("cofs-mds-standby", tb.Cfg.COFS.ServiceWorkers, 0)
-	svc := NewService(tb.Net, host, tb.Cfg)
-	rep := mdb.Replicate(tb.Env, d.Service.DB, svc.DB, delay)
-	return &Standby{Service: svc, Replica: rep}
+	n := len(d.Service.Shards())
+	hosts := tb.AddServiceHosts("cofs-mds-standby", n, tb.Cfg.COFS.ServiceWorkers)
+	sc := NewMDSCluster(tb.Net, hosts, tb.Cfg)
+	sb := &Standby{Cluster: sc}
+	for i := range sc.shards {
+		sb.Replicas = append(sb.Replicas,
+			mdb.Replicate(tb.Env, d.Service.shards[i].DB, sc.shards[i].DB, delay))
+	}
+	return sb
 }
 
-// Promote turns the standby into the serving metadata service for the
-// deployment: shipping stops, the standby adopts the id counter from
-// its replicated tables, and every client is repointed. Open file
-// handles keep working — data paths go straight to the underlying file
-// system and the standby holds the same mappings.
+// Lag sums the unshipped WAL records across all shard replicas.
+func (sb *Standby) Lag() int {
+	lag := 0
+	for _, r := range sb.Replicas {
+		lag += r.Lag()
+	}
+	return lag
+}
+
+// Promote turns the standby into the serving metadata plane for the
+// deployment: shipping stops on every shard, each standby shard adopts
+// the id counter from its replicated tables, and every client is
+// repointed. Open file handles keep working — data paths go straight to
+// the underlying file system and the standby holds the same mappings.
 //
 // Returns the number of WAL records that had not been shipped when the
-// primary died (the lost window, mirroring the flush window of a
+// primaries died (the lost window, mirroring the flush window of a
 // single-node recovery).
 func (sb *Standby) Promote(d *Deployment) int {
-	lost := sb.Replica.Lag()
-	sb.Replica.Stop()
-	sb.Service.AdoptIDCounter()
-	for _, fs := range d.FSs {
-		fs.SetService(sb.Service)
+	lost := sb.Lag()
+	for _, r := range sb.Replicas {
+		r.Stop()
 	}
-	d.Service = sb.Service
+	sb.Cluster.AdoptIDCounter()
+	for _, fs := range d.FSs {
+		fs.SetService(sb.Cluster)
+	}
+	d.Service = sb.Cluster
 	return lost
 }
 
-// AdoptIDCounter recomputes the service's next file id from the largest
-// id present in its inode table. Must be called when a service starts
-// serving from replicated or recovered tables it did not populate
-// itself.
+// AdoptIDCounter recomputes the shard's next file id from the largest
+// id of its stride present in its inode table. Must be called when a
+// shard starts serving from replicated or recovered tables it did not
+// populate itself.
 func (s *Service) AdoptIDCounter() {
-	next := RootID + 1
+	next := firstID(s.shardID, int(s.stride()))
 	s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
 		if id >= next {
-			next = id + 1
+			next = id + s.stride()
 		}
 	})
 	s.nextID = next
 }
 
-// SetService repoints this client at a different metadata service
-// instance (failover) and purges the client attribute cache: the new
-// instance may have lost a shipping window's worth of transactions, and
-// cached attributes must not outlive the state that backed them.
-func (f *FS) SetService(svc *Service) {
+// SetService repoints this client at a different metadata plane
+// (failover) and purges the client attribute cache: the new plane may
+// have lost a shipping window's worth of transactions, and cached
+// attributes must not outlive the state that backed them.
+func (f *FS) SetService(svc *MDSCluster) {
 	f.svc = svc
 	f.attrs.purge()
 }

@@ -46,7 +46,7 @@ func TestStandbyTracksPrimary(t *testing.T) {
 	})
 	tb.Run()
 
-	if lag := sb.Replica.Lag(); lag != 0 {
+	if lag := sb.Lag(); lag != 0 {
 		t.Fatalf("replica lag after drain = %d, want 0", lag)
 	}
 	// The standby's tables must mirror the primary's mappings exactly.
@@ -54,7 +54,7 @@ func TestStandbyTracksPrimary(t *testing.T) {
 	d.Service.EachMapping(func(id vfs.Ino, upath string) {
 		primary = append(primary, fmt.Sprintf("%d=%s", id, upath))
 	})
-	sb.Service.EachMapping(func(id vfs.Ino, upath string) {
+	sb.Cluster.EachMapping(func(id vfs.Ino, upath string) {
 		standby = append(standby, fmt.Sprintf("%d=%s", id, upath))
 	})
 	if len(primary) != 49 {
@@ -63,7 +63,7 @@ func TestStandbyTracksPrimary(t *testing.T) {
 	if fmt.Sprint(primary) != fmt.Sprint(standby) {
 		t.Errorf("standby mappings diverge from primary:\n primary: %v\n standby: %v", primary, standby)
 	}
-	if err := sb.Service.CheckInvariants(); err != nil {
+	if err := sb.Cluster.CheckInvariants(); err != nil {
 		t.Errorf("standby invariants: %v", err)
 	}
 }
@@ -98,7 +98,7 @@ func TestFailoverPromotion(t *testing.T) {
 	tb.Run()
 
 	// Primary dies; the deployment promotes the standby.
-	d.Service.DB.Crash()
+	d.Service.Crash()
 	lost := sb.Promote(d)
 	if lost != 0 {
 		t.Logf("failover lost %d unshipped records (allowed)", lost)

@@ -49,11 +49,15 @@ type dentryKey struct {
 
 // dentryRow is a directory entry. It repeats the key fields so the
 // parent can drive a Mnesia-style secondary index: directory listings
-// and emptiness checks hit the index instead of scanning the table.
+// and emptiness checks hit the index instead of scanning the table. The
+// child's type is denormalized into the entry (as on-disk file systems
+// do in dirents) so the owning shard can type-check renames and removes
+// without a cross-shard read; an object's type never changes.
 type dentryRow struct {
 	Parent vfs.Ino
 	Name   string
 	Child  vfs.Ino
+	Type   vfs.FileType
 }
 
 // parentIndexKey renders the index bucket for a directory.
@@ -67,14 +71,23 @@ type ServiceStats struct {
 	Getattrs int64
 	Updates  int64
 	Removes  int64
+	// PeerCalls counts shard-to-shard RPCs this shard coordinated
+	// (always 0 on a single-shard deployment).
+	PeerCalls int64
 }
 
-// Service is the centralized COFS metadata service: it owns the virtual
-// hierarchy in Mnesia-style tables backed by a local disk.
+// Service is one COFS metadata shard: it owns the slice of the virtual
+// hierarchy its cluster's shard map assigns it, in Mnesia-style tables
+// backed by a local disk. A single-shard cluster is exactly the paper's
+// centralized metadata service.
 type Service struct {
 	net  *netsim.Net
 	host *netsim.Host
 	cfg  params.COFSParams
+
+	// cluster is the plane this shard belongs to; shardID its index.
+	cluster *MDSCluster
+	shardID int
 
 	Disk *disk.Disk
 	DB   *mdb.DB
@@ -83,33 +96,81 @@ type Service struct {
 	dentries *mdb.Table[dentryKey, dentryRow]
 	mappings *mdb.Table[vfs.Ino, string]
 
+	// nextID allocates from this shard's stride: every id i with
+	// (i-1) mod N == shardID, so placement-by-id is stable across
+	// restarts and never needs a lookup table.
 	nextID vfs.Ino
 
 	Stats ServiceStats
 }
 
-// NewService creates the metadata service on host, with its database on
-// a freshly attached local disk (the paper used a 25 GB ext3 volume).
-func NewService(net *netsim.Net, host *netsim.Host, cfg params.Config) *Service {
+// newShard creates metadata shard shardID of cluster c on host, with its
+// database on a freshly attached local disk (the paper used a 25 GB ext3
+// volume per service node). Shard 0 bootstraps the root directory.
+func newShard(net *netsim.Net, host *netsim.Host, cfg params.Config, c *MDSCluster, shardID int) *Service {
 	env := net.Env()
-	d := disk.New(env, "cofs-mdb", cfg.Disk)
+	diskName := "cofs-mdb"
+	if shardID > 0 {
+		diskName = fmt.Sprintf("cofs-mdb%d", shardID)
+	}
+	d := disk.New(env, diskName, cfg.Disk)
 	db := mdb.NewAsync(env, d, cfg.COFS.DBOpTime, cfg.COFS.LogFlushInterval)
 	s := &Service{
-		net:    net,
-		host:   host,
-		cfg:    cfg.COFS,
-		Disk:   d,
-		DB:     db,
-		nextID: RootID + 1,
+		net:     net,
+		host:    host,
+		cfg:     cfg.COFS,
+		cluster: c,
+		shardID: shardID,
+		Disk:    d,
+		DB:      db,
+		nextID:  firstID(shardID, c.Map.Shards),
 	}
 	s.inodes = mdb.NewTable[vfs.Ino, inodeRow](db, "inode", mdb.DiscCopies)
 	s.dentries = mdb.NewTable[dentryKey, dentryRow](db, "dentry", mdb.DiscCopies)
 	s.dentries.AddIndex("parent", func(r dentryRow) string { return parentIndexKey(r.Parent) })
 	s.mappings = mdb.NewTable[vfs.Ino, string](db, "mapping", mdb.DiscCopies)
 
-	// Bootstrap the root directory outside simulated time.
-	s.inodes.Bootstrap(RootID, inodeRow{ID: RootID, Type: vfs.TypeDir, Mode: 0777, Nlink: 2})
+	if shardID == 0 {
+		// Bootstrap the root directory outside simulated time.
+		s.inodes.Bootstrap(RootID, inodeRow{ID: RootID, Type: vfs.TypeDir, Mode: 0777, Nlink: 2})
+	}
 	return s
+}
+
+// firstID is the smallest allocatable id of a shard's stride (skipping
+// the root, which shard 0 owns by bootstrap).
+func firstID(shardID, shards int) vfs.Ino {
+	if shards <= 1 {
+		return RootID + 1
+	}
+	if shardID == 0 {
+		return RootID + vfs.Ino(shards)
+	}
+	return RootID + vfs.Ino(shardID)
+}
+
+// stride is the id-allocation step (the cluster's shard count).
+func (s *Service) stride() vfs.Ino {
+	if s.cluster == nil || s.cluster.Map.Shards <= 1 {
+		return 1
+	}
+	return vfs.Ino(s.cluster.Map.Shards)
+}
+
+// sharded reports whether cross-shard coordination can be needed.
+func (s *Service) sharded() bool { return s.cluster != nil && s.cluster.Map.Shards > 1 }
+
+// owns reports whether this shard holds ino's inode row.
+func (s *Service) owns(ino vfs.Ino) bool { return !s.sharded() || s.cluster.Map.Of(ino) == s.shardID }
+
+// peer returns the shard owning ino.
+func (s *Service) peer(ino vfs.Ino) *Service { return s.cluster.shard(ino) }
+
+// allocID takes the next id from this shard's stride.
+func (s *Service) allocID() vfs.Ino {
+	id := s.nextID
+	s.nextID += s.stride()
+	return id
 }
 
 // Host returns the service node.
@@ -135,6 +196,27 @@ func callCPU[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64,
 	})
 }
 
+// peerCall performs one shard-to-shard RPC of the cross-shard protocol,
+// charging transfer costs plus the participant's dispatch CPU. The
+// coordinator's scheduler thread is released while the remote call is in
+// flight (an Erlang-style non-blocking server), so opposed cross-shard
+// operations cannot deadlock the two worker pools. When the participant
+// is the coordinator itself the body runs inline: no RPC, no extra
+// dispatch charge.
+func peerCall[T any](p *sim.Proc, from, to *Service, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
+	if from == to {
+		return fn(p)
+	}
+	from.Stats.PeerCalls++
+	from.host.CPU.Release(p)
+	r := netsim.Call(p, from.net, from.host, to.host, req, resp, func(p *sim.Proc) T {
+		p.Sleep(cpu)
+		return fn(p)
+	})
+	from.host.CPU.Acquire(p)
+	return r
+}
+
 type attrReply struct {
 	attr vfs.Attr
 	err  error
@@ -146,11 +228,18 @@ func (s *Service) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name st
 	r := callRead(p, s, from, 128, 192, func(p *sim.Proc) attrReply {
 		de, ok := mdb.DirtyGet(p, s.dentries, dentryKey{Parent: parent, Name: name})
 		if !ok {
+			// The parent's inode is always co-located with its dentries
+			// (both place by the parent's id), so this read is local.
 			din, dirOK := mdb.DirtyGet(p, s.inodes, parent)
 			if dirOK && din.Type != vfs.TypeDir {
 				return attrReply{err: vfs.ErrNotDir}
 			}
 			return attrReply{err: vfs.ErrNotExist}
+		}
+		if !s.owns(de.Child) {
+			// The child's inode lives on another shard: one extra hop
+			// (a directory placed elsewhere, or a file renamed in).
+			return s.peerGetattr(p, de.Child)
 		}
 		row, ok := mdb.DirtyGet(p, s.inodes, de.Child)
 		if !ok {
@@ -272,6 +361,15 @@ func canAccess(ctx vfs.Ctx, uid, gid, mode, bit uint32) bool {
 // group-committed across clients).
 func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
 	s.Stats.Creates++
+	// New files and symlinks allocate from this shard's stride, so the
+	// whole create commits locally. New directories place by the shard
+	// map's DirTarget; when that is a different shard, the inode half of
+	// the create runs there under the two-phase protocol.
+	if s.sharded() && t == vfs.TypeDir {
+		if ts := s.cluster.shards[s.cluster.Map.DirTarget(parent, name)]; ts != s {
+			return s.createRemoteDir(p, from, ctx, parent, name, mode, ts)
+		}
+	}
 	r := call(p, s, from, 256, 192, func(p *sim.Proc) createReply {
 		var out createReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -285,8 +383,7 @@ func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 				out.err = vfs.ErrExist
 				return
 			}
-			id := s.nextID
-			s.nextID++
+			id := s.allocID()
 			row := inodeRow{
 				ID: id, Type: t, Mode: mode, UID: ctx.UID, GID: ctx.GID,
 				Nlink: 1, Mtime: p.Now(), Ctime: p.Now(), Target: target,
@@ -300,7 +397,7 @@ func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 			}
 			din.Mtime = p.Now()
 			mdb.Put(tx, s.inodes, id, row)
-			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id})
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id, Type: t})
 			mdb.Put(tx, s.inodes, parent, din)
 			if bucket != "" {
 				out.upath = fmt.Sprintf("%s/f%016x", bucket, uint64(id))
@@ -366,6 +463,9 @@ type removeReply struct {
 // requires an empty directory.
 func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
 	s.Stats.Removes++
+	if s.sharded() {
+		return s.removeSharded(p, from, ctx, parent, name, rmdir)
+	}
 	r := call(p, s, from, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -427,6 +527,9 @@ func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 // target (0 if none) for client cache invalidation, plus the underlying
 // path to delete when the replaced file's last link went away.
 func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	if s.sharded() {
+		return s.renameSharded(p, from, ctx, srcDir, srcName, dstDir, dstName)
+	}
 	r := call(p, s, from, 224, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -471,6 +574,12 @@ func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs
 						return
 					}
 					dd.Nlink--
+					if srcDir == dstDir {
+						// sd and dd are value copies of the same row and
+						// only sd is written back below: mirror the
+						// replaced subdirectory's link drop there too.
+						sd.Nlink--
+					}
 					mdb.Delete(tx, s.inodes, existing)
 				} else {
 					if moving.Type == vfs.TypeDir {
@@ -489,7 +598,7 @@ func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs
 				}
 			}
 			mdb.Delete(tx, s.dentries, srcKey)
-			mdb.Put(tx, s.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id})
+			mdb.Put(tx, s.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id, Type: moving.Type})
 			if moving.Type == vfs.TypeDir && srcDir != dstDir {
 				sd.Nlink--
 				dd.Nlink++
@@ -508,6 +617,9 @@ func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs
 
 // Link adds a hard link to id at (parent, name).
 func (s *Service) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	if s.sharded() && !s.owns(id) {
+		return s.linkRemote(p, from, ctx, id, parent, name)
+	}
 	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -533,7 +645,7 @@ func (s *Service) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, 
 			row.Nlink++
 			din.Mtime = p.Now()
 			mdb.Put(tx, s.inodes, id, row)
-			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id})
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id, Type: row.Type})
 			mdb.Put(tx, s.inodes, parent, din)
 			out.attr = row.attr()
 		})
@@ -557,6 +669,9 @@ type readdirReply struct {
 // response transfer cost scales with the number of entries.
 func (s *Service) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
 	s.Stats.Requests++
+	if s.sharded() {
+		return s.readdirSharded(p, from, ctx, dir)
+	}
 	r := netsim.CallDyn(p, s.net, from, s.host, 96, func(p *sim.Proc) readdirReply {
 		p.Sleep(s.cfg.ServiceCPUPerOp)
 		var out readdirReply
@@ -632,44 +747,6 @@ func (s *Service) EachMapping(fn func(id vfs.Ino, upath string)) {
 	s.mappings.Each(fn)
 }
 
-// CheckInvariants validates referential integrity of the service tables:
-// every dentry points at a live inode, nlink matches dentry references
-// for files, and every regular file has a mapping. Tests call it after
-// workloads.
-func (s *Service) CheckInvariants() error {
-	refs := make(map[vfs.Ino]int)
-	parents := make(map[vfs.Ino]bool)
-	var walkErr error
-	s.dentries.Each(func(k dentryKey, de dentryRow) {
-		if de.Parent != k.Parent || de.Name != k.Name {
-			walkErr = fmt.Errorf("core: dentry row %v disagrees with its key %v", de, k)
-			return
-		}
-		row, ok := s.inodes.Peek(de.Child)
-		if !ok {
-			walkErr = fmt.Errorf("core: dentry %v/%s points at missing inode %d", k.Parent, k.Name, de.Child)
-			return
-		}
-		if row.Type != vfs.TypeDir {
-			refs[de.Child]++
-		}
-		parents[k.Parent] = true
-	})
-	if walkErr != nil {
-		return walkErr
-	}
-	var err error
-	s.inodes.Each(func(id vfs.Ino, row inodeRow) {
-		if row.Type != vfs.TypeDir {
-			if refs[id] != row.Nlink {
-				err = fmt.Errorf("core: inode %d nlink=%d, %d dentries", id, row.Nlink, refs[id])
-			}
-			if row.Type == vfs.TypeRegular {
-				if _, ok := s.mappings.Peek(id); !ok {
-					err = fmt.Errorf("core: regular file %d has no mapping", id)
-				}
-			}
-		}
-	})
-	return err
-}
+// CheckInvariants for the whole metadata plane lives on MDSCluster (see
+// mds.go): with sharding, dentry references and inode rows can live on
+// different shards, so referential integrity is a cluster-wide property.

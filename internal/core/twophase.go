@@ -1,0 +1,544 @@
+package core
+
+import (
+	"sort"
+
+	"cofs/internal/mdb"
+	"cofs/internal/netsim"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// This file implements the cross-shard halves of the metadata
+// operations. The routing invariant (see mds.go) keeps every operation
+// coordinated by one shard — the one owning the parent directory's
+// dentries and inode row — and the rows that can live elsewhere are
+// exactly: a child's inode (directories placed by DirTarget, files
+// renamed in from another directory) and the mapping that travels with
+// a file's inode.
+//
+// Mutations that span shards run an explicit two-phase protocol over
+// simulated shard-to-shard RPCs (peerCall): a prepare/validate exchange
+// first, so error returns leave no partial state, then per-shard commit
+// transactions, ordered so a dentry never points at a not-yet-created
+// inode and a reclaimed inode loses its dentry first. Validation and
+// commit are separate transactions; as in the paper's soft-real-time
+// Mnesia deployment, racing mutations between the phases trade strict
+// serializability for latency — the post-drain invariant checks
+// (MDSCluster.CheckInvariants) pin what the protocol must preserve.
+
+// peerGetattr reads an inode's attributes from its owning shard (one
+// dirty-read hop).
+func (s *Service) peerGetattr(p *sim.Proc, id vfs.Ino) attrReply {
+	ts := s.peer(id)
+	return peerCall(p, s, ts, 96, 192, ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) attrReply {
+		row, ok := mdb.DirtyGet(p, ts.inodes, id)
+		if !ok {
+			return attrReply{err: vfs.ErrNotExist}
+		}
+		return attrReply{attr: row.attr()}
+	})
+}
+
+// createRemoteDir creates a directory whose inode the shard map places
+// on ts: prepare (allocate + insert the row there), then commit the
+// dentry and parent update locally, aborting the prepared row if the
+// local validation fails.
+func (s *Service) createRemoteDir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, mode uint32, ts *Service) (vfs.Attr, string, error) {
+	r := call(p, s, from, 256, 192, func(p *sim.Proc) createReply {
+		// Phase 0: local validation (read-only), so the common error
+		// returns — EEXIST from mkdir-p retries above all — never pay
+		// the remote prepare/abort round trips or burn an id.
+		var out createReply
+		valid := false
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
+				out.err = err
+				return
+			}
+			if _, exists := mdb.Get(tx, s.dentries, dentryKey{Parent: parent, Name: name}); exists {
+				out.err = vfs.ErrExist
+				return
+			}
+			valid = true
+		})
+		if !valid {
+			return out
+		}
+		// Phase 1: the owning shard prepares the directory's inode row.
+		row := peerCall(p, s, ts, 160, 160, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) inodeRow {
+			var row inodeRow
+			ts.DB.Transaction(p, func(tx *mdb.Tx) {
+				id := ts.allocID()
+				row = inodeRow{
+					ID: id, Type: vfs.TypeDir, Mode: mode, UID: ctx.UID, GID: ctx.GID,
+					Nlink: 2, Mtime: p.Now(), Ctime: p.Now(),
+				}
+				mdb.Put(tx, ts.inodes, id, row)
+			})
+			return row
+		})
+		// Phase 2: commit the dentry and parent bookkeeping. The
+		// re-validation only matters for mutations that raced phase 0;
+		// its failure aborts the prepared row.
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			din, err := s.dirRow(tx, ctx, parent, true)
+			if err != nil {
+				out.err = err
+				return
+			}
+			key := dentryKey{Parent: parent, Name: name}
+			if _, exists := mdb.Get(tx, s.dentries, key); exists {
+				out.err = vfs.ErrExist
+				return
+			}
+			din.Nlink++
+			din.Mtime = p.Now()
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: row.ID, Type: vfs.TypeDir})
+			mdb.Put(tx, s.inodes, parent, din)
+			out.attr = row.attr()
+		})
+		if out.err != nil {
+			// Abort: reclaim the prepared inode (the id itself is burnt).
+			s.peerDeleteInode(p, ts, row.ID)
+		}
+		return out
+	})
+	return r.attr, r.upath, r.err
+}
+
+// removeSharded is Remove for a sharded plane: validation against the
+// (always local) dentry first, then the inode half at its owning shard.
+func (s *Service) removeSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+	r := call(p, s, from, 160, 128, func(p *sim.Proc) removeReply {
+		var out removeReply
+		key := dentryKey{Parent: parent, Name: name}
+		var de dentryRow
+		valid := false
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
+				out.err = err
+				return
+			}
+			var ok bool
+			de, ok = mdb.Get(tx, s.dentries, key)
+			if !ok {
+				out.err = vfs.ErrNotExist
+				return
+			}
+			out.id = de.Child
+			if rmdir && de.Type != vfs.TypeDir {
+				out.err = vfs.ErrNotDir
+				return
+			}
+			if !rmdir && de.Type == vfs.TypeDir {
+				out.err = vfs.ErrIsDir
+				return
+			}
+			valid = true
+		})
+		if !valid {
+			return out
+		}
+		id := de.Child
+
+		if rmdir {
+			// A directory's own dentries and inode row are co-located on
+			// its shard. Prepare: check emptiness there (read-only).
+			// Commit: retire the dentry here first, then the inode.
+			ts := s.peer(id)
+			if !s.peerDirEmpty(p, ts, id) {
+				out.err = vfs.ErrNotEmpty
+				return out
+			}
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				mdb.Delete(tx, s.dentries, key)
+				if din, ok := mdb.Get(tx, s.inodes, parent); ok {
+					din.Nlink--
+					mdb.Put(tx, s.inodes, parent, din)
+				}
+			})
+			s.peerDeleteInode(p, ts, id)
+			out.isDir = true
+			return out
+		}
+
+		if s.owns(id) {
+			// Co-located file: finish in one local transaction.
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				row, _ := mdb.Get(tx, s.inodes, id)
+				mdb.Delete(tx, s.dentries, key)
+				row.Nlink--
+				if din, ok := mdb.Get(tx, s.inodes, parent); ok {
+					din.Mtime = p.Now()
+					mdb.Put(tx, s.inodes, parent, din)
+				}
+				if row.Nlink <= 0 {
+					out.upath, _ = mdb.Get(tx, s.mappings, id)
+					out.removed = true
+					mdb.Delete(tx, s.inodes, id)
+					mdb.Delete(tx, s.mappings, id)
+				} else {
+					mdb.Put(tx, s.inodes, id, row)
+				}
+			})
+			return out
+		}
+
+		// The file's inode lives elsewhere (renamed in from another
+		// directory): drop the dentry here, then its link at the owner.
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			mdb.Delete(tx, s.dentries, key)
+			if din, ok := mdb.Get(tx, s.inodes, parent); ok {
+				din.Mtime = p.Now()
+				mdb.Put(tx, s.inodes, parent, din)
+			}
+		})
+		rep := s.peerUnlink(p, id)
+		out.upath, out.removed = rep.upath, rep.removed
+		return out
+	})
+	return r.upath, r.id, r.err
+}
+
+// peerDirEmpty checks, at the directory's owning shard, that it has no
+// entries (read-only prepare step).
+func (s *Service) peerDirEmpty(p *sim.Proc, ts *Service, id vfs.Ino) bool {
+	return peerCall(p, s, ts, 128, 64, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) bool {
+		e := false
+		ts.DB.Transaction(p, func(tx *mdb.Tx) {
+			e = len(mdb.IndexKeys(tx, ts.dentries, "parent", parentIndexKey(id))) == 0
+		})
+		return e
+	})
+}
+
+// peerDeleteInode reclaims an inode row at its owning shard (commit
+// step; the row's dentry is already gone).
+func (s *Service) peerDeleteInode(p *sim.Proc, ts *Service, id vfs.Ino) {
+	peerCall(p, s, ts, 96, 64, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
+		ts.DB.Transaction(p, func(tx *mdb.Tx) { mdb.Delete(tx, ts.inodes, id) })
+		return struct{}{}
+	})
+}
+
+// peerUnlink drops one link of a non-directory inode at its owning
+// shard, reclaiming the row and its mapping when the last link dies.
+func (s *Service) peerUnlink(p *sim.Proc, id vfs.Ino) removeReply {
+	ts := s.peer(id)
+	return peerCall(p, s, ts, 128, 160, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) removeReply {
+		var rr removeReply
+		ts.DB.Transaction(p, func(tx *mdb.Tx) {
+			row, ok := mdb.Get(tx, ts.inodes, id)
+			if !ok {
+				return
+			}
+			row.Nlink--
+			if row.Nlink <= 0 {
+				rr.upath, _ = mdb.Get(tx, ts.mappings, id)
+				rr.removed = true
+				mdb.Delete(tx, ts.inodes, id)
+				mdb.Delete(tx, ts.mappings, id)
+			} else {
+				mdb.Put(tx, ts.inodes, id, row)
+			}
+		})
+		return rr
+	})
+}
+
+// renameSharded is Rename for a sharded plane. Up to four shards take
+// part: the coordinator (source directory), the destination directory's
+// shard, the replaced target's shard and — implicitly, unchanged — the
+// moving inode's. All validation happens before any mutation, in the
+// single-shard path's error-precedence order.
+func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	r := call(p, s, from, 224, 128, func(p *sim.Proc) removeReply {
+		var out removeReply
+		D := s.peer(dstDir)
+		srcKey := dentryKey{Parent: srcDir, Name: srcName}
+		dstKey := dentryKey{Parent: dstDir, Name: dstName}
+
+		// ---- read/validate phase (no mutations) ----
+		var sdErr error
+		var srcDe dentryRow
+		srcOK := false
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, sdErr = s.dirRow(tx, ctx, srcDir, true); sdErr != nil {
+				return
+			}
+			srcDe, srcOK = mdb.Get(tx, s.dentries, srcKey)
+		})
+		if sdErr != nil {
+			out.err = sdErr
+			return out
+		}
+		type dstView struct {
+			err error
+			de  dentryRow
+			ok  bool
+		}
+		dv := peerCall(p, s, D, 160, 128, D.cfg.ServiceCPUPerOp, func(p *sim.Proc) dstView {
+			var v dstView
+			D.DB.Transaction(p, func(tx *mdb.Tx) {
+				if _, v.err = D.dirRow(tx, ctx, dstDir, true); v.err != nil {
+					return
+				}
+				v.de, v.ok = mdb.Get(tx, D.dentries, dstKey)
+			})
+			return v
+		})
+		if dv.err != nil {
+			out.err = dv.err
+			return out
+		}
+		if !srcOK {
+			out.err = vfs.ErrNotExist
+			return out
+		}
+		if dstName == "" || len(dstName) > vfs.MaxNameLen {
+			out.err = vfs.ErrInvalid
+			return out
+		}
+		id := srcDe.Child
+		movingDir := srcDe.Type == vfs.TypeDir
+		var existing vfs.Ino
+		replacedDir := false
+		if dv.ok {
+			existing = dv.de.Child
+			if existing == id {
+				// POSIX no-op: same object under both names.
+				return out
+			}
+			out.id = existing
+			if dv.de.Type == vfs.TypeDir {
+				if !movingDir {
+					out.err = vfs.ErrIsDir
+					return out
+				}
+				replacedDir = true
+				// Read-only prepare at the replaced directory's shard:
+				// its emptiness check and inode row live together. The
+				// row itself is reclaimed after the dentry swap below.
+				if !s.peerDirEmpty(p, s.peer(existing), existing) {
+					out.err = vfs.ErrNotEmpty
+					return out
+				}
+			} else if movingDir {
+				out.err = vfs.ErrNotDir
+				return out
+			}
+		}
+
+		// ---- apply phase: dentry swap and parent bookkeeping ----
+		if D == s {
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				mdb.Delete(tx, s.dentries, srcKey)
+				mdb.Put(tx, s.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id, Type: srcDe.Type})
+				if srcDir == dstDir {
+					if row, ok := mdb.Get(tx, s.inodes, srcDir); ok {
+						if replacedDir {
+							row.Nlink--
+						}
+						row.Mtime = p.Now()
+						mdb.Put(tx, s.inodes, srcDir, row)
+					}
+					return
+				}
+				if sd, ok := mdb.Get(tx, s.inodes, srcDir); ok {
+					if movingDir {
+						sd.Nlink--
+					}
+					sd.Mtime = p.Now()
+					mdb.Put(tx, s.inodes, srcDir, sd)
+				}
+				if dd, ok := mdb.Get(tx, s.inodes, dstDir); ok {
+					if movingDir {
+						dd.Nlink++
+					}
+					if replacedDir {
+						dd.Nlink--
+					}
+					dd.Mtime = p.Now()
+					mdb.Put(tx, s.inodes, dstDir, dd)
+				}
+			})
+		} else {
+			// Install the destination dentry first, then retire the
+			// source: the moving object never disappears from both
+			// directories.
+			peerCall(p, s, D, 192, 64, D.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
+				D.DB.Transaction(p, func(tx *mdb.Tx) {
+					mdb.Put(tx, D.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id, Type: srcDe.Type})
+					if dd, ok := mdb.Get(tx, D.inodes, dstDir); ok {
+						if movingDir {
+							dd.Nlink++
+						}
+						if replacedDir {
+							dd.Nlink--
+						}
+						dd.Mtime = p.Now()
+						mdb.Put(tx, D.inodes, dstDir, dd)
+					}
+				})
+				return struct{}{}
+			})
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				mdb.Delete(tx, s.dentries, srcKey)
+				if sd, ok := mdb.Get(tx, s.inodes, srcDir); ok {
+					if movingDir {
+						sd.Nlink--
+					}
+					sd.Mtime = p.Now()
+					mdb.Put(tx, s.inodes, srcDir, sd)
+				}
+			})
+		}
+		// The replaced object's inode is reclaimed last, once no dentry
+		// references it: either the row alone (a replaced empty
+		// directory) or one link of a replaced file/symlink.
+		if existing != 0 {
+			if replacedDir {
+				s.peerDeleteInode(p, s.peer(existing), existing)
+			} else {
+				rep := s.peerUnlink(p, existing)
+				out.upath, out.removed = rep.upath, rep.removed
+			}
+		}
+		return out
+	})
+	return r.upath, r.id, r.err
+}
+
+// linkRemote adds a hard link at (parent, name) to an inode another
+// shard owns: validate locally and at the owner, then commit the nlink
+// bump there and the dentry here.
+func (s *Service) linkRemote(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+		var out attrReply
+		key := dentryKey{Parent: parent, Name: name}
+		exists := false
+		valid := false
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
+				out.err = err
+				return
+			}
+			_, exists = mdb.Get(tx, s.dentries, key)
+			valid = true
+		})
+		if !valid {
+			return out
+		}
+		// Phase 1: validate the target at its owner (error precedence:
+		// missing/IsDir before ErrExist, as on the single-shard path).
+		ts := s.peer(id)
+		tv := peerCall(p, s, ts, 96, 192, ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) attrReply {
+			row, ok := mdb.DirtyGet(p, ts.inodes, id)
+			if !ok {
+				return attrReply{err: vfs.ErrNotExist}
+			}
+			if row.Type == vfs.TypeDir {
+				return attrReply{err: vfs.ErrIsDir}
+			}
+			return attrReply{attr: row.attr()}
+		})
+		if tv.err != nil {
+			out.err = tv.err
+			return out
+		}
+		if exists {
+			out.err = vfs.ErrExist
+			return out
+		}
+		// Phase 2: commit — bump nlink at the owner, insert the dentry.
+		out = peerCall(p, s, ts, 128, 192, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) attrReply {
+			var rr attrReply
+			ts.DB.Transaction(p, func(tx *mdb.Tx) {
+				row, ok := mdb.Get(tx, ts.inodes, id)
+				if !ok {
+					rr.err = vfs.ErrNotExist
+					return
+				}
+				row.Nlink++
+				mdb.Put(tx, ts.inodes, id, row)
+				rr.attr = row.attr()
+			})
+			return rr
+		})
+		if out.err != nil {
+			return out
+		}
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: id, Type: out.attr.Type})
+			if din, ok := mdb.Get(tx, s.inodes, parent); ok {
+				din.Mtime = p.Now()
+				mdb.Put(tx, s.inodes, parent, din)
+			}
+		})
+		return out
+	})
+	return r.attr, r.err
+}
+
+// readdirSharded is ReaddirPlus for a sharded plane: the listing itself
+// is one shard's index scan; attributes of entries whose inodes live
+// elsewhere are fetched with one batched RPC per involved shard.
+func (s *Service) readdirSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
+	r := netsim.CallDyn(p, s.net, from, s.host, 96, func(p *sim.Proc) readdirReply {
+		p.Sleep(s.cfg.ServiceCPUPerOp)
+		var out readdirReply
+		remote := make(map[int][]int) // shard id -> entry indexes
+		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if _, err := s.dirRow(tx, ctx, dir, false); err != nil {
+				out.err = err
+				return
+			}
+			keys := mdb.IndexKeys(tx, s.dentries, "parent", parentIndexKey(dir))
+			sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+			for _, k := range keys {
+				de, ok := mdb.Get(tx, s.dentries, k)
+				if !ok {
+					continue
+				}
+				i := len(out.entries)
+				out.entries = append(out.entries, vfs.DirEntry{Name: k.Name, Ino: de.Child, Type: de.Type})
+				out.attrs = append(out.attrs, vfs.Attr{})
+				if s.owns(de.Child) {
+					row, _ := mdb.Get(tx, s.inodes, de.Child)
+					out.attrs[i] = row.attr()
+				} else {
+					sh := s.cluster.Map.Of(de.Child)
+					remote[sh] = append(remote[sh], i)
+				}
+			}
+		})
+		if out.err != nil {
+			return out
+		}
+		shardIDs := make([]int, 0, len(remote))
+		for sh := range remote {
+			shardIDs = append(shardIDs, sh)
+		}
+		sort.Ints(shardIDs)
+		for _, sh := range shardIDs {
+			idxs := remote[sh]
+			ts := s.cluster.shards[sh]
+			attrs := peerCall(p, s, ts, int64(96+16*len(idxs)), int64(32+160*len(idxs)),
+				ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) []vfs.Attr {
+					res := make([]vfs.Attr, len(idxs))
+					for j, i := range idxs {
+						if row, ok := mdb.DirtyGet(p, ts.inodes, out.entries[i].Ino); ok {
+							res[j] = row.attr()
+						}
+					}
+					return res
+				})
+			for j, i := range idxs {
+				out.attrs[i] = attrs[j]
+			}
+		}
+		return out
+	}, func(r readdirReply) int64 { return 96 + int64(len(r.entries))*160 })
+	return r.entries, r.attrs, r.err
+}

@@ -139,6 +139,13 @@ type FUSEParams struct {
 
 // COFSParams describes the COFS prototype itself.
 type COFSParams struct {
+	// MetadataShards is the number of independent metadata service
+	// shards, each on its own simulated host with its own disk and
+	// tables. 1 (or 0) reproduces the paper's single-service prototype;
+	// larger values distribute the metadata plane, with inodes routed by
+	// a deterministic shard map and cross-shard mutations running a
+	// two-phase protocol (see internal/core/mds.go and docs/sharding.md).
+	MetadataShards int
 	// ServiceCPUPerOp is the metadata service CPU time per request
 	// (request decode + Mnesia-style query).
 	ServiceCPUPerOp time.Duration
@@ -212,6 +219,7 @@ func Default() Config {
 			EntryTimeout: time.Second,
 		},
 		COFS: COFSParams{
+			MetadataShards:   1, // the paper's single-service deployment
 			ServiceCPUPerOp:  200 * time.Microsecond,
 			ServiceWorkers:   4,
 			DBOpTime:         22 * time.Microsecond,

@@ -822,6 +822,117 @@ var cases = []testCase{
 		}
 	}},
 
+	{name: "RenameAcrossDirsOverOpenHandle", fn: func(c *C) {
+		// POSIX: renaming a file does not disturb open handles on it —
+		// writes through a handle taken under the old name must land in
+		// the object now visible under the new name (a COFS rename is
+		// service-only and the underlying mapping is by file id, so
+		// this pins that the handle's data path survives the move).
+		c.must(c.M.Mkdir(c.P, c.S.User, "/a", 0755), "mkdir a")
+		c.must(c.M.Mkdir(c.P, c.S.User, "/b", 0755), "mkdir b")
+		f, err := c.M.Create(c.P, c.S.User, "/a/f", 0644)
+		if !c.must(err, "create /a/f") {
+			return
+		}
+		if _, err := f.WriteAt(c.P, 0, 100); err != nil {
+			c.Errorf("write before rename: %v", err)
+		}
+		c.must(c.M.Rename(c.P, c.S.User, "/a/f", "/b/g"), "rename over open handle")
+		if _, err := f.WriteAt(c.P, 100, 28); err != nil {
+			c.Errorf("write through handle after rename: %v", err)
+		}
+		c.must(f.Close(c.P), "close after rename")
+		if got := c.size(c.S.User, "/b/g"); got != 128 {
+			c.Errorf("size under new name = %d, want 128", got)
+		}
+		_, err = c.M.Stat(c.P, c.S.User, "/a/f")
+		c.wantErr(err, vfs.ErrNotExist, "old name after rename")
+	}},
+
+	{name: "HardLinkRemoveOneNameVisibility", fn: func(c *C) {
+		// Hard link, then remove one name: the object stays fully
+		// visible through the other name (content and attributes), and
+		// removing the last name makes both resolve to ENOENT.
+		c.write(c.S.User, "/a", 96)
+		c.must(c.M.Link(c.P, c.S.User, "/a", "/b"), "link")
+		c.must(c.M.Unlink(c.P, c.S.User, "/b"), "unlink second name")
+		attr, err := c.M.Stat(c.P, c.S.User, "/a")
+		if c.must(err, "stat survivor") {
+			if attr.Nlink != 1 {
+				c.Errorf("nlink after removing one name = %d, want 1", attr.Nlink)
+			}
+			if attr.Size != 96 {
+				c.Errorf("size via survivor = %d, want 96", attr.Size)
+			}
+		}
+		f, err := c.M.Open(c.P, c.S.User, "/a", vfs.OpenRead)
+		if c.must(err, "open survivor") {
+			if got, err := f.ReadAt(c.P, 0, 96); err != nil || got != 96 {
+				c.Errorf("read survivor: got (%d, %v), want (96, nil)", got, err)
+			}
+			c.must(f.Close(c.P), "close")
+		}
+		c.must(c.M.Unlink(c.P, c.S.User, "/a"), "unlink last name")
+		_, err = c.M.Stat(c.P, c.S.User, "/a")
+		c.wantErr(err, vfs.ErrNotExist, "first name after last unlink")
+		_, err = c.M.Stat(c.P, c.S.User, "/b")
+		c.wantErr(err, vfs.ErrNotExist, "second name after last unlink")
+	}},
+
+	{name: "RmdirNonEmptyDeep", fn: func(c *C) {
+		// ENOTEMPTY must also fire when the only entry is a
+		// subdirectory, and clearing it bottom-up must succeed.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/d", 0755), "mkdir")
+		c.must(c.M.Mkdir(c.P, c.S.User, "/d/sub", 0755), "mkdir sub")
+		c.wantErr(c.M.Rmdir(c.P, c.S.User, "/d"), vfs.ErrNotEmpty, "rmdir with subdir")
+		c.must(c.M.Rmdir(c.P, c.S.User, "/d/sub"), "rmdir subdir")
+		c.must(c.M.Rmdir(c.P, c.S.User, "/d"), "rmdir emptied dir")
+		_, err := c.M.Stat(c.P, c.S.User, "/d")
+		c.wantErr(err, vfs.ErrNotExist, "stat removed dir")
+	}},
+
+	{name: "RenameDirOntoEmptyDirSameParentNlink", fn: func(c *C) {
+		// Replacing a sibling directory removes one subdirectory from
+		// the shared parent: its nlink must drop by exactly one.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/p", 0755), "mkdir p")
+		c.must(c.M.Mkdir(c.P, c.S.User, "/p/a", 0755), "mkdir p/a")
+		c.must(c.M.Mkdir(c.P, c.S.User, "/p/b", 0755), "mkdir p/b")
+		before, err := c.M.Stat(c.P, c.S.User, "/p")
+		c.must(err, "stat parent before")
+		c.must(c.M.Rename(c.P, c.S.User, "/p/a", "/p/b"), "rename dir onto sibling dir")
+		after, err := c.M.Stat(c.P, c.S.User, "/p")
+		if c.must(err, "stat parent after") && after.Nlink != before.Nlink-1 {
+			c.Errorf("parent nlink = %d, want %d", after.Nlink, before.Nlink-1)
+		}
+	}},
+
+	{name: "RenameFileOntoNonEmptyDir", fn: func(c *C) {
+		// A file renamed onto a directory is EISDIR regardless of
+		// whether the directory is empty.
+		c.create(c.S.User, "/f", 0644)
+		c.must(c.M.Mkdir(c.P, c.S.User, "/d", 0755), "mkdir")
+		c.create(c.S.User, "/d/x", 0644)
+		c.wantErr(c.M.Rename(c.P, c.S.User, "/f", "/d"), vfs.ErrIsDir, "file onto non-empty dir")
+	}},
+
+	{name: "RenameDirOntoDirWithSubdir", fn: func(c *C) {
+		// A directory whose only entry is a subdirectory is still
+		// non-empty for rename-replacement; emptying it unblocks the
+		// rename and the moved directory keeps its contents.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/a", 0755), "mkdir a")
+		c.create(c.S.User, "/a/keep", 0644)
+		c.must(c.M.Mkdir(c.P, c.S.User, "/b", 0755), "mkdir b")
+		c.must(c.M.Mkdir(c.P, c.S.User, "/b/sub", 0755), "mkdir b/sub")
+		c.wantErr(c.M.Rename(c.P, c.S.User, "/a", "/b"), vfs.ErrNotEmpty, "dir onto dir with subdir")
+		c.must(c.M.Rmdir(c.P, c.S.User, "/b/sub"), "clear target")
+		c.must(c.M.Rename(c.P, c.S.User, "/a", "/b"), "rename onto emptied dir")
+		if _, err := c.M.Stat(c.P, c.S.User, "/b/keep"); err != nil {
+			c.Errorf("moved child missing: %v", err)
+		}
+		_, err := c.M.Stat(c.P, c.S.User, "/a")
+		c.wantErr(err, vfs.ErrNotExist, "source after rename")
+	}},
+
 	// ---- permission battery (skipped on non-enforcing systems) ----
 
 	{name: "PermOpenWriteDeniedByMode", perms: true, fn: func(c *C) {
