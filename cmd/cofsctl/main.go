@@ -28,6 +28,8 @@ func main() {
 	shards := flag.Int("shards", 1, "metadata service shards")
 	files := flag.Int("files", 32, "files per node to create in the demo workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	attrLease := flag.Duration("attr-lease", 0, "client cache lease term (0 disables the coherent cache)")
+	rpcBatch := flag.Bool("rpc-batch", false, "coalesce concurrent RPCs to the same shard into one round trip")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	flag.Parse()
 	what := "all"
@@ -43,6 +45,8 @@ func main() {
 
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = *shards
+	cfg.COFS.AttrLease = *attrLease
+	cfg.COFS.RPCBatch = *rpcBatch
 	tb := cluster.New(*seed, *nodes, cfg)
 	d := core.Deploy(tb, nil)
 
@@ -159,6 +163,10 @@ func main() {
 			fmt.Printf("  node%02d: serviceOps=%d underCreates=%d underOpens=%d spills=%d writeBacks=%d\n",
 				i, fs.Stats.ServiceOps, fs.Stats.UnderCreates, fs.Stats.UnderOpens,
 				fs.Stats.BucketSpills, fs.Stats.WriteBacks)
+		}
+		fmt.Println("== per-layer counters (rpc transport / client cache / leases) ==")
+		for _, line := range strings.Split(strings.TrimRight(d.Counters().String(), "\n"), "\n") {
+			fmt.Println("  " + line)
 		}
 		fmt.Printf("  virtual time: %v\n", tb.Env.Now())
 	}

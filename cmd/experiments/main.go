@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-seed N] fig1|fig2|fig4|fig5|fig6|table1|ablation|attrcache|traversal|
-//	            dircap|falsesharing|network|flush|mdtest|all
+//	            dircap|falsesharing|network|flush|clientcache|mdtest|all
 package main
 
 import (
@@ -24,7 +24,7 @@ func main() {
 		usage()
 	}
 	all := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "table1", "ablation", "attrcache", "traversal",
-		"dircap", "falsesharing", "network", "flush", "mdtest"}
+		"dircap", "falsesharing", "network", "flush", "clientcache", "mdtest"}
 	runs := args
 	if len(args) == 1 && args[0] == "all" {
 		runs = all
@@ -57,6 +57,8 @@ func main() {
 			experiments.AblationNetwork(os.Stdout, *seed)
 		case "flush":
 			experiments.AblationFlush(os.Stdout, *seed)
+		case "clientcache":
+			experiments.AblationClientCache(os.Stdout, *seed)
 		case "mdtest":
 			experiments.MDTestExp(os.Stdout, *seed)
 		default:
@@ -66,6 +68,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] fig1|fig2|fig4|fig5|fig6|table1|ablation|attrcache|traversal|dircap|falsesharing|network|flush|mdtest|all")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] fig1|fig2|fig4|fig5|fig6|table1|ablation|attrcache|traversal|dircap|falsesharing|network|flush|clientcache|mdtest|all")
 	os.Exit(2)
 }

@@ -30,11 +30,16 @@ func main() {
 		shared = flag.Bool("shared", false, "all ranks share one tree (contended mode)")
 		shift  = flag.Bool("shift", false, "rank r stats rank r+1's files (cross-node attributes)")
 		seed   = flag.Int64("seed", 42, "deterministic seed")
+
+		attrLease = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
+		rpcBatch  = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
 	)
 	flag.Parse()
 
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = *shards
+	cfg.COFS.AttrLease = *attrLease
+	cfg.COFS.RPCBatch = *rpcBatch
 	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
 	switch *fs {

@@ -28,10 +28,14 @@ func main() {
 	dir := flag.String("dir", "/shared", "shared directory")
 	ops := flag.String("ops", strings.Join(bench.DefaultOps, ","), "comma-separated operations")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	attrLease := flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
+	rpcBatch := flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
 	flag.Parse()
 
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = *shards
+	cfg.COFS.AttrLease = *attrLease
+	cfg.COFS.RPCBatch = *rpcBatch
 	tb := cluster.New(*seed, *nodes, cfg)
 	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	var deployment *core.Deployment
@@ -72,6 +76,13 @@ func main() {
 		st := deployment.Service.Stats()
 		fmt.Printf("\ncofs service: %d requests (%d creates, %d lookups, %d getattrs, %d updates, %d removes, %d peer rpcs)\n",
 			st.Requests, st.Creates, st.Lookups, st.Getattrs, st.Updates, st.Removes, st.PeerCalls)
+		if *attrLease > 0 || *rpcBatch {
+			c := deployment.Counters()
+			fmt.Printf("cofs transport: %d rpcs in %d round trips (%d batched); cache: %d attr hits, %d dentry hits, %d negative hits, %d lease revocations\n",
+				c.Get("rpc.client.calls"), c.Get("rpc.client.roundtrips"), c.Get("rpc.client.batched-reqs"),
+				c.Get("cache.attr-hits"), c.Get("cache.dentry-hits"), c.Get("cache.negative-hits"),
+				c.Get("mds.lease-revocations"))
+		}
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())
 }

@@ -1,0 +1,511 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// These tests pin the coherence contract of the lease-based client
+// cache (params.COFSParams.AttrLease): node A fills its cache, node B
+// mutates the same objects from another node, and A must observe the
+// mutation immediately — stale reads are impossible with leases on, at
+// any shard count. The kernel dentry cache above COFS is put on a
+// 1-nanosecond entry timeout so every path walk reaches the COFS layer
+// and the lease-protected cache (not the FUSE dcache) is what the
+// assertions exercise.
+
+// coherenceRig deploys a 2-node COFS with the lease cache on.
+func coherenceRig(t *testing.T, seed int64, shards int) (*cluster.Testbed, *core.Deployment) {
+	t.Helper()
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = shards
+	cfg.COFS.AttrLease = 30 * time.Second
+	cfg.FUSE.EntryTimeout = time.Nanosecond
+	tb := cluster.New(seed, 2, cfg)
+	d := core.Deploy(tb, nil)
+	tb.Run()
+	return tb, d
+}
+
+// step runs fn as one drained simulation phase: everything fn does
+// happens-before the next step.
+func step(tb *cluster.Testbed, name string, fn func(p *sim.Proc)) {
+	tb.Env.Spawn(name, fn)
+	tb.Run()
+}
+
+func TestLeaseCacheCrossNodeCoherence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			ctxA, ctxB := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
+
+			t.Run("chmod", func(t *testing.T) {
+				tb, d := coherenceRig(t, 100+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					f, err := A.Create(p, ctxA, "/d/f", 0644)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+					A.Stat(p, ctxA, "/d/f") // A caches the attr under lease
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					if _, err := B.Chmod(p, ctxB, "/d/f", 0600); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					attr, err := A.Stat(p, ctxA, "/d/f")
+					if err != nil || attr.Mode != 0600 {
+						t.Errorf("stale mode after cross-node chmod: %o, %v", attr.Mode, err)
+					}
+				})
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("writeback-size", func(t *testing.T) {
+				tb, d := coherenceRig(t, 200+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					f, err := A.Create(p, ctxA, "/f", 0666)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+					A.Stat(p, ctxA, "/f")
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					g, err := B.Open(p, ctxB, "/f", vfs.OpenWrite)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					g.WriteAt(p, 0, 777)
+					g.Close(p)
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					attr, err := A.Stat(p, ctxA, "/f")
+					if err != nil || attr.Size != 777 {
+						t.Errorf("stale size after cross-node write-back: %d, %v", attr.Size, err)
+					}
+				})
+			})
+
+			t.Run("rename", func(t *testing.T) {
+				tb, d := coherenceRig(t, 300+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				var ino vfs.Ino
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					f, err := A.Create(p, ctxA, "/d/f", 0644)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+					attr, _ := A.Stat(p, ctxA, "/d/f")
+					ino = attr.Ino
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					if err := B.Rename(p, ctxB, "/d/f", "/d/g"); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					if _, err := A.Stat(p, ctxA, "/d/f"); err != vfs.ErrNotExist {
+						t.Errorf("renamed-away name still resolves on A: %v", err)
+					}
+					attr, err := A.Stat(p, ctxA, "/d/g")
+					if err != nil || attr.Ino != ino {
+						t.Errorf("renamed-in name wrong on A: %+v, %v", attr, err)
+					}
+				})
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("remove", func(t *testing.T) {
+				tb, d := coherenceRig(t, 400+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					f, err := A.Create(p, ctxA, "/d/f", 0644)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+					A.Stat(p, ctxA, "/d/f")
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					if err := B.Unlink(p, ctxB, "/d/f"); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					if _, err := A.Stat(p, ctxA, "/d/f"); err != vfs.ErrNotExist {
+						t.Errorf("removed file still resolves on A: %v", err)
+					}
+					// And the name is reusable from A.
+					f, err := A.Create(p, ctxA, "/d/f", 0644)
+					if err != nil {
+						t.Errorf("re-create after cross-node remove: %v", err)
+						return
+					}
+					f.Close(p)
+				})
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("negative-dentry", func(t *testing.T) {
+				tb, d := coherenceRig(t, 500+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					// A caches the miss as a negative dentry.
+					if _, err := A.Stat(p, ctxA, "/d/nope"); err != vfs.ErrNotExist {
+						t.Errorf("expected ENOENT, got %v", err)
+					}
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					f, err := B.Create(p, ctxB, "/d/nope", 0640)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					attr, err := A.Stat(p, ctxA, "/d/nope")
+					if err != nil || attr.Mode != 0640 {
+						t.Errorf("negative dentry survived cross-node create: %+v, %v", attr, err)
+					}
+				})
+			})
+
+			t.Run("readdir-fill-then-chmod", func(t *testing.T) {
+				tb, d := coherenceRig(t, 600+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					for i := 0; i < 4; i++ {
+						f, err := A.Create(p, ctxA, fmt.Sprintf("/d/f%d", i), 0644)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						f.Close(p)
+					}
+					// READDIRPLUS fills A's cache with every entry.
+					if _, err := A.Readdir(p, ctxA, "/d"); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					if _, err := B.Chmod(p, ctxB, "/d/f2", 0600); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					attr, err := A.Stat(p, ctxA, "/d/f2")
+					if err != nil || attr.Mode != 0600 {
+						t.Errorf("readdir-filled attr stale after cross-node chmod: %o, %v", attr.Mode, err)
+					}
+					// The untouched sibling still serves from cache.
+					if attr, err := A.Stat(p, ctxA, "/d/f1"); err != nil || attr.Mode != 0644 {
+						t.Errorf("sibling attr wrong: %o, %v", attr.Mode, err)
+					}
+				})
+			})
+
+			t.Run("link-nlink", func(t *testing.T) {
+				tb, d := coherenceRig(t, 700+int64(shards), shards)
+				A, B := d.Mounts[0], d.Mounts[1]
+				step(tb, "setup", func(p *sim.Proc) {
+					f, err := A.Create(p, ctxA, "/x", 0644)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					f.Close(p)
+					A.Stat(p, ctxA, "/x")
+				})
+				step(tb, "mutate", func(p *sim.Proc) {
+					if err := B.Link(p, ctxB, "/x", "/y"); err != nil {
+						t.Error(err)
+					}
+				})
+				step(tb, "verify", func(p *sim.Proc) {
+					attr, err := A.Stat(p, ctxA, "/x")
+					if err != nil || attr.Nlink != 2 {
+						t.Errorf("stale nlink after cross-node link: %d, %v", attr.Nlink, err)
+					}
+				})
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestLeaseCacheActuallyServes guards the coherence tests against
+// vacuity: with leases on and no interleaved mutation, a repeated stat
+// must be served from the client cache (no service round trip), so the
+// cross-node tests above really do race a populated cache.
+func TestLeaseCacheActuallyServes(t *testing.T) {
+	tb, d := coherenceRig(t, 42, 1)
+	A := d.Mounts[0]
+	ctxA := cluster.Ctx(0, 1)
+	step(tb, "setup", func(p *sim.Proc) {
+		if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := A.Create(p, ctxA, "/d/f", 0644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p)
+		A.Stat(p, ctxA, "/d/f")
+	})
+	before := d.FSs[0].Stats.ServiceOps
+	step(tb, "restat", func(p *sim.Proc) {
+		if _, err := A.Stat(p, ctxA, "/d/f"); err != nil {
+			t.Error(err)
+		}
+	})
+	if after := d.FSs[0].Stats.ServiceOps; after != before {
+		t.Fatalf("repeated stat went to the service (%d -> %d ops): cache not serving", before, after)
+	}
+	if hits := d.FSs[0].CacheStats(); hits.Hits == 0 || hits.DentryHits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", hits)
+	}
+}
+
+// TestLeaseRecallsAreCounted checks the observability surface: a
+// cross-node mutation of a leased attr shows up in the per-layer
+// counters (shard revocations, client cache revoked entries, recall
+// messages on the wire).
+func TestLeaseRecallsAreCounted(t *testing.T) {
+	tb, d := coherenceRig(t, 43, 2)
+	A, B := d.Mounts[0], d.Mounts[1]
+	ctxA, ctxB := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
+	step(tb, "setup", func(p *sim.Proc) {
+		f, err := A.Create(p, ctxA, "/f", 0666)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p)
+		A.Stat(p, ctxA, "/f")
+	})
+	step(tb, "mutate", func(p *sim.Proc) {
+		if _, err := B.Chmod(p, ctxB, "/f", 0600); err != nil {
+			t.Error(err)
+		}
+	})
+	c := d.Counters()
+	if c.Get("mds.lease-revocations") == 0 {
+		t.Fatalf("no shard revocations counted: %v", c)
+	}
+	if c.Get("cache.lease-revoked") == 0 {
+		t.Fatalf("no client entries revoked: %v", c)
+	}
+	if c.Get("rpc.client.lease-recalls") == 0 {
+		t.Fatalf("no recall messages on the wire: %v", c)
+	}
+}
+
+// TestLeaseCoherenceUnderConcurrency hammers a small shared namespace
+// from many procs on several nodes with leases on, then checks the
+// protocol's core invariant at every drained round: each still-leased
+// cache entry equals the authoritative table state
+// (Deployment.CheckCacheCoherence). Unlike the sequential scenarios
+// above, this exercises the racing interleavings — grants landing
+// while another node's mutation is in its commit/recall/peer-hop
+// window — where a stale-but-leased entry could otherwise slip in.
+func TestLeaseCoherenceUnderConcurrency(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			cfg := params.Default()
+			cfg.COFS.MetadataShards = shards
+			cfg.COFS.AttrLease = 30 * time.Second
+			cfg.FUSE.EntryTimeout = time.Nanosecond
+			tb := cluster.New(900+int64(shards), 4, cfg)
+			d := core.Deploy(tb, nil)
+			step(tb, "setup", func(p *sim.Proc) {
+				if err := d.Mounts[0].Mkdir(p, cluster.Ctx(0, 1), "/w", 0777); err != nil {
+					t.Error(err)
+				}
+			})
+			name := func(i int) string { return fmt.Sprintf("/w/n%d", i%4) }
+			for round := 0; round < 6; round++ {
+				for node := 0; node < 4; node++ {
+					for pid := 1; pid <= 4; pid++ {
+						node, pid, round := node, pid, round
+						tb.Env.Spawn("storm", func(p *sim.Proc) {
+							m := d.Mounts[node]
+							ctx := cluster.Ctx(node, pid)
+							rng := tb.Env.RNG(fmt.Sprintf("storm.%d.%d.%d", round, node, pid))
+							for i := 0; i < 64; i++ {
+								x := rng.Intn(10)
+								// Every op races the other seven procs on
+								// the same six names; individual ENOENT /
+								// EEXIST / EISDIR outcomes are expected.
+								switch x {
+								case 0, 1:
+									if f, err := m.Create(p, ctx, name(i), 0644); err == nil {
+										f.Close(p)
+									}
+								case 2:
+									m.Unlink(p, ctx, name(i))
+								case 3:
+									m.Chmod(p, ctx, name(i), 0600+uint32(node))
+								case 4:
+									if shards == 1 {
+										m.Rename(p, ctx, name(i), name(i+1))
+									} else {
+										// Pre-existing (PR 1) protocol race,
+										// reproduced on the base commit: two
+										// conflicting renames interleaving
+										// across the two-phase windows can
+										// break plane invariants (nlink vs
+										// dentry counts) regardless of the
+										// lease layer. Tracked in ROADMAP.md
+										// open items; the lease protocol is
+										// exercised by every other op here.
+										m.Stat(p, ctx, name(i))
+									}
+								case 5:
+									m.Utime(p, ctx, name(i))
+								case 6:
+									if f, err := m.Open(p, ctx, name(i), vfs.OpenWrite); err == nil {
+										f.WriteAt(p, 0, int64(64+node))
+										f.Close(p)
+									}
+								default:
+									m.Stat(p, ctx, name(i))
+								}
+							}
+						})
+					}
+				}
+				tb.Run()
+				if err := d.CheckCacheCoherence(tb.Env.Now()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRPCBatchPreservesSemantics runs a contended multi-proc workload
+// with batching on and off: the final namespace must be identical, and
+// the batched run must move strictly fewer network messages.
+func TestRPCBatchPreservesSemantics(t *testing.T) {
+	type outcome struct {
+		listing  []vfs.DirEntry
+		messages int64
+		batched  int64
+	}
+	run := func(batch bool) outcome {
+		cfg := params.Default()
+		cfg.COFS.RPCBatch = batch
+		tb := cluster.New(77, 2, cfg)
+		d := core.Deploy(tb, nil)
+		step(tb, "setup", func(p *sim.Proc) {
+			if err := d.Mounts[0].Mkdir(p, cluster.Ctx(0, 1), "/w", 0777); err != nil {
+				t.Error(err)
+			}
+		})
+		for node := 0; node < 2; node++ {
+			for pid := 1; pid <= 4; pid++ {
+				node, pid := node, pid
+				tb.Env.Spawn("load", func(p *sim.Proc) {
+					m := d.Mounts[node]
+					ctx := cluster.Ctx(node, pid)
+					for i := 0; i < 32; i++ {
+						name := fmt.Sprintf("/w/f-%d-%d-%d", node, pid, i)
+						f, err := m.Create(p, ctx, name, 0644)
+						if err != nil {
+							t.Errorf("create %s: %v", name, err)
+							return
+						}
+						f.Close(p)
+						if i%4 == 0 {
+							m.Stat(p, ctx, name)
+						}
+					}
+				})
+			}
+		}
+		tb.Run()
+		var listing []vfs.DirEntry
+		step(tb, "list", func(p *sim.Proc) {
+			l, err := d.Mounts[0].Readdir(p, cluster.Ctx(0, 1), "/w")
+			if err != nil {
+				t.Error(err)
+			}
+			listing = l
+		})
+		if err := d.Service.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{listing: listing, messages: tb.Net.Messages, batched: d.Counters().Get("rpc.client.batched-reqs")}
+	}
+	off, on := run(false), run(true)
+	if len(off.listing) != len(on.listing) || len(off.listing) != 2*4*32 {
+		t.Fatalf("listing sizes diverge: off=%d on=%d", len(off.listing), len(on.listing))
+	}
+	// Compare names and types: inode ids may legitimately differ because
+	// batching reorders concurrent arrivals at the allocator.
+	for i := range off.listing {
+		if off.listing[i].Name != on.listing[i].Name || off.listing[i].Type != on.listing[i].Type {
+			t.Fatalf("entry %d diverges: %+v vs %+v", i, off.listing[i], on.listing[i])
+		}
+	}
+	if on.batched == 0 {
+		t.Fatal("batched run formed no batches")
+	}
+	if on.messages >= off.messages {
+		t.Fatalf("batching did not reduce network messages: %d vs %d", on.messages, off.messages)
+	}
+}

@@ -3,6 +3,7 @@ package core_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"cofs/internal/cluster"
 	"cofs/internal/core"
@@ -81,4 +82,33 @@ func TestConformanceWithAttrCache(t *testing.T) {
 			Check:               d.Service.CheckInvariants,
 		}
 	})
+}
+
+// TestConformanceWithLeaseCache repeats the battery with the coherent
+// lease cache (and RPC batching) enabled at 1, 2 and 4 shards: the
+// lease protocol must be invisible to single-client correctness too.
+func TestConformanceWithLeaseCache(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			conformance.Run(t, func(t *testing.T) *conformance.System {
+				cfg := params.Default()
+				cfg.COFS.MetadataShards = shards
+				cfg.COFS.AttrLease = 30 * time.Second
+				cfg.COFS.RPCBatch = true
+				tb := cluster.New(29+int64(shards), 1, cfg)
+				d := core.Deploy(tb, nil)
+				tb.Run()
+				return &conformance.System{
+					Env:                 tb.Env,
+					Mount:               d.Mounts[0],
+					User:                vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+					Other:               vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+					Root:                vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+					EnforcesPermissions: true,
+					Check:               d.Service.CheckInvariants,
+				}
+			})
+		})
+	}
 }

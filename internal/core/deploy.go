@@ -5,6 +5,7 @@ import (
 
 	"cofs/internal/cluster"
 	"cofs/internal/sim"
+	"cofs/internal/stats"
 	"cofs/internal/vfs"
 )
 
@@ -65,4 +66,37 @@ func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 		d.Mounts = append(d.Mounts, vfs.NewMount(fs, cfg.FUSE))
 	}
 	return d
+}
+
+// Counters aggregates the deployment's per-layer observability
+// counters: the RPC transport (client and shard-to-shard channels,
+// batching), the client cache (hits, misses, dentry/negative hits,
+// revocations) and the service lease recalls. Tools print it; tests
+// assert against it.
+func (d *Deployment) Counters() *stats.Counters {
+	c := stats.NewCounters()
+	for _, fs := range d.FSs {
+		ts := fs.Session().TransportStats()
+		c.Add("rpc.client.calls", ts.Calls)
+		c.Add("rpc.client.roundtrips", ts.Wire)
+		c.Add("rpc.client.batches", ts.Batches)
+		c.Add("rpc.client.batched-reqs", ts.Batched)
+		c.Add("rpc.client.lease-recalls", ts.Recalls)
+		cs := fs.CacheStats()
+		c.Add("cache.attr-hits", cs.Hits)
+		c.Add("cache.attr-misses", cs.Misses)
+		c.Add("cache.dentry-hits", cs.DentryHits)
+		c.Add("cache.negative-hits", cs.NegativeHits)
+		c.Add("cache.lease-installs", cs.Installs)
+		c.Add("cache.lease-revoked", cs.Revocations)
+	}
+	ps := d.Service.PeerTransportStats()
+	c.Add("rpc.peer.calls", ps.Calls)
+	c.Add("rpc.peer.roundtrips", ps.Wire)
+	c.Add("rpc.peer.batches", ps.Batches)
+	c.Add("rpc.peer.batched-reqs", ps.Batched)
+	ss := d.Service.Stats()
+	c.Add("mds.requests", ss.Requests)
+	c.Add("mds.lease-revocations", ss.Revocations)
+	return c
 }

@@ -15,8 +15,12 @@ import (
 // system. Metadata operations become service RPCs; data operations pass
 // through to the underlying file system at the placement-mapped path.
 type FS struct {
-	svc   *MDSCluster
-	host  *netsim.Host
+	svc  *MDSCluster
+	host *netsim.Host
+	// sess is this client's connection to the metadata plane: one RPC
+	// channel per shard (see internal/rpc and session.go). All metadata
+	// traffic flows through it.
+	sess  *Session
 	node  int
 	under *vfs.Mount // the underlying (GPFS-like) file system, bare-mounted
 	place Placement
@@ -34,9 +38,10 @@ type FS struct {
 	handles map[vfs.Handle]*cofsHandle
 	nextH   vfs.Handle
 
-	// attrs is the optional client-side attribute/mapping cache
-	// (section IV-B future work; see attrcache.go).
-	attrs *attrCache
+	// attrs is the optional client-side attribute/dentry cache
+	// (section IV-B future work; see attrcache.go). In lease mode the
+	// metadata shards install and recall its entries.
+	attrs *clientCache
 
 	Stats FSStats
 }
@@ -72,9 +77,11 @@ type cofsHandle struct {
 // paper's behaviour). svc is the (possibly sharded) metadata plane; the
 // client routes each operation to its coordinator shard.
 func NewFS(svc *MDSCluster, host *netsim.Host, node int, under *vfs.Mount, place Placement, cfg params.COFSParams, rng *rand.Rand) *FS {
+	cache := newClientCache(cfg)
 	return &FS{
 		svc:      svc,
 		host:     host,
+		sess:     svc.Connect(host, node, cache),
 		node:     node,
 		under:    under,
 		place:    place,
@@ -84,12 +91,18 @@ func NewFS(svc *MDSCluster, host *netsim.Host, node int, under *vfs.Mount, place
 		madeDirs: make(map[string]bool),
 		handles:  make(map[vfs.Handle]*cofsHandle),
 		nextH:    1,
-		attrs:    newAttrCache(cfg.AttrCacheTimeout, cfg.AttrCacheEntries),
+		attrs:    cache,
 	}
 }
 
 // AttrCacheHits reports client attribute-cache hits (tooling/ablation).
-func (f *FS) AttrCacheHits() int64 { return f.attrs.Hits }
+func (f *FS) AttrCacheHits() int64 { return f.attrs.Stats.Hits }
+
+// CacheStats reports the client cache counters (tooling/ablation).
+func (f *FS) CacheStats() CacheStats { return f.attrs.Stats }
+
+// Session returns the client's metadata-plane connection (tooling).
+func (f *FS) Session() *Session { return f.sess }
 
 // Service returns the metadata service plane (for tooling).
 func (f *FS) Service() *MDSCluster { return f.svc }
@@ -152,10 +165,23 @@ func (f *FS) ensureUnderDir(p *sim.Proc, dir string) error {
 	return nil
 }
 
-// Lookup implements vfs.Filesystem.
+// Lookup implements vfs.Filesystem. In lease mode a still-leased dentry
+// (positive or negative) resolves without a service round trip: the
+// aggressive-caching extension of section IV-B applied to the paper's
+// per-component FUSE lookup traffic.
 func (f *FS) Lookup(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) (vfs.Attr, error) {
+	if child, negative, ok := f.attrs.lookupDentry(p, dir, name); ok {
+		if negative {
+			f.attrs.Stats.NegativeHits++
+			return vfs.Attr{}, vfs.ErrNotExist
+		}
+		if e, ok2 := f.attrs.get(p, child); ok2 {
+			f.attrs.Stats.DentryHits++
+			return e.attr, nil
+		}
+	}
 	f.Stats.ServiceOps++
-	attr, err := f.svc.Lookup(p, f.host, dir, name)
+	attr, err := f.svc.Lookup(p, f.sess, dir, name)
 	if err == nil {
 		f.attrs.put(p, attr, "")
 	}
@@ -168,7 +194,7 @@ func (f *FS) Getattr(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (vfs.Attr, error) {
 		return e.attr, nil
 	}
 	f.Stats.ServiceOps++
-	attr, err := f.svc.Getattr(p, f.host, ino)
+	attr, err := f.svc.Getattr(p, f.sess, ino)
 	if err == nil {
 		f.attrs.put(p, attr, "")
 	}
@@ -181,7 +207,7 @@ func (f *FS) Getattr(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (vfs.Attr, error) {
 func (f *FS) Setattr(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
 	f.Stats.ServiceOps++
 	f.attrs.drop(ino)
-	attr, err := f.svc.Setattr(p, f.host, ctx, ino, set)
+	attr, err := f.svc.Setattr(p, f.sess, ctx, ino, set)
 	if err != nil {
 		return attr, err
 	}
@@ -208,7 +234,7 @@ func (f *FS) Create(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string, mode uin
 		return vfs.Attr{}, 0, err
 	}
 	f.Stats.ServiceOps++
-	attr, upath, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeRegular, mode, bucket, "")
+	attr, upath, err := f.svc.Create(p, f.sess, ctx, dir, name, vfs.TypeRegular, mode, bucket, "")
 	if err != nil {
 		return vfs.Attr{}, 0, err
 	}
@@ -241,7 +267,7 @@ func (f *FS) Open(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, flags vfs.OpenFlags) (v
 	} else {
 		f.Stats.ServiceOps++
 		var err error
-		attr, upath, err = f.svc.OpenInfo(p, f.host, ino)
+		attr, upath, err = f.svc.OpenInfo(p, f.sess, ino)
 		if err != nil {
 			return 0, err
 		}
@@ -264,7 +290,7 @@ func (f *FS) Open(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, flags vfs.OpenFlags) (v
 	}
 	if flags&vfs.OpenTrunc != 0 {
 		f.attrs.drop(ino)
-		if _, err := f.svc.Setattr(p, f.host, ctx, ino, vfs.SetAttr{HasSize: true, Size: 0}); err != nil {
+		if _, err := f.svc.Setattr(p, f.sess, ctx, ino, vfs.SetAttr{HasSize: true, Size: 0}); err != nil {
 			return 0, err
 		}
 		if err := f.under.Truncate(p, f.underCtx(), upath, 0); err != nil {
@@ -361,7 +387,7 @@ func (f *FS) Release(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle) error {
 		f.attrs.drop(hs.id)
 		f.Stats.WriteBacks++
 		f.Stats.ServiceOps++
-		if err := f.svc.WriteBack(p, f.host, hs.id, hs.size, p.Now()); err != nil && err != vfs.ErrNotExist {
+		if err := f.svc.WriteBack(p, f.sess, hs.id, hs.size, p.Now()); err != nil && err != vfs.ErrNotExist {
 			return err
 		}
 	}
@@ -372,12 +398,13 @@ func (f *FS) Release(p *sim.Proc, ctx vfs.Ctx, h vfs.Handle) error {
 // last link dies, delete the underlying file too.
 func (f *FS) Unlink(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) error {
 	f.Stats.ServiceOps++
-	upath, gone, err := f.svc.Remove(p, f.host, ctx, dir, name, false)
+	upath, gone, err := f.svc.Remove(p, f.sess, ctx, dir, name, false)
 	if err != nil {
 		return err
 	}
 	f.attrs.drop(gone) // nlink changed (or object removed)
 	f.attrs.drop(dir)  // parent mtime changed
+	f.attrs.dropDentry(dir, name)
 	if upath != "" {
 		if uerr := f.under.Unlink(p, f.underCtx(), upath); uerr != nil && uerr != vfs.ErrNotExist {
 			return uerr
@@ -393,7 +420,7 @@ func (f *FS) Mkdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string, mode uint
 		return vfs.Attr{}, vfs.ErrInvalid
 	}
 	f.Stats.ServiceOps++
-	attr, _, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeDir, mode, "", "")
+	attr, _, err := f.svc.Create(p, f.sess, ctx, dir, name, vfs.TypeDir, mode, "", "")
 	if err == nil {
 		f.attrs.drop(dir) // parent nlink/mtime changed
 	}
@@ -403,10 +430,11 @@ func (f *FS) Mkdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string, mode uint
 // Rmdir implements vfs.Filesystem.
 func (f *FS) Rmdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) error {
 	f.Stats.ServiceOps++
-	_, gone, err := f.svc.Remove(p, f.host, ctx, dir, name, true)
+	_, gone, err := f.svc.Remove(p, f.sess, ctx, dir, name, true)
 	if err == nil {
 		f.attrs.drop(gone)
 		f.attrs.drop(dir) // parent nlink/mtime changed
+		f.attrs.dropDentry(dir, name)
 	}
 	return err
 }
@@ -415,13 +443,15 @@ func (f *FS) Rmdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name string) error {
 // underlying layout never changes because mappings are by file id.
 func (f *FS) Rename(p *sim.Proc, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) error {
 	f.Stats.ServiceOps++
-	upath, replaced, err := f.svc.Rename(p, f.host, ctx, srcDir, srcName, dstDir, dstName)
+	upath, replaced, err := f.svc.Rename(p, f.sess, ctx, srcDir, srcName, dstDir, dstName)
 	if err != nil {
 		return err
 	}
 	f.attrs.drop(replaced) // replaced target's nlink changed (or gone)
 	f.attrs.drop(srcDir)   // both parents' nlink/mtime changed
 	f.attrs.drop(dstDir)
+	f.attrs.dropDentry(srcDir, srcName)
+	f.attrs.dropDentry(dstDir, dstName)
 	if upath != "" {
 		if uerr := f.under.Unlink(p, f.underCtx(), upath); uerr != nil && uerr != vfs.ErrNotExist {
 			return uerr
@@ -434,9 +464,13 @@ func (f *FS) Rename(p *sim.Proc, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, ds
 // names map to the same file id and hence the same underlying file).
 func (f *FS) Link(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, dir vfs.Ino, name string) (vfs.Attr, error) {
 	f.Stats.ServiceOps++
-	attr, err := f.svc.Link(p, f.host, ctx, ino, dir, name)
+	attr, err := f.svc.Link(p, f.sess, ctx, ino, dir, name)
 	if err == nil {
-		f.attrs.drop(ino) // nlink changed
+		// In lease mode the shard granted the fresh post-link
+		// attributes with the reply; dropping would discard them.
+		if !f.attrs.leased() {
+			f.attrs.drop(ino) // nlink changed
+		}
 		f.attrs.drop(dir) // parent mtime changed
 		f.attrs.put(p, attr, "")
 	}
@@ -446,7 +480,7 @@ func (f *FS) Link(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino, dir vfs.Ino, name strin
 // Symlink implements vfs.Filesystem (service-only).
 func (f *FS) Symlink(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name, target string) (vfs.Attr, error) {
 	f.Stats.ServiceOps++
-	attr, _, err := f.svc.Create(p, f.host, ctx, dir, name, vfs.TypeSymlink, 0777, "", target)
+	attr, _, err := f.svc.Create(p, f.sess, ctx, dir, name, vfs.TypeSymlink, 0777, "", target)
 	if err == nil {
 		f.attrs.drop(dir) // parent mtime changed
 	}
@@ -456,7 +490,7 @@ func (f *FS) Symlink(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino, name, target string)
 // Readlink implements vfs.Filesystem.
 func (f *FS) Readlink(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (string, error) {
 	f.Stats.ServiceOps++
-	return f.svc.Readlink(p, f.host, ino)
+	return f.svc.Readlink(p, f.sess, ino)
 }
 
 // Readdir implements vfs.Filesystem. The service replies READDIRPLUS-
@@ -466,7 +500,7 @@ func (f *FS) Readlink(p *sim.Proc, ctx vfs.Ctx, ino vfs.Ino) (string, error) {
 // caching extension applied to the paper's directory-traversal trigger).
 func (f *FS) Readdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
 	f.Stats.ServiceOps++
-	ents, attrs, err := f.svc.ReaddirPlus(p, f.host, ctx, dir)
+	ents, attrs, err := f.svc.ReaddirPlus(p, f.sess, ctx, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -479,6 +513,6 @@ func (f *FS) Readdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, err
 // StatFS implements vfs.Filesystem.
 func (f *FS) StatFS(p *sim.Proc, ctx vfs.Ctx) (vfs.Statfs, error) {
 	f.Stats.ServiceOps++
-	files, dirs := f.svc.CountObjects(p, f.host)
+	files, dirs := f.svc.CountObjects(p, f.sess)
 	return vfs.Statfs{Files: files, Dirs: dirs}, nil
 }

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// This file is the server half of the coherent client cache (section
+// IV-B's "aggressive caching and delegation techniques", grown from the
+// TTL-only attrCache into a lease protocol). Each metadata shard keeps
+// a lease table for the rows it owns: which client session holds a
+// still-valid lease on which attribute (by inode id) or dentry (by
+// parent+name). Read replies grant leases — the grant rides the reply
+// that was already being sent, so granting is free on the wire — and
+// any conflicting mutation revokes them: the revocation is applied to
+// the holders' caches at the mutation's commit instant (keeping the
+// protocol linearizable in virtual time) and the recall message cost is
+// charged to the mutating operation, GPFS-token style. The mutating
+// client itself is exempt: its own invalidation rides its reply (the FS
+// layer drops the affected entries when the call returns).
+
+// leaseKey names one leasable item of a shard: an attribute row (name
+// empty) or a dentry (parent+name).
+type leaseKey struct {
+	ino    vfs.Ino
+	parent vfs.Ino
+	name   string
+}
+
+func attrLease(ino vfs.Ino) leaseKey { return leaseKey{ino: ino} }
+
+func dentLease(parent vfs.Ino, name string) leaseKey {
+	return leaseKey{parent: parent, name: name}
+}
+
+// leaseTable tracks the lease holders of one shard's rows.
+type leaseTable struct {
+	term    time.Duration
+	holders map[leaseKey]map[*Session]time.Duration // session -> expiry
+	// sweepAt is the table size that triggers the next lazy sweep of
+	// fully-expired keys (stat-once workloads otherwise retain one
+	// holder map per row ever leased).
+	sweepAt int
+}
+
+const leaseSweepFloor = 1 << 12
+
+func newLeaseTable(term time.Duration) *leaseTable {
+	if term <= 0 {
+		return nil
+	}
+	return &leaseTable{
+		term:    term,
+		holders: make(map[leaseKey]map[*Session]time.Duration),
+		sweepAt: leaseSweepFloor,
+	}
+}
+
+func (lt *leaseTable) enabled() bool { return lt != nil }
+
+// grant records sess as a holder of key until now+term and returns the
+// expiry. Both sides share the simulation clock, so the client-side
+// validity check and the server-side revocation window agree exactly.
+// Revisiting a key prunes holders whose term has lapsed, and table
+// growth triggers an amortized sweep of fully-expired keys, so
+// read-mostly workloads do not accumulate dead (row, session) pairs
+// forever.
+func (lt *leaseTable) grant(now time.Duration, key leaseKey, sess *Session) time.Duration {
+	hs, ok := lt.holders[key]
+	if !ok {
+		hs = make(map[*Session]time.Duration)
+		lt.holders[key] = hs
+	} else {
+		for other, exp := range hs {
+			if now >= exp {
+				delete(hs, other)
+			}
+		}
+	}
+	exp := now + lt.term
+	hs[sess] = exp
+	if len(lt.holders) >= lt.sweepAt {
+		lt.sweep(now)
+	}
+	return exp
+}
+
+// sweep drops expired holders and the keys they leave empty, then sets
+// the next trigger to double the live size (amortized O(1) per grant).
+func (lt *leaseTable) sweep(now time.Duration) {
+	for key, hs := range lt.holders {
+		for sess, exp := range hs {
+			if now >= exp {
+				delete(hs, sess)
+			}
+		}
+		if len(hs) == 0 {
+			delete(lt.holders, key)
+		}
+	}
+	lt.sweepAt = 2 * len(lt.holders)
+	if lt.sweepAt < leaseSweepFloor {
+		lt.sweepAt = leaseSweepFloor
+	}
+}
+
+// revoke removes every holder of key and returns the sessions (other
+// than except) whose lease had not yet expired — the ones that must be
+// recalled. The result is ordered by client node for determinism.
+func (lt *leaseTable) revoke(now time.Duration, key leaseKey, except *Session) []*Session {
+	hs, ok := lt.holders[key]
+	if !ok {
+		return nil
+	}
+	delete(lt.holders, key)
+	var victims []*Session
+	for sess, exp := range hs {
+		if sess == except || now >= exp {
+			continue // self-invalidation rides the reply; expired needs nothing
+		}
+		victims = append(victims, sess)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].node < victims[j].node })
+	return victims
+}
+
+// CheckCacheCoherence verifies, at a drained instant, the invariant
+// the lease protocol must preserve: every still-leased entry in every
+// client's cache equals the authoritative table row (attributes), or
+// correctly mirrors dentry existence (positive and negative entries).
+// Concurrency stress tests call it between drained rounds — it is what
+// catches grant/revoke interleaving bugs that sequential coherence
+// tests cannot.
+func (d *Deployment) CheckCacheCoherence(now time.Duration) error {
+	for i, fs := range d.FSs {
+		cc := fs.attrs
+		if !cc.leased() {
+			continue
+		}
+		for _, ino := range cc.attrs.Keys() {
+			e, ok := cc.attrs.Peek(ino)
+			if !ok || now >= e.exp {
+				continue // expired: never served again
+			}
+			row, live := d.Service.shard(ino).inodes.Peek(ino)
+			if !live {
+				return fmt.Errorf("core: node %d holds a leased attr for dead inode %d", i, ino)
+			}
+			if row.attr() != e.attr {
+				return fmt.Errorf("core: node %d holds stale leased attrs for inode %d: cached %+v, table %+v",
+					i, ino, e.attr, row.attr())
+			}
+		}
+		for _, k := range cc.dents.Keys() {
+			e, ok := cc.dents.Peek(k)
+			if !ok || now >= e.exp {
+				continue
+			}
+			de, exists := d.Service.shard(k.parent).dentries.Peek(dentryKey{Parent: k.parent, Name: k.name})
+			if e.child == 0 {
+				if exists {
+					return fmt.Errorf("core: node %d holds a negative dentry for existing %d/%s", i, k.parent, k.name)
+				}
+				continue
+			}
+			if !exists || de.Child != e.child {
+				return fmt.Errorf("core: node %d holds a stale dentry %d/%s -> %d (table: %v, %d)",
+					i, k.parent, k.name, e.child, exists, de.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Service-side grant/revoke helpers (run under the shard's CPU,
+// inside the operation body the transport executes) ----
+
+// Grants are derived from table state *at the grant instant* via
+// yield-free Peeks — never from a value read before a scheduler yield
+// (a transaction commit wait, a recall window with the CPU released, a
+// peer-shard hop). A mutation that commits during such a window has
+// already updated the table, so the Peek grants the post-mutation
+// truth (or nothing, if the row/dentry died); a mutation that commits
+// after the grant finds the holder in the lease table and recalls it.
+// Either way no stale entry is ever installed under a lease.
+
+// grantAttr leases id's attributes as of the grant instant (and
+// optionally the underlying mapping, which is immutable while the
+// inode lives) and installs them in the session's cache.
+func (s *Service) grantAttr(p *sim.Proc, sess *Session, id vfs.Ino, upath string) {
+	if !s.leases.enabled() || sess == nil {
+		return
+	}
+	row, ok := s.inodes.Peek(id)
+	if !ok {
+		return
+	}
+	exp := s.leases.grant(p.Now(), attrLease(id), sess)
+	sess.cache.installAttr(p, row.attr(), upath, exp)
+}
+
+// grantDentry leases the resolution (parent, name) -> child, but only
+// if the dentry still resolves to child at the grant instant.
+func (s *Service) grantDentry(p *sim.Proc, sess *Session, parent vfs.Ino, name string, child vfs.Ino) {
+	if !s.leases.enabled() || sess == nil {
+		return
+	}
+	if de, ok := s.dentries.Peek(dentryKey{Parent: parent, Name: name}); !ok || de.Child != child {
+		return
+	}
+	exp := s.leases.grant(p.Now(), dentLease(parent, name), sess)
+	sess.cache.installDentry(parent, name, child, exp)
+}
+
+// grantNegative leases the absence of (parent, name), but only if the
+// name is still absent at the grant instant.
+func (s *Service) grantNegative(p *sim.Proc, sess *Session, parent vfs.Ino, name string) {
+	if !s.leases.enabled() || sess == nil {
+		return
+	}
+	if _, ok := s.dentries.Peek(dentryKey{Parent: parent, Name: name}); ok {
+		return
+	}
+	exp := s.leases.grant(p.Now(), dentLease(parent, name), sess)
+	sess.cache.installDentry(parent, name, 0, exp)
+}
+
+// revokeLeases recalls every given key from every holder. Cache
+// entries die at the commit instant; then the recall messages are
+// charged to the mutation (one callback per victim session), with the
+// shard's CPU released while they are on the wire — the same
+// non-blocking-server discipline as peerCall. The mutating session's
+// own entry dies too — its holder record is wiped with the key, so if
+// the follow-up grant is skipped (the row or dentry died in a racing
+// window) no untracked entry may survive — but it gets no recall
+// message: its notification rides the reply it is already waiting for.
+func (s *Service) revokeLeases(p *sim.Proc, except *Session, keys ...leaseKey) {
+	if !s.leases.enabled() {
+		return
+	}
+	now := p.Now()
+	seen := make(map[*Session]bool)
+	var victims []*Session
+	for _, key := range keys {
+		if except != nil {
+			if key.name != "" {
+				except.cache.revokeDentry(key.parent, key.name)
+			} else {
+				except.cache.revokeAttr(key.ino)
+			}
+		}
+		for _, sess := range s.leases.revoke(now, key, except) {
+			if key.name != "" {
+				sess.cache.revokeDentry(key.parent, key.name)
+			} else {
+				sess.cache.revokeAttr(key.ino)
+			}
+			s.Stats.Revocations++
+			if !seen[sess] {
+				seen[sess] = true
+				victims = append(victims, sess)
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	s.host.CPU.Release(p)
+	for _, sess := range victims {
+		// The invalidation already happened above; the callback charges
+		// the recall's transfer and the client-side dispatch.
+		sess.conns[s.shardID].Callback(p, 96, func(p *sim.Proc) {})
+	}
+	s.host.CPU.Acquire(p)
+}

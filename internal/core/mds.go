@@ -8,6 +8,7 @@ import (
 
 	"cofs/internal/netsim"
 	"cofs/internal/params"
+	"cofs/internal/rpc"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
 )
@@ -73,16 +74,30 @@ func (m ShardMap) DirTarget(parent vfs.Ino, name string) int {
 type MDSCluster struct {
 	// Map is the deterministic shard map.
 	Map    ShardMap
+	cfg    params.COFSParams
 	shards []*Service
+	// priorPeer carries the peer-channel counters of a plane this one
+	// replaced at failover, keeping the per-layer report cumulative
+	// like the client-side counters.
+	priorPeer rpc.ConnStats
 }
 
 // NewMDSCluster creates one metadata shard per host. The hosts must be
 // on the deployment's network; each shard gets a freshly attached local
-// disk named after its host.
+// disk named after its host, plus an RPC channel to every peer shard
+// for the two-phase protocol traffic.
 func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MDSCluster {
-	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}}
+	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}, cfg: cfg.COFS}
 	for i, h := range hosts {
 		c.shards = append(c.shards, newShard(net, h, cfg, c, i))
+	}
+	for _, s := range c.shards {
+		s.peers = make([]*rpc.Conn, len(c.shards))
+		for j, t := range c.shards {
+			if t != s {
+				s.peers[j] = rpc.Dial(net, s.host, t.host, cfg.COFS.RPCBatch)
+			}
+		}
 	}
 	return c
 }
@@ -94,77 +109,82 @@ func (c *MDSCluster) Shards() []*Service { return c.shards }
 func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Map.Of(ino)] }
 
 // ---- routed operations (the client-facing surface used by FS) ----
+//
+// Every operation travels the calling session's RPC channel to its
+// coordinator shard (see internal/rpc and session.go): the transport
+// charges the wire and dispatch costs, the shard executes the operation
+// body and manages the session's cache leases.
 
 // Lookup resolves (parent, name); coordinated by the parent's shard.
-func (c *MDSCluster) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name string) (vfs.Attr, error) {
-	return c.shard(parent).Lookup(p, from, parent, name)
+func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (vfs.Attr, error) {
+	return c.shard(parent).Lookup(p, sess, parent, name)
 }
 
 // Getattr returns the attributes of id from its owning shard.
-func (c *MDSCluster) Getattr(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, error) {
-	return c.shard(id).Getattr(p, from, id)
+func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, error) {
+	return c.shard(id).Getattr(p, sess, id)
 }
 
 // Setattr updates attributes of id on its owning shard.
-func (c *MDSCluster) Setattr(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
-	return c.shard(id).Setattr(p, from, ctx, id, set)
+func (c *MDSCluster) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
+	return c.shard(id).Setattr(p, sess, ctx, id, set)
 }
 
 // Create allocates a new object under parent; coordinated by the
 // parent's shard (which owns the new dentry).
-func (c *MDSCluster) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
-	return c.shard(parent).Create(p, from, ctx, parent, name, t, mode, bucket, target)
+func (c *MDSCluster) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
+	return c.shard(parent).Create(p, sess, ctx, parent, name, t, mode, bucket, target)
 }
 
 // Readlink returns a symlink's target from its owning shard.
-func (c *MDSCluster) Readlink(p *sim.Proc, from *netsim.Host, id vfs.Ino) (string, error) {
-	return c.shard(id).Readlink(p, from, id)
+func (c *MDSCluster) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (string, error) {
+	return c.shard(id).Readlink(p, sess, id)
 }
 
 // OpenInfo returns attributes and underlying mapping of a regular file.
-func (c *MDSCluster) OpenInfo(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, string, error) {
-	return c.shard(id).OpenInfo(p, from, id)
+func (c *MDSCluster) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, string, error) {
+	return c.shard(id).OpenInfo(p, sess, id)
 }
 
 // Remove unlinks (parent, name); coordinated by the parent's shard.
-func (c *MDSCluster) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
-	return c.shard(parent).Remove(p, from, ctx, parent, name, rmdir)
+func (c *MDSCluster) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+	return c.shard(parent).Remove(p, sess, ctx, parent, name, rmdir)
 }
 
 // Rename moves (srcDir, srcName) to (dstDir, dstName); coordinated by
 // the source directory's shard.
-func (c *MDSCluster) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
-	return c.shard(srcDir).Rename(p, from, ctx, srcDir, srcName, dstDir, dstName)
+func (c *MDSCluster) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	return c.shard(srcDir).Rename(p, sess, ctx, srcDir, srcName, dstDir, dstName)
 }
 
 // Link adds a hard link to id at (parent, name); coordinated by the
 // parent's shard.
-func (c *MDSCluster) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
-	return c.shard(parent).Link(p, from, ctx, id, parent, name)
+func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	return c.shard(parent).Link(p, sess, ctx, id, parent, name)
 }
 
 // ReaddirPlus lists dir with attributes; coordinated by dir's shard.
-func (c *MDSCluster) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
-	return c.shard(dir).ReaddirPlus(p, from, ctx, dir)
+func (c *MDSCluster) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
+	return c.shard(dir).ReaddirPlus(p, sess, ctx, dir)
 }
 
 // Readdir lists dir (names and types only).
-func (c *MDSCluster) Readdir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
-	ents, _, err := c.ReaddirPlus(p, from, ctx, dir)
+func (c *MDSCluster) Readdir(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	ents, _, err := c.ReaddirPlus(p, sess, ctx, dir)
 	return ents, err
 }
 
 // WriteBack records a writer's size/mtime at close on id's shard.
-func (c *MDSCluster) WriteBack(p *sim.Proc, from *netsim.Host, id vfs.Ino, size int64, mtime time.Duration) error {
-	return c.shard(id).WriteBack(p, from, id, size, mtime)
+func (c *MDSCluster) WriteBack(p *sim.Proc, sess *Session, id vfs.Ino, size int64, mtime time.Duration) error {
+	return c.shard(id).WriteBack(p, sess, id, size, mtime)
 }
 
 // CountObjects returns (files, dirs) aggregated over every shard, one
 // RPC per shard.
-func (c *MDSCluster) CountObjects(p *sim.Proc, from *netsim.Host) (int64, int64) {
+func (c *MDSCluster) CountObjects(p *sim.Proc, sess *Session) (int64, int64) {
 	var files, dirs int64
 	for _, s := range c.shards {
-		f, d := s.CountObjects(p, from)
+		f, d := s.CountObjects(p, sess)
 		files += f
 		dirs += d
 	}
@@ -226,6 +246,21 @@ func (c *MDSCluster) Stats() ServiceStats {
 		out.Updates += s.Stats.Updates
 		out.Removes += s.Stats.Removes
 		out.PeerCalls += s.Stats.PeerCalls
+		out.Revocations += s.Stats.Revocations
+	}
+	return out
+}
+
+// PeerTransportStats aggregates the shard-to-shard channel counters of
+// the two-phase protocol across the plane.
+func (c *MDSCluster) PeerTransportStats() rpc.ConnStats {
+	out := c.priorPeer
+	for _, s := range c.shards {
+		for _, pc := range s.peers {
+			if pc != nil {
+				out.Add(pc.Stats)
+			}
+		}
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"cofs/internal/cluster"
 	"cofs/internal/core"
@@ -24,12 +25,33 @@ func TestCOFSMemFSOracleDeepProperty(t *testing.T) {
 	for _, shards := range []int{1, 2, 4} {
 		shards := shards
 		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
-			testOracleDeep(t, shards)
+			testOracleDeep(t, shards, nil)
 		})
 	}
 }
 
-func testOracleDeep(t *testing.T, shards int) {
+// TestCOFSOracleWithLeaseCache repeats the deep oracle property with
+// the coherent lease cache enabled (and once with RPC batching too):
+// lease-served hits and recalls must never change what a client
+// observes, at 1 and 2 shards.
+func TestCOFSOracleWithLeaseCache(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			testOracleDeep(t, shards, func(cfg *params.Config) {
+				cfg.COFS.AttrLease = 30 * time.Second
+			})
+		})
+	}
+	t.Run("1shards-batch", func(t *testing.T) {
+		testOracleDeep(t, 1, func(cfg *params.Config) {
+			cfg.COFS.AttrLease = 30 * time.Second
+			cfg.COFS.RPCBatch = true
+		})
+	})
+}
+
+func testOracleDeep(t *testing.T, shards int, tweak func(*params.Config)) {
 	type op struct {
 		Kind byte
 		A, B uint8
@@ -39,6 +61,9 @@ func testOracleDeep(t *testing.T, shards int) {
 	f := func(ops []op) bool {
 		cfg := params.Default()
 		cfg.COFS.MetadataShards = shards
+		if tweak != nil {
+			tweak(&cfg)
+		}
 		tb := cluster.New(1, 1, cfg)
 		d := core.Deploy(tb, nil)
 		m := d.Mounts[0]

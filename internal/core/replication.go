@@ -69,6 +69,9 @@ func (sb *Standby) Promote(d *Deployment) int {
 	for _, fs := range d.FSs {
 		fs.SetService(sb.Cluster)
 	}
+	// Keep the per-layer transport report cumulative across the
+	// switch, as the per-session counters already are.
+	sb.Cluster.priorPeer = d.Service.PeerTransportStats()
 	d.Service = sb.Cluster
 	return lost
 }
@@ -88,10 +91,15 @@ func (s *Service) AdoptIDCounter() {
 }
 
 // SetService repoints this client at a different metadata plane
-// (failover) and purges the client attribute cache: the new plane may
-// have lost a shipping window's worth of transactions, and cached
-// attributes must not outlive the state that backed them.
+// (failover): a fresh session (new per-shard RPC channels) is dialed
+// and the client cache is purged — the new plane may have lost a
+// shipping window's worth of transactions, cached attributes must not
+// outlive the state that backed them, and any leases were granted by
+// the dead plane.
 func (f *FS) SetService(svc *MDSCluster) {
+	old := f.sess
 	f.svc = svc
+	f.sess = svc.Connect(f.host, f.node, f.attrs)
+	f.sess.prior = old.TransportStats()
 	f.attrs.purge()
 }

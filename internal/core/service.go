@@ -9,6 +9,7 @@ import (
 	"cofs/internal/mdb"
 	"cofs/internal/netsim"
 	"cofs/internal/params"
+	"cofs/internal/rpc"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
 )
@@ -74,6 +75,9 @@ type ServiceStats struct {
 	// PeerCalls counts shard-to-shard RPCs this shard coordinated
 	// (always 0 on a single-shard deployment).
 	PeerCalls int64
+	// Revocations counts client lease recalls this shard issued
+	// (always 0 unless COFSParams.AttrLease is set).
+	Revocations int64
 }
 
 // Service is one COFS metadata shard: it owns the slice of the virtual
@@ -101,6 +105,14 @@ type Service struct {
 	// restarts and never needs a lookup table.
 	nextID vfs.Ino
 
+	// leases tracks which client session holds a lease on which of this
+	// shard's rows (nil unless COFSParams.AttrLease is set; see
+	// lease.go).
+	leases *leaseTable
+	// peers are this shard's channels to the other shards of the plane
+	// (two-phase protocol traffic), indexed by shard id; nil for self.
+	peers []*rpc.Conn
+
 	Stats ServiceStats
 }
 
@@ -124,6 +136,7 @@ func newShard(net *netsim.Net, host *netsim.Host, cfg params.Config, c *MDSClust
 		Disk:    d,
 		DB:      db,
 		nextID:  firstID(shardID, c.Map.Shards),
+		leases:  newLeaseTable(cfg.COFS.AttrLease),
 	}
 	s.inodes = mdb.NewTable[vfs.Ino, inodeRow](db, "inode", mdb.DiscCopies)
 	s.dentries = mdb.NewTable[dentryKey, dentryRow](db, "dentry", mdb.DiscCopies)
@@ -176,45 +189,57 @@ func (s *Service) allocID() vfs.Ino {
 // Host returns the service node.
 func (s *Service) Host() *netsim.Host { return s.host }
 
-// call performs one client->service RPC charging the full (transaction
-// dispatch) service CPU.
-func call[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, fn func(p *sim.Proc) T) T {
-	return callCPU(p, s, from, req, resp, s.cfg.ServiceCPUPerOp, fn)
+// call performs one client->service RPC through the session's channel
+// to this shard, charging the full (transaction dispatch) service CPU.
+func call[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req, resp int64, fn func(p *sim.Proc) T) T {
+	return callCPU(p, s, sess, op, req, resp, s.cfg.ServiceCPUPerOp, fn)
 }
 
 // callRead is the dirty-read fast path: Mnesia dirty reads skip the
 // transaction machinery, so the dispatch charge is much smaller.
-func callRead[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, fn func(p *sim.Proc) T) T {
-	return callCPU(p, s, from, req, resp, s.cfg.ServiceCPUPerOp*3/4, fn)
+func callRead[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req, resp int64, fn func(p *sim.Proc) T) T {
+	return callCPU(p, s, sess, op, req, resp, s.cfg.ServiceCPUPerOp*3/4, fn)
 }
 
-func callCPU[T any](p *sim.Proc, s *Service, from *netsim.Host, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
+func callCPU[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
+	return callDyn(p, s, sess, op, req, cpu, fn, func(T) int64 { return resp })
+}
+
+// callDyn is callCPU with the response size computed from the handler's
+// result (directory listings).
+func callDyn[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req int64, cpu time.Duration, fn func(p *sim.Proc) T, resp func(T) int64) T {
 	s.Stats.Requests++
-	return netsim.Call(p, s.net, from, s.host, req, resp, func(p *sim.Proc) T {
-		p.Sleep(cpu)
-		return fn(p)
+	var out T
+	sess.conns[s.shardID].Call(p, rpc.Request{
+		Op: op, ReqBytes: req, CPU: cpu,
+		Run:       func(p *sim.Proc) { out = fn(p) },
+		RespBytes: func() int64 { return resp(out) },
 	})
+	return out
 }
 
-// peerCall performs one shard-to-shard RPC of the cross-shard protocol,
-// charging transfer costs plus the participant's dispatch CPU. The
-// coordinator's scheduler thread is released while the remote call is in
-// flight (an Erlang-style non-blocking server), so opposed cross-shard
-// operations cannot deadlock the two worker pools. When the participant
-// is the coordinator itself the body runs inline: no RPC, no extra
-// dispatch charge.
+// peerCall performs one shard-to-shard RPC of the cross-shard protocol
+// over the coordinator's channel to the participant, charging transfer
+// costs plus the participant's dispatch CPU. The coordinator's
+// scheduler thread is released while the remote call is in flight (an
+// Erlang-style non-blocking server), so opposed cross-shard operations
+// cannot deadlock the two worker pools. When the participant is the
+// coordinator itself the body runs inline: no RPC, no extra dispatch
+// charge.
 func peerCall[T any](p *sim.Proc, from, to *Service, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
 	if from == to {
 		return fn(p)
 	}
 	from.Stats.PeerCalls++
 	from.host.CPU.Release(p)
-	r := netsim.Call(p, from.net, from.host, to.host, req, resp, func(p *sim.Proc) T {
-		p.Sleep(cpu)
-		return fn(p)
+	var out T
+	from.peers[to.shardID].Call(p, rpc.Request{
+		Op: rpc.OpPeer, ReqBytes: req, CPU: cpu,
+		Run:       func(p *sim.Proc) { out = fn(p) },
+		RespBytes: rpc.Fixed(resp),
 	})
 	from.host.CPU.Acquire(p)
-	return r
+	return out
 }
 
 type attrReply struct {
@@ -223,9 +248,11 @@ type attrReply struct {
 }
 
 // Lookup resolves (parent, name) and returns the child's attributes.
-func (s *Service) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name string) (vfs.Attr, error) {
+// With leases enabled a successful resolution grants the caller a
+// dentry + attribute lease, and a clean miss grants a negative dentry.
+func (s *Service) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (vfs.Attr, error) {
 	s.Stats.Lookups++
-	r := callRead(p, s, from, 128, 192, func(p *sim.Proc) attrReply {
+	r := callRead(p, s, sess, rpc.OpLookup, 128, 192, func(p *sim.Proc) attrReply {
 		de, ok := mdb.DirtyGet(p, s.dentries, dentryKey{Parent: parent, Name: name})
 		if !ok {
 			// The parent's inode is always co-located with its dentries
@@ -234,39 +261,49 @@ func (s *Service) Lookup(p *sim.Proc, from *netsim.Host, parent vfs.Ino, name st
 			if dirOK && din.Type != vfs.TypeDir {
 				return attrReply{err: vfs.ErrNotDir}
 			}
+			if dirOK {
+				s.grantNegative(p, sess, parent, name)
+			}
 			return attrReply{err: vfs.ErrNotExist}
 		}
 		if !s.owns(de.Child) {
 			// The child's inode lives on another shard: one extra hop
 			// (a directory placed elsewhere, or a file renamed in).
-			return s.peerGetattr(p, de.Child)
+			r := s.peerGetattr(p, sess, de.Child)
+			if r.err == nil {
+				s.grantDentry(p, sess, parent, name, de.Child)
+			}
+			return r
 		}
 		row, ok := mdb.DirtyGet(p, s.inodes, de.Child)
 		if !ok {
 			return attrReply{err: vfs.ErrNotExist}
 		}
+		s.grantDentry(p, sess, parent, name, de.Child)
+		s.grantAttr(p, sess, de.Child, "")
 		return attrReply{attr: row.attr()}
 	})
 	return r.attr, r.err
 }
 
 // Getattr returns the attributes of id.
-func (s *Service) Getattr(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, error) {
+func (s *Service) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, error) {
 	s.Stats.Getattrs++
-	r := callRead(p, s, from, 96, 192, func(p *sim.Proc) attrReply {
+	r := callRead(p, s, sess, rpc.OpGetattr, 96, 192, func(p *sim.Proc) attrReply {
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
 			return attrReply{err: vfs.ErrNotExist}
 		}
+		s.grantAttr(p, sess, id, "")
 		return attrReply{attr: row.attr()}
 	})
 	return r.attr, r.err
 }
 
 // Setattr updates attributes of id (chmod/chown/utime/truncate record).
-func (s *Service) Setattr(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
+func (s *Service) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
 	s.Stats.Updates++
-	return s.updateRow(p, from, id, func(row *inodeRow) error {
+	return s.updateRow(p, sess, rpc.OpSetattr, id, func(row *inodeRow) error {
 		if set.HasMode && ctx.UID != 0 && ctx.UID != row.UID {
 			return vfs.ErrPerm
 		}
@@ -291,9 +328,11 @@ func (s *Service) Setattr(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.In
 	})
 }
 
-// updateRow applies fn to id's row in a durable transaction.
-func (s *Service) updateRow(p *sim.Proc, from *netsim.Host, id vfs.Ino, fn func(*inodeRow) error) (vfs.Attr, error) {
-	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+// updateRow applies fn to id's row in a durable transaction. On success
+// other holders' attribute leases on id are recalled and the mutating
+// session is granted a fresh one.
+func (s *Service) updateRow(p *sim.Proc, sess *Session, op rpc.Op, id vfs.Ino, fn func(*inodeRow) error) (vfs.Attr, error) {
+	r := call(p, s, sess, op, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			row, ok := mdb.Get(tx, s.inodes, id)
@@ -308,6 +347,10 @@ func (s *Service) updateRow(p *sim.Proc, from *netsim.Host, id vfs.Ino, fn func(
 			mdb.Put(tx, s.inodes, id, row)
 			out.attr = row.attr()
 		})
+		if out.err == nil {
+			s.revokeLeases(p, sess, attrLease(id))
+			s.grantAttr(p, sess, id, "")
+		}
 		return out
 	})
 	return r.attr, r.err
@@ -359,7 +402,7 @@ func canAccess(ctx vfs.Ctx, uid, gid, mode, bit uint32) bool {
 // mapping <bucket>/f<id> inside the transaction and returns it. The
 // transaction commits durably (the service's ext3-backed log,
 // group-committed across clients).
-func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
+func (s *Service) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
 	s.Stats.Creates++
 	// New files and symlinks allocate from this shard's stride, so the
 	// whole create commits locally. New directories place by the shard
@@ -367,10 +410,10 @@ func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 	// the create runs there under the two-phase protocol.
 	if s.sharded() && t == vfs.TypeDir {
 		if ts := s.cluster.shards[s.cluster.Map.DirTarget(parent, name)]; ts != s {
-			return s.createRemoteDir(p, from, ctx, parent, name, mode, ts)
+			return s.createRemoteDir(p, sess, ctx, parent, name, mode, ts)
 		}
 	}
-	r := call(p, s, from, 256, 192, func(p *sim.Proc) createReply {
+	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
 		var out createReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
@@ -405,18 +448,26 @@ func (s *Service) Create(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 			}
 			out.attr = row.attr()
 		})
+		if out.err == nil {
+			// Kill other nodes' negative dentries for the new name (and
+			// their parent attributes — its mtime/nlink changed), then
+			// lease the new object to its creator.
+			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
+			s.grantDentry(p, sess, parent, name, out.attr.Ino)
+			s.grantAttr(p, sess, out.attr.Ino, out.upath)
+		}
 		return out
 	})
 	return r.attr, r.upath, r.err
 }
 
 // Readlink returns a symlink's target.
-func (s *Service) Readlink(p *sim.Proc, from *netsim.Host, id vfs.Ino) (string, error) {
+func (s *Service) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (string, error) {
 	type reply struct {
 		target string
 		err    error
 	}
-	r := callRead(p, s, from, 96, 256, func(p *sim.Proc) reply {
+	r := callRead(p, s, sess, rpc.OpReadlink, 96, 256, func(p *sim.Proc) reply {
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
 			return reply{err: vfs.ErrNotExist}
@@ -437,13 +488,14 @@ type mappingReply struct {
 
 // OpenInfo returns the attributes and underlying mapping of a regular
 // file in one round trip (used by open).
-func (s *Service) OpenInfo(p *sim.Proc, from *netsim.Host, id vfs.Ino) (vfs.Attr, string, error) {
-	r := callRead(p, s, from, 96, 256, func(p *sim.Proc) mappingReply {
+func (s *Service) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, string, error) {
+	r := callRead(p, s, sess, rpc.OpOpenInfo, 96, 256, func(p *sim.Proc) mappingReply {
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
 			return mappingReply{err: vfs.ErrNotExist}
 		}
 		upath, _ := mdb.DirtyGet(p, s.mappings, id)
+		s.grantAttr(p, sess, id, upath)
 		return mappingReply{attr: row.attr(), upath: upath}
 	})
 	return r.attr, r.upath, r.err
@@ -461,12 +513,12 @@ type removeReply struct {
 // object (so client caches can invalidate it) and, for regular files
 // whose last link went away, the underlying path to delete; rmdir
 // requires an empty directory.
-func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+func (s *Service) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
 	s.Stats.Removes++
 	if s.sharded() {
-		return s.removeSharded(p, from, ctx, parent, name, rmdir)
+		return s.removeSharded(p, sess, ctx, parent, name, rmdir)
 	}
-	r := call(p, s, from, 160, 128, func(p *sim.Proc) removeReply {
+	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
@@ -516,6 +568,9 @@ func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 				mdb.Put(tx, s.inodes, id, row)
 			}
 		})
+		if out.err == nil {
+			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(out.id), attrLease(parent))
+		}
 		return out
 	})
 	return r.upath, r.id, r.err
@@ -526,12 +581,13 @@ func (s *Service) Remove(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs
 // reach the underlying file system. It returns the id of a replaced
 // target (0 if none) for client cache invalidation, plus the underlying
 // path to delete when the replaced file's last link went away.
-func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+func (s *Service) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
 	if s.sharded() {
-		return s.renameSharded(p, from, ctx, srcDir, srcName, dstDir, dstName)
+		return s.renameSharded(p, sess, ctx, srcDir, srcName, dstDir, dstName)
 	}
-	r := call(p, s, from, 224, 128, func(p *sim.Proc) removeReply {
+	r := call(p, s, sess, rpc.OpRename, 224, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
+		mutated := false
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			sd, err := s.dirRow(tx, ctx, srcDir, true)
 			if err != nil {
@@ -597,6 +653,7 @@ func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs
 					}
 				}
 			}
+			mutated = true
 			mdb.Delete(tx, s.dentries, srcKey)
 			mdb.Put(tx, s.dentries, dstKey, dentryRow{Parent: dstDir, Name: dstName, Child: id, Type: moving.Type})
 			if moving.Type == vfs.TypeDir && srcDir != dstDir {
@@ -610,17 +667,27 @@ func (s *Service) Rename(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs
 				mdb.Put(tx, s.inodes, dstDir, dd)
 			}
 		})
+		if out.err == nil && mutated {
+			keys := []leaseKey{
+				dentLease(srcDir, srcName), dentLease(dstDir, dstName),
+				attrLease(srcDir), attrLease(dstDir),
+			}
+			if out.id != 0 {
+				keys = append(keys, attrLease(out.id))
+			}
+			s.revokeLeases(p, sess, keys...)
+		}
 		return out
 	})
 	return r.upath, r.id, r.err
 }
 
 // Link adds a hard link to id at (parent, name).
-func (s *Service) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (s *Service) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
 	if s.sharded() && !s.owns(id) {
-		return s.linkRemote(p, from, ctx, id, parent, name)
+		return s.linkRemote(p, sess, ctx, id, parent, name)
 	}
-	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+	r := call(p, s, sess, rpc.OpLink, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
@@ -649,6 +716,11 @@ func (s *Service) Link(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, 
 			mdb.Put(tx, s.inodes, parent, din)
 			out.attr = row.attr()
 		})
+		if out.err == nil {
+			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(id), attrLease(parent))
+			s.grantDentry(p, sess, parent, name, id)
+			s.grantAttr(p, sess, id, "")
+		}
 		return out
 	})
 	return r.attr, r.err
@@ -667,13 +739,11 @@ type readdirReply struct {
 // the paper's "large directory traversals" trigger into local hits. The
 // listing is served from the dentry table's parent index, and the
 // response transfer cost scales with the number of entries.
-func (s *Service) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
-	s.Stats.Requests++
+func (s *Service) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
 	if s.sharded() {
-		return s.readdirSharded(p, from, ctx, dir)
+		return s.readdirSharded(p, sess, ctx, dir)
 	}
-	r := netsim.CallDyn(p, s.net, from, s.host, 96, func(p *sim.Proc) readdirReply {
-		p.Sleep(s.cfg.ServiceCPUPerOp)
+	r := callDyn(p, s, sess, rpc.OpReaddir, 96, s.cfg.ServiceCPUPerOp, func(p *sim.Proc) readdirReply {
 		var out readdirReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			if _, err := s.dirRow(tx, ctx, dir, false); err != nil {
@@ -692,22 +762,29 @@ func (s *Service) ReaddirPlus(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir v
 				out.attrs = append(out.attrs, row.attr())
 			}
 		})
+		for i, e := range out.entries {
+			if out.attrs[i].Ino == 0 {
+				continue
+			}
+			s.grantDentry(p, sess, dir, e.Name, e.Ino)
+			s.grantAttr(p, sess, e.Ino, "")
+		}
 		return out
 	}, func(r readdirReply) int64 { return 96 + int64(len(r.entries))*160 })
 	return r.entries, r.attrs, r.err
 }
 
 // Readdir lists the virtual directory (names and types only).
-func (s *Service) Readdir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
-	ents, _, err := s.ReaddirPlus(p, from, ctx, dir)
+func (s *Service) Readdir(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	ents, _, err := s.ReaddirPlus(p, sess, ctx, dir)
 	return ents, err
 }
 
 // WriteBack records a writer's size/mtime at close (close-to-open
 // consistency for attributes the service serves from its tables).
-func (s *Service) WriteBack(p *sim.Proc, from *netsim.Host, id vfs.Ino, size int64, mtime time.Duration) error {
+func (s *Service) WriteBack(p *sim.Proc, sess *Session, id vfs.Ino, size int64, mtime time.Duration) error {
 	s.Stats.Updates++
-	_, err := s.updateRow(p, from, id, func(row *inodeRow) error {
+	_, err := s.updateRow(p, sess, rpc.OpWriteBack, id, func(row *inodeRow) error {
 		if row.Type != vfs.TypeRegular {
 			return vfs.ErrInvalid
 		}
@@ -719,9 +796,9 @@ func (s *Service) WriteBack(p *sim.Proc, from *netsim.Host, id vfs.Ino, size int
 }
 
 // CountObjects returns (files, dirs) for StatFS.
-func (s *Service) CountObjects(p *sim.Proc, from *netsim.Host) (int64, int64) {
+func (s *Service) CountObjects(p *sim.Proc, sess *Session) (int64, int64) {
 	type counts struct{ files, dirs int64 }
-	r := call(p, s, from, 64, 128, func(p *sim.Proc) counts {
+	r := call(p, s, sess, rpc.OpStatFS, 64, 128, func(p *sim.Proc) counts {
 		var out counts
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			for _, row := range mdb.Select(tx, s.inodes, func(k vfs.Ino, v inodeRow) bool { return true }) {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"cofs/internal/netsim"
+	"cofs/internal/rpc"
+)
+
+// Session is one client's connection to the metadata plane: a typed RPC
+// channel (rpc.Conn) per shard, plus the client cache the shards grant
+// leases into. All client↔MDS traffic flows through the session's
+// conns; the per-operation network and CPU costs that the prototype
+// charged inline in the Service methods live in the transport now.
+type Session struct {
+	node  int
+	host  *netsim.Host
+	cache *clientCache
+	conns []*rpc.Conn
+	// prior carries the transport counters of sessions this one
+	// replaced (failover re-dial), so the per-layer report stays
+	// cumulative like the cache counters next to it.
+	prior rpc.ConnStats
+}
+
+// Connect attaches a client to the plane: one channel per shard,
+// batching per the plane's RPCBatch knob. The cache is the client's
+// attribute/dentry cache; shards install lease-granted entries into it
+// and recall them on conflicting mutations.
+func (c *MDSCluster) Connect(host *netsim.Host, node int, cache *clientCache) *Session {
+	sess := &Session{node: node, host: host, cache: cache}
+	for _, s := range c.shards {
+		sess.conns = append(sess.conns, rpc.Dial(s.net, host, s.host, c.cfg.RPCBatch))
+	}
+	return sess
+}
+
+// TransportStats aggregates the session's per-shard channel counters,
+// including those of any session it replaced at failover.
+func (sess *Session) TransportStats() rpc.ConnStats {
+	out := sess.prior
+	for _, c := range sess.conns {
+		out.Add(c.Stats)
+	}
+	return out
+}

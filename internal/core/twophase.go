@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"cofs/internal/mdb"
-	"cofs/internal/netsim"
+	"cofs/internal/rpc"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
 )
@@ -28,14 +28,17 @@ import (
 // (MDSCluster.CheckInvariants) pin what the protocol must preserve.
 
 // peerGetattr reads an inode's attributes from its owning shard (one
-// dirty-read hop).
-func (s *Service) peerGetattr(p *sim.Proc, id vfs.Ino) attrReply {
+// dirty-read hop). The attribute lease, if any, is granted by the
+// owning shard — the one that will see (and recall on) mutations of the
+// row.
+func (s *Service) peerGetattr(p *sim.Proc, sess *Session, id vfs.Ino) attrReply {
 	ts := s.peer(id)
 	return peerCall(p, s, ts, 96, 192, ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) attrReply {
 		row, ok := mdb.DirtyGet(p, ts.inodes, id)
 		if !ok {
 			return attrReply{err: vfs.ErrNotExist}
 		}
+		ts.grantAttr(p, sess, id, "")
 		return attrReply{attr: row.attr()}
 	})
 }
@@ -44,8 +47,8 @@ func (s *Service) peerGetattr(p *sim.Proc, id vfs.Ino) attrReply {
 // on ts: prepare (allocate + insert the row there), then commit the
 // dentry and parent update locally, aborting the prepared row if the
 // local validation fails.
-func (s *Service) createRemoteDir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, mode uint32, ts *Service) (vfs.Attr, string, error) {
-	r := call(p, s, from, 256, 192, func(p *sim.Proc) createReply {
+func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, mode uint32, ts *Service) (vfs.Attr, string, error) {
+	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
 		// Phase 0: local validation (read-only), so the common error
 		// returns — EEXIST from mkdir-p retries above all — never pay
 		// the remote prepare/abort round trips or burn an id.
@@ -100,8 +103,11 @@ func (s *Service) createRemoteDir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, p
 		})
 		if out.err != nil {
 			// Abort: reclaim the prepared inode (the id itself is burnt).
-			s.peerDeleteInode(p, ts, row.ID)
+			s.peerDeleteInode(p, nil, ts, row.ID)
+			return out
 		}
+		s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
+		s.grantDentry(p, sess, parent, name, row.ID)
 		return out
 	})
 	return r.attr, r.upath, r.err
@@ -109,8 +115,8 @@ func (s *Service) createRemoteDir(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, p
 
 // removeSharded is Remove for a sharded plane: validation against the
 // (always local) dentry first, then the inode half at its owning shard.
-func (s *Service) removeSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
-	r := call(p, s, from, 160, 128, func(p *sim.Proc) removeReply {
+func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
+	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		key := dentryKey{Parent: parent, Name: name}
 		var de dentryRow
@@ -158,7 +164,8 @@ func (s *Service) removeSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, par
 					mdb.Put(tx, s.inodes, parent, din)
 				}
 			})
-			s.peerDeleteInode(p, ts, id)
+			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
+			s.peerDeleteInode(p, sess, ts, id)
 			out.isDir = true
 			return out
 		}
@@ -182,6 +189,7 @@ func (s *Service) removeSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, par
 					mdb.Put(tx, s.inodes, id, row)
 				}
 			})
+			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(id), attrLease(parent))
 			return out
 		}
 
@@ -194,7 +202,8 @@ func (s *Service) removeSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, par
 				mdb.Put(tx, s.inodes, parent, din)
 			}
 		})
-		rep := s.peerUnlink(p, id)
+		s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
+		rep := s.peerUnlink(p, sess, id)
 		out.upath, out.removed = rep.upath, rep.removed
 		return out
 	})
@@ -214,17 +223,20 @@ func (s *Service) peerDirEmpty(p *sim.Proc, ts *Service, id vfs.Ino) bool {
 }
 
 // peerDeleteInode reclaims an inode row at its owning shard (commit
-// step; the row's dentry is already gone).
-func (s *Service) peerDeleteInode(p *sim.Proc, ts *Service, id vfs.Ino) {
+// step; the row's dentry is already gone). The owner recalls any
+// attribute leases on the retired row; sess may be nil when reclaiming
+// a prepared row that no client ever saw.
+func (s *Service) peerDeleteInode(p *sim.Proc, sess *Session, ts *Service, id vfs.Ino) {
 	peerCall(p, s, ts, 96, 64, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
 		ts.DB.Transaction(p, func(tx *mdb.Tx) { mdb.Delete(tx, ts.inodes, id) })
+		ts.revokeLeases(p, sess, attrLease(id))
 		return struct{}{}
 	})
 }
 
 // peerUnlink drops one link of a non-directory inode at its owning
 // shard, reclaiming the row and its mapping when the last link dies.
-func (s *Service) peerUnlink(p *sim.Proc, id vfs.Ino) removeReply {
+func (s *Service) peerUnlink(p *sim.Proc, sess *Session, id vfs.Ino) removeReply {
 	ts := s.peer(id)
 	return peerCall(p, s, ts, 128, 160, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) removeReply {
 		var rr removeReply
@@ -243,6 +255,7 @@ func (s *Service) peerUnlink(p *sim.Proc, id vfs.Ino) removeReply {
 				mdb.Put(tx, ts.inodes, id, row)
 			}
 		})
+		ts.revokeLeases(p, sess, attrLease(id))
 		return rr
 	})
 }
@@ -252,8 +265,8 @@ func (s *Service) peerUnlink(p *sim.Proc, id vfs.Ino) removeReply {
 // shard, the replaced target's shard and — implicitly, unchanged — the
 // moving inode's. All validation happens before any mutation, in the
 // single-shard path's error-precedence order.
-func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
-	r := call(p, s, from, 224, 128, func(p *sim.Proc) removeReply {
+func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
+	r := call(p, s, sess, rpc.OpRename, 224, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		D := s.peer(dstDir)
 		srcKey := dentryKey{Parent: srcDir, Name: srcName}
@@ -363,6 +376,8 @@ func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, src
 					mdb.Put(tx, s.inodes, dstDir, dd)
 				}
 			})
+			s.revokeLeases(p, sess, dentLease(srcDir, srcName), dentLease(dstDir, dstName),
+				attrLease(srcDir), attrLease(dstDir))
 		} else {
 			// Install the destination dentry first, then retire the
 			// source: the moving object never disappears from both
@@ -381,6 +396,7 @@ func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, src
 						mdb.Put(tx, D.inodes, dstDir, dd)
 					}
 				})
+				D.revokeLeases(p, sess, dentLease(dstDir, dstName), attrLease(dstDir))
 				return struct{}{}
 			})
 			s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -393,15 +409,16 @@ func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, src
 					mdb.Put(tx, s.inodes, srcDir, sd)
 				}
 			})
+			s.revokeLeases(p, sess, dentLease(srcDir, srcName), attrLease(srcDir))
 		}
 		// The replaced object's inode is reclaimed last, once no dentry
 		// references it: either the row alone (a replaced empty
 		// directory) or one link of a replaced file/symlink.
 		if existing != 0 {
 			if replacedDir {
-				s.peerDeleteInode(p, s.peer(existing), existing)
+				s.peerDeleteInode(p, sess, s.peer(existing), existing)
 			} else {
-				rep := s.peerUnlink(p, existing)
+				rep := s.peerUnlink(p, sess, existing)
 				out.upath, out.removed = rep.upath, rep.removed
 			}
 		}
@@ -413,8 +430,8 @@ func (s *Service) renameSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, src
 // linkRemote adds a hard link at (parent, name) to an inode another
 // shard owns: validate locally and at the owner, then commit the nlink
 // bump there and the dentry here.
-func (s *Service) linkRemote(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
-	r := call(p, s, from, 160, 192, func(p *sim.Proc) attrReply {
+func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	r := call(p, s, sess, rpc.OpLink, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
 		key := dentryKey{Parent: parent, Name: name}
 		exists := false
@@ -464,6 +481,10 @@ func (s *Service) linkRemote(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs
 				mdb.Put(tx, ts.inodes, id, row)
 				rr.attr = row.attr()
 			})
+			if rr.err == nil {
+				ts.revokeLeases(p, sess, attrLease(id))
+				ts.grantAttr(p, sess, id, "")
+			}
 			return rr
 		})
 		if out.err != nil {
@@ -476,6 +497,8 @@ func (s *Service) linkRemote(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs
 				mdb.Put(tx, s.inodes, parent, din)
 			}
 		})
+		s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
+		s.grantDentry(p, sess, parent, name, id)
 		return out
 	})
 	return r.attr, r.err
@@ -483,10 +506,13 @@ func (s *Service) linkRemote(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, id vfs
 
 // readdirSharded is ReaddirPlus for a sharded plane: the listing itself
 // is one shard's index scan; attributes of entries whose inodes live
-// elsewhere are fetched with one batched RPC per involved shard.
-func (s *Service) readdirSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
-	r := netsim.CallDyn(p, s.net, from, s.host, 96, func(p *sim.Proc) readdirReply {
-		p.Sleep(s.cfg.ServiceCPUPerOp)
+// elsewhere are fetched with one batched RPC per involved shard. With
+// leases enabled, each entry's leases are granted by the shard that
+// owns the row: dentries (and co-located attributes) by the
+// coordinator, remote attributes by the shard the batched peer read
+// runs on.
+func (s *Service) readdirSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
+	r := callDyn(p, s, sess, rpc.OpReaddir, 96, s.cfg.ServiceCPUPerOp, func(p *sim.Proc) readdirReply {
 		var out readdirReply
 		remote := make(map[int][]int) // shard id -> entry indexes
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -516,6 +542,13 @@ func (s *Service) readdirSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, di
 		if out.err != nil {
 			return out
 		}
+		for i, e := range out.entries {
+			if out.attrs[i].Ino == 0 {
+				continue // remote row, granted below by its owner
+			}
+			s.grantDentry(p, sess, dir, e.Name, e.Ino)
+			s.grantAttr(p, sess, e.Ino, "")
+		}
 		shardIDs := make([]int, 0, len(remote))
 		for sh := range remote {
 			shardIDs = append(shardIDs, sh)
@@ -530,12 +563,16 @@ func (s *Service) readdirSharded(p *sim.Proc, from *netsim.Host, ctx vfs.Ctx, di
 					for j, i := range idxs {
 						if row, ok := mdb.DirtyGet(p, ts.inodes, out.entries[i].Ino); ok {
 							res[j] = row.attr()
+							ts.grantAttr(p, sess, out.entries[i].Ino, "")
 						}
 					}
 					return res
 				})
 			for j, i := range idxs {
 				out.attrs[i] = attrs[j]
+				if attrs[j].Ino != 0 {
+					s.grantDentry(p, sess, dir, out.entries[i].Name, out.entries[i].Ino)
+				}
 			}
 		}
 		return out

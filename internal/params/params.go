@@ -175,6 +175,20 @@ type COFSParams struct {
 	AttrCacheTimeout time.Duration
 	// AttrCacheEntries caps the client attribute cache.
 	AttrCacheEntries int
+	// AttrLease upgrades the client cache from TTL revalidation to
+	// server-issued leases of this term: shards remember which client
+	// holds a lease on which attribute/dentry and revoke it on any
+	// cross-node mutation, so cached entries are coherent at any shard
+	// and node count (no TTL staleness). 0 disables leases (the paper's
+	// measured prototype); when both AttrLease and AttrCacheTimeout are
+	// set, leases win.
+	AttrLease time.Duration
+	// RPCBatch enables request batching on the client→shard (and
+	// shard→shard) RPC channels: concurrent requests to the same shard
+	// coalesce into one wire round trip while the previous one is in
+	// flight. Off by default — the paper's prototype issues one RPC per
+	// operation.
+	RPCBatch bool
 }
 
 // Default returns the calibrated testbed configuration.
@@ -229,6 +243,8 @@ func Default() Config {
 			MaxEntriesPerDir: 512,
 			AttrCacheTimeout: 0, // disabled, as in the paper's prototype
 			AttrCacheEntries: 4096,
+			AttrLease:        0,     // coherent lease cache off (paper prototype)
+			RPCBatch:         false, // one RPC per op (paper prototype)
 		},
 	}
 }

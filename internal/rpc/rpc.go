@@ -1,0 +1,225 @@
+// Package rpc is the explicit request/response transport between COFS
+// clients and metadata shards (and between shards). The paper's
+// prototype modeled every metadata operation as a synchronous call with
+// its network and CPU costs charged inline in the service methods; this
+// package lifts those costs into a dedicated layer so transport-level
+// behaviour — batching, coalescing, per-shard backpressure, server
+// callbacks — has one place to live.
+//
+// A Conn is one client's channel to one shard. Requests are typed
+// messages (an Op tag plus explicit request/response payload sizes);
+// the operation body itself travels as a closure that the transport
+// executes under the server host's CPU, exactly where the old inline
+// model ran it, so a single un-batched Call is cost-identical to the
+// netsim.Call it replaces.
+//
+// With batching enabled, concurrent requests from the same client to
+// the same shard coalesce into one wire round trip: while a round trip
+// is in flight, later requests queue; when the wire frees, the first
+// queued requester is promoted to carrier and flies the whole queue as
+// one message (one RPC header, one serialization, one hop-latency
+// charge for the lot — the mdtest create storm and the ReaddirPlus +
+// N×Getattr pattern collapse to a handful of round trips).
+package rpc
+
+import (
+	"time"
+
+	"cofs/internal/netsim"
+	"cofs/internal/sim"
+)
+
+// Op tags one metadata message type. Tags drive per-operation counters
+// and make the wire format explicit; payload contents travel in the
+// request body closure.
+type Op uint8
+
+// Client→shard operations, one per metadata call the COFS client
+// issues, plus the shard↔shard message kind. Shard→client lease
+// recalls travel as Conn.Callback notifications, counted by
+// ConnStats.Recalls.
+const (
+	OpLookup Op = iota
+	OpGetattr
+	OpSetattr
+	OpCreate
+	OpRemove
+	OpRename
+	OpLink
+	OpReadlink
+	OpOpenInfo
+	OpReaddir
+	OpWriteBack
+	OpStatFS
+	// OpPeer is a shard-to-shard message of the two-phase protocol.
+	OpPeer
+)
+
+// MaxBatch bounds how many queued requests one carrier flies in a
+// single wire round trip (keeps response transfers from growing without
+// bound under extreme fan-in).
+const MaxBatch = 64
+
+// Request is one typed message on a Conn. ReqBytes is the request
+// payload size; CPU is the server-side dispatch cost charged before the
+// body runs; Run executes the operation body under the server's CPU;
+// RespBytes is evaluated after Run (directory listings and other
+// replies whose size depends on served data).
+type Request struct {
+	Op        Op
+	ReqBytes  int64
+	CPU       time.Duration
+	Run       func(p *sim.Proc)
+	RespBytes func() int64
+}
+
+// Fixed is a RespBytes helper for replies of static size.
+func Fixed(n int64) func() int64 { return func() int64 { return n } }
+
+// ConnStats counts transport-level events on one Conn.
+type ConnStats struct {
+	// Calls is the number of requests submitted.
+	Calls int64
+	// Wire is the number of wire round trips actually performed.
+	Wire int64
+	// Batches is the number of round trips that carried more than one
+	// request.
+	Batches int64
+	// Batched is the number of requests that rode in such a round trip.
+	Batched int64
+	// Recalls is the number of server→client callback messages
+	// delivered on this Conn.
+	Recalls int64
+}
+
+// Add accumulates o's counters into s (aggregation over conns).
+func (s *ConnStats) Add(o ConnStats) {
+	s.Calls += o.Calls
+	s.Wire += o.Wire
+	s.Batches += o.Batches
+	s.Batched += o.Batched
+	s.Recalls += o.Recalls
+}
+
+// Conn is one client's channel to one server (a COFS client to a
+// metadata shard, or a shard to a peer shard). It is not safe for use
+// outside the simulation's cooperative scheduler.
+type Conn struct {
+	net    *netsim.Net
+	local  *netsim.Host // client side
+	remote *netsim.Host // server side
+	batch  bool
+
+	busy  bool
+	queue []*pending
+
+	Stats ConnStats
+}
+
+type pending struct {
+	req  Request
+	wg   *sim.WaitGroup
+	done bool
+	lead bool
+	ride []*pending // batch handed to a promoted carrier
+}
+
+// Dial creates a channel from a client host to a server host. With
+// batch false every Call is its own wire round trip, cost-identical to
+// netsim.Call.
+func Dial(net *netsim.Net, local, remote *netsim.Host, batch bool) *Conn {
+	return &Conn{net: net, local: local, remote: remote, batch: batch}
+}
+
+// Remote returns the server-side host of the channel.
+func (c *Conn) Remote() *netsim.Host { return c.remote }
+
+// Call performs one request/response exchange, blocking the calling
+// proc for the full round trip (plus any coalescing wait when batching
+// is enabled).
+func (c *Conn) Call(p *sim.Proc, r Request) {
+	c.Stats.Calls++
+	pd := &pending{req: r}
+	if !c.batch {
+		c.fly(p, []*pending{pd})
+		return
+	}
+	if c.busy {
+		pd.wg = sim.NewWaitGroup(c.net.Env())
+		pd.wg.Add(1)
+		c.queue = append(c.queue, pd)
+		pd.wg.Wait(p)
+		if pd.done {
+			return // a carrier flew our request for us
+		}
+		// Promoted to carrier: fly the handed batch (which includes pd).
+		c.fly(p, pd.ride)
+		c.land(p, pd.ride)
+		return
+	}
+	c.busy = true
+	c.fly(p, []*pending{pd})
+	c.land(p, []*pending{pd})
+}
+
+// fly performs one wire round trip for a batch: one request transfer,
+// the server CPU dispatch and bodies, one response transfer.
+func (c *Conn) fly(p *sim.Proc, batch []*pending) {
+	c.Stats.Wire++
+	if len(batch) > 1 {
+		c.Stats.Batches++
+		c.Stats.Batched += int64(len(batch))
+	}
+	var req int64
+	for _, pd := range batch {
+		req += pd.req.ReqBytes
+	}
+	c.net.Transfer(p, c.local, c.remote, req)
+	c.remote.CPU.Acquire(p)
+	var resp int64
+	for _, pd := range batch {
+		if pd.req.CPU > 0 {
+			p.Sleep(pd.req.CPU)
+		}
+		pd.req.Run(p)
+		resp += pd.req.RespBytes()
+	}
+	c.remote.CPU.Release(p)
+	c.net.Transfer(p, c.remote, c.local, resp)
+}
+
+// land delivers a landed batch's replies and hands the accumulated
+// queue to the next carrier (or frees the wire).
+func (c *Conn) land(p *sim.Proc, batch []*pending) {
+	for _, pd := range batch {
+		pd.done = true
+		if pd.wg != nil && !pd.lead {
+			pd.wg.Done()
+		}
+	}
+	if len(c.queue) == 0 {
+		c.busy = false
+		return
+	}
+	n := len(c.queue)
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	next := c.queue[:n]
+	c.queue = c.queue[n:]
+	lead := next[0]
+	lead.lead = true
+	lead.ride = next
+	lead.wg.Done() // wake it; it flies the batch in its own time
+}
+
+// Callback sends a server→client notification on the channel (a lease
+// recall): one transfer in the reverse direction plus the handler run
+// under the client host's CPU. The caller is the server-side proc; the
+// invalidation the handler performs has already been applied at the
+// mutation's commit instant, so the message charges the cost of the
+// recall without reordering its effect.
+func (c *Conn) Callback(p *sim.Proc, bytes int64, fn func(p *sim.Proc)) {
+	c.Stats.Recalls++
+	netsim.OneWay(p, c.net, c.remote, c.local, bytes, fn)
+}

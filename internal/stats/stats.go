@@ -138,6 +138,50 @@ func Table(xHeader string, series ...*Series) string {
 	return b.String()
 }
 
+// Counters is an ordered set of named int64 counters: the per-layer
+// observability surface the tools print (RPCs sent, batches formed,
+// cache hits, lease revocations, ...). Names keep first-Add order so
+// reports are stable.
+type Counters struct {
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add accumulates v into the named counter, registering the name on
+// first use.
+func (c *Counters) Add(name string, v int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += v
+}
+
+// Get returns the named counter (0 if never added).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the counter names in registration order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// String renders the counters as aligned "name value" lines.
+func (c *Counters) String() string {
+	var b strings.Builder
+	w := 0
+	for _, n := range c.names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-*s %12d\n", w, n, c.vals[n])
+	}
+	return b.String()
+}
+
 // MBps converts bytes moved in elapsed virtual time to MB/s (1 MB = 2^20).
 func MBps(bytes int64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -134,3 +134,24 @@ func TestMBps(t *testing.T) {
 		t.Fatal("zero elapsed should be 0")
 	}
 }
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("rpc.calls", 10)
+	c.Add("cache.hits", 3)
+	c.Add("rpc.calls", 5)
+	if got := c.Get("rpc.calls"); got != 15 {
+		t.Fatalf("rpc.calls=%d, want 15", got)
+	}
+	if got := c.Get("never"); got != 0 {
+		t.Fatalf("unknown counter=%d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "rpc.calls" || names[1] != "cache.hits" {
+		t.Fatalf("names order %v, want registration order", names)
+	}
+	out := c.String()
+	if !strings.Contains(out, "rpc.calls") || !strings.Contains(out, "15") {
+		t.Fatalf("render missing data:\n%s", out)
+	}
+}
