@@ -1,0 +1,87 @@
+package cofs_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// These tests keep the documentation wired to the tree: every relative
+// markdown link in README.md and docs/ must resolve to a real file or
+// directory, and every internal/ package the README names must exist.
+// CI runs them as the docs job (go test -run TestDocs .).
+
+// docFiles returns README.md plus every markdown page under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	pages, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, pages...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocsMarkdownLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external: not this test's business
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not resolve (%s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+var readmePkg = regexp.MustCompile(`internal/[a-z0-9]+(?:/[a-z0-9]+)*`)
+
+func TestDocsReadmePackagesExist(t *testing.T) {
+	body, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := readmePkg.FindAllString(string(body), -1)
+	if len(pkgs) == 0 {
+		t.Fatal("README.md names no internal/ packages: the layout map is gone")
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		if seen[pkg] {
+			continue
+		}
+		seen[pkg] = true
+		if fi, err := os.Stat(pkg); err != nil || !fi.IsDir() {
+			t.Errorf("README.md names %s, which is not a package directory", pkg)
+		}
+	}
+	// And the inverse: every package directory under internal/ is in
+	// the README's layout map, so the map cannot silently rot.
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !seen["internal/"+e.Name()] {
+			t.Errorf("internal/%s is not mentioned in README.md's layout map", e.Name())
+		}
+	}
+}

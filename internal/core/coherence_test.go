@@ -369,11 +369,21 @@ func TestLeaseCoherenceUnderConcurrency(t *testing.T) {
 			tb := cluster.New(900+int64(shards), 4, cfg)
 			d := core.Deploy(tb, nil)
 			step(tb, "setup", func(p *sim.Proc) {
-				if err := d.Mounts[0].Mkdir(p, cluster.Ctx(0, 1), "/w", 0777); err != nil {
-					t.Error(err)
+				for _, dir := range []string{"/w", "/v"} {
+					if err := d.Mounts[0].Mkdir(p, cluster.Ctx(0, 1), dir, 0777); err != nil {
+						t.Error(err)
+					}
 				}
 			})
-			name := func(i int) string { return fmt.Sprintf("/w/n%d", i%4) }
+			// Two working directories (placed on different shards by the
+			// shard map when shards > 1), so renames below cross both
+			// directories and shards.
+			name := func(i int) string {
+				if i%2 == 0 {
+					return fmt.Sprintf("/w/n%d", i%4)
+				}
+				return fmt.Sprintf("/v/n%d", i%4)
+			}
 			for round := 0; round < 6; round++ {
 				for node := 0; node < 4; node++ {
 					for pid := 1; pid <= 4; pid++ {
@@ -397,20 +407,13 @@ func TestLeaseCoherenceUnderConcurrency(t *testing.T) {
 								case 3:
 									m.Chmod(p, ctx, name(i), 0600+uint32(node))
 								case 4:
-									if shards == 1 {
-										m.Rename(p, ctx, name(i), name(i+1))
-									} else {
-										// Pre-existing (PR 1) protocol race,
-										// reproduced on the base commit: two
-										// conflicting renames interleaving
-										// across the two-phase windows can
-										// break plane invariants (nlink vs
-										// dentry counts) regardless of the
-										// lease layer. Tracked in ROADMAP.md
-										// open items; the lease protocol is
-										// exercised by every other op here.
-										m.Stat(p, ctx, name(i))
-									}
+									// Unrestricted concurrent renames, incl.
+									// cross-directory/cross-shard: the
+									// lock-ordered transaction layer
+									// (twophase.go, txnlock.go) serializes
+									// the conflicting interleavings that
+									// used to break plane invariants here.
+									m.Rename(p, ctx, name(i), name(i+1))
 								case 5:
 									m.Utime(p, ctx, name(i))
 								case 6:

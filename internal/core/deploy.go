@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cofs/internal/cluster"
 	"cofs/internal/sim"
@@ -71,8 +72,9 @@ func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 // Counters aggregates the deployment's per-layer observability
 // counters: the RPC transport (client and shard-to-shard channels,
 // batching), the client cache (hits, misses, dentry/negative hits,
-// revocations) and the service lease recalls. Tools print it; tests
-// assert against it.
+// revocations), the service lease recalls, and the cross-shard
+// transaction layer's row locks (acquisitions, conflicts, virtual time
+// spent waiting). Tools print it; tests assert against it.
 func (d *Deployment) Counters() *stats.Counters {
 	c := stats.NewCounters()
 	for _, fs := range d.FSs {
@@ -98,5 +100,9 @@ func (d *Deployment) Counters() *stats.Counters {
 	ss := d.Service.Stats()
 	c.Add("mds.requests", ss.Requests)
 	c.Add("mds.lease-revocations", ss.Revocations)
+	ls := d.Service.LockStats()
+	c.Add("mds.lock-acquires", ls.Acquires)
+	c.Add("mds.lock-conflicts", ls.Conflicts)
+	c.Add("mds.lock-wait-us", int64(ls.WaitTotal/time.Microsecond))
 	return c
 }

@@ -19,9 +19,14 @@ import (
 // any conflicting mutation revokes them: the revocation is applied to
 // the holders' caches at the mutation's commit instant (keeping the
 // protocol linearizable in virtual time) and the recall message cost is
-// charged to the mutating operation, GPFS-token style. The mutating
-// client itself is exempt: its own invalidation rides its reply (the FS
-// layer drops the affected entries when the call returns).
+// charged to the mutating operation, GPFS-token style. On a sharded
+// plane, mutations run under the lock-ordered transaction layer
+// (txnlock.go): each per-shard commit — and therefore each recall —
+// still fires at its own commit instant, inside the mutation's locked
+// span, so a conflicting mutation cannot slide between a commit and its
+// recall. The mutating client itself is exempt: its own invalidation
+// rides its reply (the FS layer drops the affected entries when the
+// call returns).
 
 // leaseKey names one leasable item of a shard: an attribute row (name
 // empty) or a dentry (parent+name).
@@ -186,7 +191,11 @@ func (d *Deployment) CheckCacheCoherence(now time.Duration) error {
 // already updated the table, so the Peek grants the post-mutation
 // truth (or nothing, if the row/dentry died); a mutation that commits
 // after the grant finds the holder in the lease table and recalls it.
-// Either way no stale entry is ever installed under a lease.
+// Either way no stale entry is ever installed under a lease. This
+// Peek-at-grant discipline stays load-bearing under the row-lock layer:
+// reads take no row locks, so a grant can still race a mutation's
+// locked span — it just can never install anything the span's commits
+// have made stale.
 
 // grantAttr leases id's attributes as of the grant instant (and
 // optionally the underlying mapping, which is immutable while the

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"cofs/internal/lock"
 	"cofs/internal/netsim"
 	"cofs/internal/params"
 	"cofs/internal/rpc"
@@ -76,6 +77,13 @@ type MDSCluster struct {
 	Map    ShardMap
 	cfg    params.COFSParams
 	shards []*Service
+	// rowLocks is the plane's ordered row-lock table: cross-shard
+	// mutations hold per-inode/per-dentry locks across their whole
+	// validate→commit span (txnlock.go, docs/transactions.md). Nil on
+	// unsharded planes — a single shard commits every mutation in one
+	// serialized transaction — and when COFSParams.DisableTxnLocks
+	// reverts to the unlocked protocol for regression replays.
+	rowLocks *lock.RowLocks
 	// priorPeer carries the peer-channel counters of a plane this one
 	// replaced at failover, keeping the per-layer report cumulative
 	// like the client-side counters.
@@ -88,6 +96,9 @@ type MDSCluster struct {
 // for the two-phase protocol traffic.
 func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MDSCluster {
 	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}, cfg: cfg.COFS}
+	if len(hosts) > 1 && !cfg.COFS.DisableTxnLocks {
+		c.rowLocks = lock.NewRowLocks(net.Env())
+	}
 	for i, h := range hosts {
 		c.shards = append(c.shards, newShard(net, h, cfg, c, i))
 	}
@@ -249,6 +260,16 @@ func (c *MDSCluster) Stats() ServiceStats {
 		out.Revocations += s.Stats.Revocations
 	}
 	return out
+}
+
+// LockStats returns the plane's row-lock counters: locks taken,
+// acquisitions that had to wait, and the virtual time spent waiting
+// (all zero on an unsharded plane or with DisableTxnLocks set).
+func (c *MDSCluster) LockStats() lock.RowLockStats {
+	if c.rowLocks == nil {
+		return lock.RowLockStats{}
+	}
+	return c.rowLocks.Stats
 }
 
 // PeerTransportStats aggregates the shard-to-shard channel counters of

@@ -415,6 +415,14 @@ func (s *Service) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 	}
 	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
 		var out createReply
+		// The create commits in one local transaction, but on a sharded
+		// plane it must still respect the row locks of in-flight
+		// cross-shard mutations — an rmdir freezing this directory's
+		// emptiness, a rename swapping this name — so it locks the same
+		// footprint they would conflict on (no-op on one shard, free
+		// when uncontended; see txnlock.go).
+		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		defer txn.release(p)
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {
@@ -689,6 +697,12 @@ func (s *Service) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, pare
 	}
 	r := call(p, s, sess, rpc.OpLink, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
+		// Same discipline as Create above: the link commits locally but
+		// locks the rows cross-shard mutations would conflict on — here
+		// including the target inode, whose nlink a concurrent sharded
+		// remove or rename-replace rewrites across its phases.
+		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent), s.inoKey(id))
+		defer txn.release(p)
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {

@@ -22,10 +22,18 @@ import (
 // first, so error returns leave no partial state, then per-shard commit
 // transactions, ordered so a dentry never points at a not-yet-created
 // inode and a reclaimed inode loses its dentry first. Validation and
-// commit are separate transactions; as in the paper's soft-real-time
-// Mnesia deployment, racing mutations between the phases trade strict
-// serializability for latency — the post-drain invariant checks
-// (MDSCluster.CheckInvariants) pin what the protocol must preserve.
+// commit are separate transactions, so the protocol is wrapped in the
+// lock-ordered transaction layer (txnlock.go, docs/transactions.md):
+// every mutation locks the inode and dentry rows it will read-depend on
+// or write — in one global canonical order, extending the footprint
+// under re-validation when a row is only discovered by reading — and
+// holds the locks across the whole validate→commit gap. Conflicting
+// mutations serialize instead of interleaving between the phases, which
+// is what preserves the plane invariants (MDSCluster.CheckInvariants)
+// that the unlocked protocol could break under concurrent renames and
+// removes; lease recalls still fire at each commit instant, inside the
+// locked span. Uncontended acquisitions charge nothing, keeping the
+// uncontended path cost-identical to the unlocked protocol.
 
 // peerGetattr reads an inode's attributes from its owning shard (one
 // dirty-read hop). The attribute lease, if any, is granted by the
@@ -49,6 +57,11 @@ func (s *Service) peerGetattr(p *sim.Proc, sess *Session, id vfs.Ino) attrReply 
 // local validation fails.
 func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, mode uint32, ts *Service) (vfs.Attr, string, error) {
 	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
+		// The new inode row is freshly allocated — no other mutation can
+		// reference it before the dentry commit below — so the footprint
+		// is just the dentry being created and the parent row it bumps.
+		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		defer txn.release(p)
 		// Phase 0: local validation (read-only), so the common error
 		// returns — EEXIST from mkdir-p retries above all — never pay
 		// the remote prepare/abort round trips or burn an id.
@@ -82,8 +95,9 @@ func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, paren
 			return row
 		})
 		// Phase 2: commit the dentry and parent bookkeeping. The
-		// re-validation only matters for mutations that raced phase 0;
-		// its failure aborts the prepared row.
+		// re-validation only matters for mutations that raced phase 0 —
+		// impossible while the row locks are held, reachable again under
+		// DisableTxnLocks — and its failure aborts the prepared row.
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {
@@ -119,32 +133,44 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		key := dentryKey{Parent: parent, Name: name}
+		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		defer txn.release(p)
 		var de dentryRow
-		valid := false
-		s.DB.Transaction(p, func(tx *mdb.Tx) {
-			if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
-				out.err = err
-				return
+		for {
+			out = removeReply{}
+			valid := false
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
+					out.err = err
+					return
+				}
+				var ok bool
+				de, ok = mdb.Get(tx, s.dentries, key)
+				if !ok {
+					out.err = vfs.ErrNotExist
+					return
+				}
+				out.id = de.Child
+				if rmdir && de.Type != vfs.TypeDir {
+					out.err = vfs.ErrNotDir
+					return
+				}
+				if !rmdir && de.Type == vfs.TypeDir {
+					out.err = vfs.ErrIsDir
+					return
+				}
+				valid = true
+			})
+			if !valid {
+				return out
 			}
-			var ok bool
-			de, ok = mdb.Get(tx, s.dentries, key)
-			if !ok {
-				out.err = vfs.ErrNotExist
-				return
+			// The child's inode row joins the footprint: rmdir retires
+			// it (and its lock is what freezes the emptiness check
+			// below), unlink rewrites its nlink. If extending waited,
+			// the dentry may have been re-pointed meanwhile: re-validate.
+			if !txn.extend(p, s.inoKey(de.Child)) {
+				break
 			}
-			out.id = de.Child
-			if rmdir && de.Type != vfs.TypeDir {
-				out.err = vfs.ErrNotDir
-				return
-			}
-			if !rmdir && de.Type == vfs.TypeDir {
-				out.err = vfs.ErrIsDir
-				return
-			}
-			valid = true
-		})
-		if !valid {
-			return out
 		}
 		id := de.Child
 
@@ -271,47 +297,67 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		D := s.peer(dstDir)
 		srcKey := dentryKey{Parent: srcDir, Name: srcName}
 		dstKey := dentryKey{Parent: dstDir, Name: dstName}
+		// Static footprint: both dentries being swapped and both
+		// directory rows whose nlink/mtime the swap rewrites. The moving
+		// object's own row is untouched (its dentry travels, its inode
+		// stays), so it needs no lock; a replaced target's row is
+		// rewritten and joins the footprint once discovered below.
+		txn := s.lockRows(p,
+			s.dentKey(srcDir, srcName), s.dentKey(dstDir, dstName),
+			s.inoKey(srcDir), s.inoKey(dstDir))
+		defer txn.release(p)
 
-		// ---- read/validate phase (no mutations) ----
-		var sdErr error
-		var srcDe dentryRow
-		srcOK := false
-		s.DB.Transaction(p, func(tx *mdb.Tx) {
-			if _, sdErr = s.dirRow(tx, ctx, srcDir, true); sdErr != nil {
-				return
-			}
-			srcDe, srcOK = mdb.Get(tx, s.dentries, srcKey)
-		})
-		if sdErr != nil {
-			out.err = sdErr
-			return out
-		}
 		type dstView struct {
 			err error
 			de  dentryRow
 			ok  bool
 		}
-		dv := peerCall(p, s, D, 160, 128, D.cfg.ServiceCPUPerOp, func(p *sim.Proc) dstView {
-			var v dstView
-			D.DB.Transaction(p, func(tx *mdb.Tx) {
-				if _, v.err = D.dirRow(tx, ctx, dstDir, true); v.err != nil {
+		var srcDe dentryRow
+		var dv dstView
+		for {
+			out = removeReply{}
+			// ---- read/validate phase (no mutations), under the locks ----
+			var sdErr error
+			srcOK := false
+			s.DB.Transaction(p, func(tx *mdb.Tx) {
+				if _, sdErr = s.dirRow(tx, ctx, srcDir, true); sdErr != nil {
 					return
 				}
-				v.de, v.ok = mdb.Get(tx, D.dentries, dstKey)
+				srcDe, srcOK = mdb.Get(tx, s.dentries, srcKey)
 			})
-			return v
-		})
-		if dv.err != nil {
-			out.err = dv.err
-			return out
-		}
-		if !srcOK {
-			out.err = vfs.ErrNotExist
-			return out
-		}
-		if dstName == "" || len(dstName) > vfs.MaxNameLen {
-			out.err = vfs.ErrInvalid
-			return out
+			if sdErr != nil {
+				out.err = sdErr
+				return out
+			}
+			dv = peerCall(p, s, D, 160, 128, D.cfg.ServiceCPUPerOp, func(p *sim.Proc) dstView {
+				var v dstView
+				D.DB.Transaction(p, func(tx *mdb.Tx) {
+					if _, v.err = D.dirRow(tx, ctx, dstDir, true); v.err != nil {
+						return
+					}
+					v.de, v.ok = mdb.Get(tx, D.dentries, dstKey)
+				})
+				return v
+			})
+			if dv.err != nil {
+				out.err = dv.err
+				return out
+			}
+			if !srcOK {
+				out.err = vfs.ErrNotExist
+				return out
+			}
+			if dstName == "" || len(dstName) > vfs.MaxNameLen {
+				out.err = vfs.ErrInvalid
+				return out
+			}
+			// A replaced target's inode row joins the footprint (its
+			// nlink/row is rewritten at the end). If extending waited,
+			// either dentry may have been re-pointed: re-validate.
+			if !dv.ok || dv.de.Child == srcDe.Child ||
+				!txn.extend(p, s.inoKey(dv.de.Child)) {
+				break
+			}
 		}
 		id := srcDe.Child
 		movingDir := srcDe.Type == vfs.TypeDir
@@ -331,7 +377,9 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 				}
 				replacedDir = true
 				// Read-only prepare at the replaced directory's shard:
-				// its emptiness check and inode row live together. The
+				// its emptiness check and inode row live together (and
+				// the row's lock, held above, excludes new entries —
+				// every create routes through the directory's row). The
 				// row itself is reclaimed after the dentry swap below.
 				if !s.peerDirEmpty(p, s.peer(existing), existing) {
 					out.err = vfs.ErrNotEmpty
@@ -433,6 +481,11 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
 	r := call(p, s, sess, rpc.OpLink, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
+		// The whole footprint is known from the arguments: the dentry
+		// being created, the parent row it stamps, and the target row
+		// whose nlink the owner bumps between validate and commit.
+		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent), s.inoKey(id))
+		defer txn.release(p)
 		key := dentryKey{Parent: parent, Name: name}
 		exists := false
 		valid := false

@@ -1,0 +1,280 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+	"cofs/internal/vfs"
+)
+
+// These tests pin the lock-ordered cross-shard transaction layer
+// (twophase.go, txnlock.go, docs/transactions.md) from both sides:
+//
+//   - The interleaving replays reproduce, deterministically, the
+//     rename-vs-rename and rename-vs-remove races that the unlocked
+//     validate→commit protocol loses (the ROADMAP open item PR 2's
+//     concurrency storm found). Each replay sweeps the start offset of
+//     the second mutation across the first one's protocol window; with
+//     COFSParams.DisableTxnLocks (the unlocked protocol) some offset
+//     must corrupt the plane invariants, and with the lock layer on no
+//     offset may — and the final namespace must be one of the two
+//     serial outcomes.
+//   - The cost baseline runs a single-process workload over every
+//     cross-shard path with the lock layer on and off: virtual end
+//     time and network message count must match exactly, pinning that
+//     uncontended lock acquisition charges nothing.
+
+// txnRig deploys a 2-node COFS at the given shard count, optionally
+// reverting to the unlocked protocol.
+func txnRig(t *testing.T, seed int64, shards int, unlocked bool) (*cluster.Testbed, *core.Deployment) {
+	t.Helper()
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = shards
+	cfg.COFS.DisableTxnLocks = unlocked
+	cfg.FUSE.EntryTimeout = time.Nanosecond
+	tb := cluster.New(seed, 2, cfg)
+	d := core.Deploy(tb, nil)
+	tb.Run()
+	return tb, d
+}
+
+// raceOffsets is the sweep of start delays for the second mutation of
+// each replay: 0 to 3ms in 150µs steps, densely covering the first
+// mutation's validate→commit window (a cross-shard rename spends a few
+// hundred µs to low ms between its validation reads and its last
+// commit, depending on queueing).
+func raceOffsets() []time.Duration {
+	var out []time.Duration
+	for d := time.Duration(0); d <= 3*time.Millisecond; d += 150 * time.Microsecond {
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestRenameRenameRaceInterleaving replays two concurrent renames of
+// different sources onto the same destination name. Unlocked, both can
+// validate the destination as absent and both install it — the second
+// install silently overwrites the first, stranding a file with nlink=1
+// and no dentry (the exact "inode N nlink=1, 0 dentries" failure from
+// the ROADMAP open item). Lock-ordered, the destination dentry's lock
+// serializes the two renames: the loser sees the winner's entry and
+// replaces it properly.
+func TestRenameRenameRaceInterleaving(t *testing.T) {
+	type outcome struct {
+		invErr   error
+		zOK      bool // /c/z resolves
+		srcsGone bool // /a/x and /b/y both ENOENT
+		counters *stats.Counters
+	}
+	run := func(delta time.Duration, unlocked bool) outcome {
+		tb, d := txnRig(t, 31, 2, unlocked)
+		ctx0, ctx1 := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
+		step(tb, "setup", func(p *sim.Proc) {
+			for _, dir := range []string{"/a", "/b", "/c"} {
+				if err := d.Mounts[0].Mkdir(p, ctx0, dir, 0777); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, file := range []string{"/a/x", "/b/y"} {
+				f, err := d.Mounts[0].Create(p, ctx0, file, 0644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close(p)
+			}
+		})
+		tb.Env.Spawn("renameA", func(p *sim.Proc) {
+			d.Mounts[0].Rename(p, ctx0, "/a/x", "/c/z")
+		})
+		tb.Env.SpawnAfter("renameB", delta, func(p *sim.Proc) {
+			d.Mounts[1].Rename(p, ctx1, "/b/y", "/c/z")
+		})
+		tb.Run()
+		var out outcome
+		out.invErr = d.Service.CheckInvariants()
+		step(tb, "verify", func(p *sim.Proc) {
+			_, zErr := d.Mounts[0].Stat(p, ctx0, "/c/z")
+			_, xErr := d.Mounts[0].Stat(p, ctx0, "/a/x")
+			_, yErr := d.Mounts[0].Stat(p, ctx0, "/b/y")
+			out.zOK = zErr == nil
+			out.srcsGone = xErr == vfs.ErrNotExist && yErr == vfs.ErrNotExist
+		})
+		out.counters = d.Counters()
+		return out
+	}
+
+	corrupted := 0
+	for _, delta := range raceOffsets() {
+		if run(delta, true).invErr != nil {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no offset corrupted the unlocked protocol: the replay no longer exercises the race")
+	}
+
+	var conflicts int64
+	for _, delta := range raceOffsets() {
+		out := run(delta, false)
+		if out.invErr != nil {
+			t.Fatalf("offset %v: lock-ordered protocol broke invariants: %v", delta, out.invErr)
+		}
+		// Either serial order moves both sources and leaves exactly one
+		// of the two files at the destination.
+		if !out.zOK || !out.srcsGone {
+			t.Fatalf("offset %v: final namespace is not a serial outcome: z=%v srcsGone=%v",
+				delta, out.zOK, out.srcsGone)
+		}
+		conflicts += out.counters.Get("mds.lock-conflicts")
+		if out.counters.Get("mds.lock-acquires") == 0 {
+			t.Fatalf("offset %v: no row locks were taken", delta)
+		}
+	}
+	if conflicts == 0 {
+		t.Fatal("no offset made the renames contend a row lock: the replay no longer overlaps them")
+	}
+}
+
+// TestRenameRemoveRaceInterleaving replays a rename replacing a
+// hard-linked destination against a concurrent remove of that same
+// destination name. Unlocked, both can observe the old entry and both
+// drop one of the target's links — two decrements for one removed
+// dentry — leaving the surviving name pointing at a reclaimed inode.
+// Lock-ordered, the remove and the rename serialize on the destination
+// dentry and the target's inode row, so exactly one link dies and the
+// other name keeps a live inode with nlink=1 in either serial order.
+func TestRenameRemoveRaceInterleaving(t *testing.T) {
+	run := func(delta time.Duration, unlocked bool) (nlink int, statErr error, invErr error) {
+		tb, d := txnRig(t, 33, 2, unlocked)
+		ctx0, ctx1 := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
+		step(tb, "setup", func(p *sim.Proc) {
+			for _, dir := range []string{"/a", "/c", "/d"} {
+				if err := d.Mounts[0].Mkdir(p, ctx0, dir, 0777); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, file := range []string{"/a/x", "/c/z"} {
+				f, err := d.Mounts[0].Create(p, ctx0, file, 0644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close(p)
+			}
+			// The replaced target is reachable under a second name, so a
+			// double unlink of it strands /d/w on a dead inode.
+			if err := d.Mounts[0].Link(p, ctx0, "/c/z", "/d/w"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		tb.Env.Spawn("rename", func(p *sim.Proc) {
+			d.Mounts[0].Rename(p, ctx0, "/a/x", "/c/z")
+		})
+		tb.Env.SpawnAfter("remove", delta, func(p *sim.Proc) {
+			d.Mounts[1].Unlink(p, ctx1, "/c/z")
+		})
+		tb.Run()
+		invErr = d.Service.CheckInvariants()
+		step(tb, "verify", func(p *sim.Proc) {
+			attr, err := d.Mounts[0].Stat(p, ctx0, "/d/w")
+			nlink, statErr = attr.Nlink, err
+		})
+		return nlink, statErr, invErr
+	}
+
+	corrupted := 0
+	for _, delta := range raceOffsets() {
+		_, _, invErr := run(delta, true)
+		if invErr != nil {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no offset corrupted the unlocked protocol: the replay no longer exercises the race")
+	}
+
+	for _, delta := range raceOffsets() {
+		nlink, statErr, invErr := run(delta, false)
+		if invErr != nil {
+			t.Fatalf("offset %v: lock-ordered protocol broke invariants: %v", delta, invErr)
+		}
+		if statErr != nil || nlink != 1 {
+			t.Fatalf("offset %v: surviving hard link wrong: nlink=%d, %v", delta, nlink, statErr)
+		}
+	}
+}
+
+// TestTxnLocksUncontendedCostIdentical pins the cost contract of the
+// lock layer: with no contention, acquiring and releasing row locks
+// charges nothing — a single-process workload over every cross-shard
+// mutation path must land on exactly the same virtual clock and move
+// exactly the same number of network messages with the layer on and
+// off. (PR 2 pinned the RPC transport the same way.)
+func TestTxnLocksUncontendedCostIdentical(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			run := func(unlocked bool) (time.Duration, int64, int64, int64) {
+				tb, d := txnRig(t, 55, shards, unlocked)
+				ctx := cluster.Ctx(0, 1)
+				step(tb, "workload", func(p *sim.Proc) {
+					m := d.Mounts[0]
+					// Directory creates spread across shards by DirTarget:
+					// some land remote (createRemoteDir), some local.
+					for i := 0; i < 6; i++ {
+						if err := m.MkdirAll(p, ctx, fmt.Sprintf("/t/d%d", i), 0777); err != nil {
+							t.Fatal(err)
+						}
+						f, err := m.Create(p, ctx, fmt.Sprintf("/t/d%d/f", i), 0644)
+						if err != nil {
+							t.Fatal(err)
+						}
+						f.Close(p)
+					}
+					// Cross-directory (and cross-shard) links, renames —
+					// plain and replacing — removes and rmdirs.
+					if err := m.Link(p, ctx, "/t/d0/f", "/t/d1/g"); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Rename(p, ctx, "/t/d2/f", "/t/d3/r"); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Rename(p, ctx, "/t/d4/f", "/t/d3/f"); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Unlink(p, ctx, "/t/d1/g"); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Unlink(p, ctx, "/t/d5/f"); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Rmdir(p, ctx, "/t/d5"); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := m.Readdir(p, ctx, "/t"); err != nil {
+						t.Fatal(err)
+					}
+				})
+				c := d.Counters()
+				return tb.Env.Now(), tb.Net.Messages, c.Get("mds.lock-acquires"), c.Get("mds.lock-conflicts")
+			}
+			lockedNow, lockedMsgs, acquires, conflicts := run(false)
+			unlockedNow, unlockedMsgs, _, _ := run(true)
+			if acquires == 0 {
+				t.Fatal("workload took no row locks: it no longer exercises the lock layer")
+			}
+			if conflicts != 0 {
+				t.Fatalf("single-process workload contended %d row locks: not an uncontended baseline", conflicts)
+			}
+			if lockedNow != unlockedNow || lockedMsgs != unlockedMsgs {
+				t.Fatalf("uncontended costs diverge: locked (%v, %d msgs) vs unlocked (%v, %d msgs)",
+					lockedNow, lockedMsgs, unlockedNow, unlockedMsgs)
+			}
+		})
+	}
+}

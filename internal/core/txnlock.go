@@ -1,0 +1,139 @@
+package core
+
+import (
+	"cofs/internal/lock"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// This file is the metadata plane's side of the lock-ordered cross-shard
+// transaction layer (docs/transactions.md). On a sharded plane every
+// mutation — both the multi-shard protocols in twophase.go and the
+// locally-committing Create/Link fast paths — opens a rowTxn over the
+// inode and dentry rows it will read-depend on or write, holds the locks
+// across its whole validate→commit span, and releases them at commit or
+// abort. Conflicting mutations therefore serialize on their row
+// footprints instead of interleaving between protocol phases, which is
+// what closes the rename/remove races the unlocked protocol had; the
+// canonical acquisition order (lock.RowKey.Less) makes the waiting
+// deadlock-free by construction.
+//
+// Rows a mutation only discovers by reading (a remove's child inode, a
+// rename's replaced target) join the footprint through rowTxn.extend,
+// which re-acquires the grown footprint in canonical order and tells the
+// caller whether it ever waited — if it did, the validation reads that
+// produced the discovery may be stale and must be re-run. On the
+// uncontended path no acquisition waits, nothing re-runs and nothing is
+// charged, so uncontended costs are bit-identical to the unlocked
+// protocol (pinned by TestTxnLocksUncontendedCostIdentical).
+
+// Row-lock kinds of the metadata plane.
+const (
+	lockKindInode lock.Kind = iota + 1
+	lockKindDentry
+)
+
+// inoKey names id's inode row in the canonical lock order.
+func (s *Service) inoKey(id vfs.Ino) lock.RowKey {
+	k := lock.RowKey{Kind: lockKindInode, ID: uint64(id)}
+	if s.cluster != nil {
+		k.Shard = s.cluster.Map.Of(id)
+	}
+	return k
+}
+
+// dentKey names the (parent, name) dentry row in the canonical lock
+// order; it lives on the parent directory's shard, like the row itself.
+func (s *Service) dentKey(parent vfs.Ino, name string) lock.RowKey {
+	k := lock.RowKey{Kind: lockKindDentry, ID: uint64(parent), Name: name}
+	if s.cluster != nil {
+		k.Shard = s.cluster.Map.Of(parent)
+	}
+	return k
+}
+
+// rowTxn is one mutation's footprint in the plane's row-lock table. A
+// nil rowTxn (unsharded plane, or COFSParams.DisableTxnLocks) is a
+// valid no-op: every method tolerates it, so call sites stay
+// unconditional.
+type rowTxn struct {
+	s    *Service
+	held []lock.RowKey
+}
+
+// lockRows opens a lock-ordered transaction over keys, coordinated by
+// shard s. It blocks (in virtual time, FIFO per row) while any key is
+// held by another mutation; the shard's worker thread is released while
+// parked, the same non-blocking-server discipline as peerCall, so
+// waiting transactions cannot starve the pool of the shard whose
+// progress they depend on.
+func (s *Service) lockRows(p *sim.Proc, keys ...lock.RowKey) *rowTxn {
+	if !s.sharded() || s.cluster.rowLocks == nil {
+		return nil
+	}
+	held := lock.SortKeys(keys)
+	s.acquireRows(p, held)
+	return &rowTxn{s: s, held: held}
+}
+
+// acquireRows locks keys under the worker-thread discipline above.
+func (s *Service) acquireRows(p *sim.Proc, keys []lock.RowKey) {
+	if s.cluster.rowLocks.Acquire(p, keys, func() { s.host.CPU.Release(p) }) {
+		s.host.CPU.Acquire(p)
+	}
+}
+
+// extend grows the transaction's footprint with rows discovered by its
+// validation reads. Late keys cannot simply be locked in place — they
+// may sort before rows already held, and acquiring against the
+// canonical order is exactly what deadlocks — so the whole footprint is
+// released and re-acquired in order. extend reports whether any
+// re-acquisition waited: if it did, the world may have moved while the
+// transaction briefly held nothing, and the caller must re-run its
+// validation reads before trusting the discovery. When nothing waited,
+// no other process ran between release and re-acquire (the simulation
+// only switches processes at blocking points), so prior reads still
+// hold and the uncontended path re-validates nothing.
+func (t *rowTxn) extend(p *sim.Proc, keys ...lock.RowKey) bool {
+	if t == nil || len(keys) == 0 || t.holdsAll(keys) {
+		// Already covered (a re-validation rediscovered the same rows):
+		// nothing is released, so nothing can have raced — without this
+		// fast path two conflicting mutations re-validating against each
+		// other would hand the FIFO locks back and forth forever.
+		return false
+	}
+	t.s.cluster.rowLocks.Release(p, t.held)
+	t.held = lock.SortKeys(append(t.held, keys...))
+	waited := t.s.cluster.rowLocks.Acquire(p, t.held, func() { t.s.host.CPU.Release(p) })
+	if waited {
+		t.s.host.CPU.Acquire(p)
+	}
+	return waited
+}
+
+// holdsAll reports whether every key is already in the footprint.
+func (t *rowTxn) holdsAll(keys []lock.RowKey) bool {
+	for _, k := range keys {
+		found := false
+		for _, h := range t.held {
+			if h == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// release drops every held row lock. Commit and abort paths release
+// identically; call sites defer it when the transaction opens.
+func (t *rowTxn) release(p *sim.Proc) {
+	if t == nil || t.held == nil {
+		return
+	}
+	t.s.cluster.rowLocks.Release(p, t.held)
+	t.held = nil
+}

@@ -1,0 +1,160 @@
+package lock
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cofs/internal/sim"
+)
+
+// This file extends the token manager's package with the row-lock table
+// of the metadata plane's lock-ordered cross-shard transactions (see
+// internal/core/twophase.go and docs/transactions.md). Where the token
+// Manager above models GPFS's client-side delegation — tokens are
+// *cached* by nodes and revoked over the network — a RowLocks table is
+// a plain short-term mutual-exclusion map: a multi-shard mutation locks
+// every row it will read-depend on or write, holds the locks across its
+// validate→commit gap, and releases them at commit or abort. Nothing is
+// cached and nothing is revoked; deadlock freedom comes from every
+// acquisition batch following one global canonical order.
+//
+// Cost model: conceptually each lock lives on the shard owning its row
+// and acquisition piggybacks on protocol messages that already flow, so
+// an uncontended Acquire charges nothing — the simulation stays
+// bit-identical on uncontended paths. A contended Acquire parks the
+// calling process FIFO until the holder releases: the wait is real
+// virtual time, surfaced in RowLockStats and (via the deployment
+// counters) in "mds.lock-*".
+
+// RowKey names one lockable metadata row. The zero Name means an inode
+// row (ID is the inode id); a non-empty Name means a dentry row (ID is
+// the parent directory's id). Kind namespaces the two so an inode id
+// and a parent id never collide.
+type RowKey struct {
+	Shard int
+	Kind  Kind
+	ID    uint64
+	Name  string
+}
+
+// Less is the canonical global lock order: shard id first, then kind,
+// id, name. Every acquisition batch locks its keys in this order, which
+// is what makes the protocol deadlock-free (docs/transactions.md).
+func (k RowKey) Less(o RowKey) bool {
+	if k.Shard != o.Shard {
+		return k.Shard < o.Shard
+	}
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.ID != o.ID {
+		return k.ID < o.ID
+	}
+	return k.Name < o.Name
+}
+
+// SortKeys sorts keys canonically in place and drops duplicates,
+// returning the (possibly shortened) slice. Acquire requires its input
+// in this form.
+func SortKeys(keys []RowKey) []RowKey {
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RowLockStats aggregates the table's counters.
+type RowLockStats struct {
+	// Acquires is the number of row locks taken.
+	Acquires int64
+	// Conflicts is the number of acquisitions that found the row held
+	// (or queued) and had to wait.
+	Conflicts int64
+	// WaitTotal is the virtual time spent parked on held rows.
+	WaitTotal time.Duration
+}
+
+// RowLocks is a table of exclusive FIFO row locks keyed by RowKey. Rows
+// are materialized on first acquisition and garbage-collected when the
+// last holder releases with nobody queued, so the table's size is
+// bounded by the locks actually in flight.
+type RowLocks struct {
+	env  *sim.Env
+	rows map[RowKey]*sim.Mutex
+
+	Stats RowLockStats
+}
+
+// NewRowLocks creates an empty row-lock table.
+func NewRowLocks(env *sim.Env) *RowLocks {
+	return &RowLocks{env: env, rows: make(map[RowKey]*sim.Mutex)}
+}
+
+// Acquire locks every key, in order. keys must be sorted canonically
+// and duplicate-free (SortKeys); Acquire panics otherwise, because an
+// out-of-order batch is exactly what reintroduces deadlock. onWait, if
+// non-nil, is called once immediately before the first Lock that must
+// park — callers use it to release a server worker thread so parked
+// transactions cannot starve the pool whose progress they wait on.
+// Acquire reports whether any lock had to wait: if it did, the caller's
+// prior validation reads may be stale and must be re-run.
+func (t *RowLocks) Acquire(p *sim.Proc, keys []RowKey, onWait func()) bool {
+	waited := false
+	for i, k := range keys {
+		if i > 0 && !keys[i-1].Less(k) {
+			panic(fmt.Sprintf("lock: row acquisition out of canonical order: %v after %v", k, keys[i-1]))
+		}
+		mu, ok := t.rows[k]
+		if !ok {
+			mu = sim.NewMutex(t.env, "lock.row")
+			t.rows[k] = mu
+		}
+		t.Stats.Acquires++
+		if mu.Locked() || mu.QueueLen() > 0 {
+			t.Stats.Conflicts++
+			if !waited && onWait != nil {
+				onWait()
+			}
+			waited = true
+			start := t.env.Now()
+			mu.Lock(p)
+			t.Stats.WaitTotal += t.env.Now() - start
+		} else {
+			mu.Lock(p)
+		}
+	}
+	return waited
+}
+
+// Release unlocks every key (all must be held by p), in reverse
+// canonical order, and garbage-collects rows left idle. Commit and
+// abort paths release identically — the table keeps no transaction
+// outcome state.
+func (t *RowLocks) Release(p *sim.Proc, keys []RowKey) {
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		mu, ok := t.rows[k]
+		if !ok {
+			panic(fmt.Sprintf("lock: release of unknown row %v", k))
+		}
+		mu.Unlock(p)
+		if !mu.Locked() && mu.QueueLen() == 0 {
+			delete(t.rows, k)
+		}
+	}
+}
+
+// Held reports whether key is currently locked (tests).
+func (t *RowLocks) Held(key RowKey) bool {
+	mu, ok := t.rows[key]
+	return ok && mu.Locked()
+}
+
+// Len returns the number of live lock rows (tests pin the release-time
+// garbage collection with it).
+func (t *RowLocks) Len() int { return len(t.rows) }

@@ -183,6 +183,16 @@ type COFSParams struct {
 	// measured prototype); when both AttrLease and AttrCacheTimeout are
 	// set, leases win.
 	AttrLease time.Duration
+	// DisableTxnLocks turns off the lock-ordered cross-shard
+	// transaction layer (docs/transactions.md), reverting multi-shard
+	// mutations to the unlocked validate→commit protocol that can
+	// corrupt nlink/dentry invariants under conflicting concurrent
+	// renames and removes. Debugging and regression-replay knob only:
+	// the tests in internal/core/twophase_test.go set it to demonstrate
+	// the races the locks close, and the uncontended-cost baseline
+	// diffs against it. The knob is spelled as a disable so the zero
+	// value is the safe default.
+	DisableTxnLocks bool
 	// RPCBatch enables request batching on the client→shard (and
 	// shard→shard) RPC channels: concurrent requests to the same shard
 	// coalesce into one wire round trip while the previous one is in
