@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	attrLease := flag.Duration("attr-lease", 0, "client cache lease term (0 disables the coherent cache)")
 	rpcBatch := flag.Bool("rpc-batch", false, "coalesce concurrent RPCs to the same shard into one round trip")
+	exclLocks := flag.Bool("excl-locks", false, "revert the row-lock table to exclusive-only locks (no shared read-dependency grants)")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	flag.Parse()
 	what := "all"
@@ -47,6 +48,7 @@ func main() {
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
+	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	tb := cluster.New(*seed, *nodes, cfg)
 	d := core.Deploy(tb, nil)
 

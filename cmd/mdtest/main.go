@@ -33,6 +33,7 @@ func main() {
 
 		attrLease = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 		rpcBatch  = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
+		exclLocks = flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
+	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
 	switch *fs {

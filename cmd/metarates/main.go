@@ -30,12 +30,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	attrLease := flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 	rpcBatch := flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
+	exclLocks := flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
 	flag.Parse()
 
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
+	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	tb := cluster.New(*seed, *nodes, cfg)
 	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	var deployment *core.Deployment
@@ -82,6 +84,12 @@ func main() {
 				c.Get("rpc.client.calls"), c.Get("rpc.client.roundtrips"), c.Get("rpc.client.batched-reqs"),
 				c.Get("cache.attr-hits"), c.Get("cache.dentry-hits"), c.Get("cache.negative-hits"),
 				c.Get("mds.lease-revocations"))
+		}
+		if *shards > 1 {
+			c := deployment.Counters()
+			fmt.Printf("cofs row locks: %d acquired (%d shared, %d upgrades), %d conflicts, %dus waited\n",
+				c.Get("mds.lock-acquires"), c.Get("mds.lock-shared"), c.Get("mds.lock-upgrades"),
+				c.Get("mds.lock-conflicts"), c.Get("mds.lock-wait-us"))
 		}
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())

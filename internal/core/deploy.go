@@ -102,6 +102,8 @@ func (d *Deployment) Counters() *stats.Counters {
 	c.Add("mds.lease-revocations", ss.Revocations)
 	ls := d.Service.LockStats()
 	c.Add("mds.lock-acquires", ls.Acquires)
+	c.Add("mds.lock-shared", ls.SharedGrants)
+	c.Add("mds.lock-upgrades", ls.Upgrades)
 	c.Add("mds.lock-conflicts", ls.Conflicts)
 	c.Add("mds.lock-wait-us", int64(ls.WaitTotal/time.Microsecond))
 	return c

@@ -98,6 +98,7 @@ func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MD
 	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}, cfg: cfg.COFS}
 	if len(hosts) > 1 && !cfg.COFS.DisableTxnLocks {
 		c.rowLocks = lock.NewRowLocks(net.Env())
+		c.rowLocks.ExclusiveOnly = cfg.COFS.ExclusiveRowLocks
 	}
 	for i, h := range hosts {
 		c.shards = append(c.shards, newShard(net, h, cfg, c, i))
@@ -262,9 +263,10 @@ func (c *MDSCluster) Stats() ServiceStats {
 	return out
 }
 
-// LockStats returns the plane's row-lock counters: locks taken,
-// acquisitions that had to wait, and the virtual time spent waiting
-// (all zero on an unsharded plane or with DisableTxnLocks set).
+// LockStats returns the plane's row-lock counters: locks taken, grants
+// taken Shared, in-place Shared→Exclusive upgrades, acquisitions that
+// had to wait, and the virtual time spent waiting (all zero on an
+// unsharded plane or with DisableTxnLocks set).
 func (c *MDSCluster) LockStats() lock.RowLockStats {
 	if c.rowLocks == nil {
 		return lock.RowLockStats{}

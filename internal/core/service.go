@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cofs/internal/disk"
+	"cofs/internal/lock"
 	"cofs/internal/mdb"
 	"cofs/internal/netsim"
 	"cofs/internal/params"
@@ -420,8 +421,12 @@ func (s *Service) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 		// cross-shard mutations — an rmdir freezing this directory's
 		// emptiness, a rename swapping this name — so it locks the same
 		// footprint they would conflict on (no-op on one shard, free
-		// when uncontended; see txnlock.go).
-		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		// when uncontended; see txnlock.go). The dentry it writes is
+		// Exclusive; the parent's inode row only Shared — its
+		// nlink/mtime bump is atomic inside the transaction below, so
+		// concurrent creates of different names in this directory
+		// overlap instead of serializing on the parent.
+		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)
@@ -699,9 +704,12 @@ func (s *Service) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, pare
 		var out attrReply
 		// Same discipline as Create above: the link commits locally but
 		// locks the rows cross-shard mutations would conflict on — here
-		// including the target inode, whose nlink a concurrent sharded
-		// remove or rename-replace rewrites across its phases.
-		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent), s.inoKey(id))
+		// including the target inode, Shared: the link's own nlink bump
+		// is atomic inside the transaction below, and Shared already
+		// excludes the Exclusive holders (a sharded remove reclaiming
+		// the target, a rename replacing it) whose cross-phase gaps the
+		// target row must not move under.
+		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)), lock.S(s.inoKey(id)))
 		defer txn.release(p)
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			din, err := s.dirRow(tx, ctx, parent, true)

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"cofs/internal/lock"
 	"cofs/internal/mdb"
 	"cofs/internal/rpc"
 	"cofs/internal/sim"
@@ -59,8 +60,11 @@ func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, paren
 	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
 		// The new inode row is freshly allocated — no other mutation can
 		// reference it before the dentry commit below — so the footprint
-		// is just the dentry being created and the parent row it bumps.
-		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		// is just the dentry being created (Exclusive) and the parent
+		// row (Shared: its nlink/mtime bump is atomic in the phase-2
+		// transaction; Shared keeps concurrent mkdirs of different
+		// names overlapping while still excluding an rmdir of parent).
+		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
 		// Phase 0: local validation (read-only), so the common error
 		// returns — EEXIST from mkdir-p retries above all — never pay
@@ -133,7 +137,7 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		key := dentryKey{Parent: parent, Name: name}
-		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent))
+		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
 		var de dentryRow
 		for {
@@ -164,11 +168,12 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 			if !valid {
 				return out
 			}
-			// The child's inode row joins the footprint: rmdir retires
-			// it (and its lock is what freezes the emptiness check
-			// below), unlink rewrites its nlink. If extending waited,
-			// the dentry may have been re-pointed meanwhile: re-validate.
-			if !txn.extend(p, s.inoKey(de.Child)) {
+			// The child's inode row joins the footprint, Exclusive:
+			// rmdir retires it (and its lock is what freezes the
+			// emptiness check below against Shared-holding creates),
+			// unlink rewrites its nlink. If extending waited, the
+			// dentry may have been re-pointed meanwhile: re-validate.
+			if !txn.extend(p, lock.X(s.inoKey(de.Child))) {
 				break
 			}
 		}
@@ -297,14 +302,17 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		D := s.peer(dstDir)
 		srcKey := dentryKey{Parent: srcDir, Name: srcName}
 		dstKey := dentryKey{Parent: dstDir, Name: dstName}
-		// Static footprint: both dentries being swapped and both
-		// directory rows whose nlink/mtime the swap rewrites. The moving
-		// object's own row is untouched (its dentry travels, its inode
-		// stays), so it needs no lock; a replaced target's row is
-		// rewritten and joins the footprint once discovered below.
+		// Static footprint: both dentries being swapped (Exclusive) and
+		// both directory rows whose nlink/mtime the swap rewrites
+		// (Shared: those bumps are atomic per commit transaction, and
+		// Shared already excludes an rmdir retiring either directory).
+		// The moving object's own row is untouched (its dentry travels,
+		// its inode stays), so it needs no lock; a replaced target's
+		// row is rewritten and joins the footprint once discovered
+		// below.
 		txn := s.lockRows(p,
-			s.dentKey(srcDir, srcName), s.dentKey(dstDir, dstName),
-			s.inoKey(srcDir), s.inoKey(dstDir))
+			lock.X(s.dentKey(srcDir, srcName)), lock.X(s.dentKey(dstDir, dstName)),
+			lock.S(s.inoKey(srcDir)), lock.S(s.inoKey(dstDir)))
 		defer txn.release(p)
 
 		type dstView struct {
@@ -351,11 +359,13 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 				out.err = vfs.ErrInvalid
 				return out
 			}
-			// A replaced target's inode row joins the footprint (its
-			// nlink/row is rewritten at the end). If extending waited,
-			// either dentry may have been re-pointed: re-validate.
+			// A replaced target's inode row joins the footprint,
+			// Exclusive (its nlink/row is rewritten at the end, and for
+			// a replaced directory the lock freezes the emptiness
+			// check). If extending waited, either dentry may have been
+			// re-pointed: re-validate.
 			if !dv.ok || dv.de.Child == srcDe.Child ||
-				!txn.extend(p, s.inoKey(dv.de.Child)) {
+				!txn.extend(p, lock.X(s.inoKey(dv.de.Child))) {
 				break
 			}
 		}
@@ -482,9 +492,12 @@ func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 	r := call(p, s, sess, rpc.OpLink, 160, 192, func(p *sim.Proc) attrReply {
 		var out attrReply
 		// The whole footprint is known from the arguments: the dentry
-		// being created, the parent row it stamps, and the target row
-		// whose nlink the owner bumps between validate and commit.
-		txn := s.lockRows(p, s.dentKey(parent, name), s.inoKey(parent), s.inoKey(id))
+		// being created (Exclusive), the parent row it stamps and the
+		// target row whose nlink the owner bumps between validate and
+		// commit (both Shared — the bumps are atomic per transaction,
+		// and Shared excludes the Exclusive reclaim paths that could
+		// invalidate the validation between the phases).
+		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)), lock.S(s.inoKey(id)))
 		defer txn.release(p)
 		key := dentryKey{Parent: parent, Name: name}
 		exists := false

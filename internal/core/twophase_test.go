@@ -30,19 +30,27 @@ import (
 //     time and network message count must match exactly, pinning that
 //     uncontended lock acquisition charges nothing.
 
-// txnRig deploys a 2-node COFS at the given shard count, optionally
-// reverting to the unlocked protocol.
-func txnRig(t *testing.T, seed int64, shards int, unlocked bool) (*cluster.Testbed, *core.Deployment) {
+// txnRig deploys an n-node COFS at the given shard count; mut, if
+// non-nil, adjusts the configuration before deployment (the tests here
+// use it to select the lock-layer mode: the default shared/exclusive
+// table, COFSParams.ExclusiveRowLocks, or COFSParams.DisableTxnLocks).
+func txnRig(t *testing.T, seed int64, nodes, shards int, mut func(cfg *params.Config)) (*cluster.Testbed, *core.Deployment) {
 	t.Helper()
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = shards
-	cfg.COFS.DisableTxnLocks = unlocked
 	cfg.FUSE.EntryTimeout = time.Nanosecond
-	tb := cluster.New(seed, 2, cfg)
+	if mut != nil {
+		mut(&cfg)
+	}
+	tb := cluster.New(seed, nodes, cfg)
 	d := core.Deploy(tb, nil)
 	tb.Run()
 	return tb, d
 }
+
+// unlockedCfg / exclusiveCfg select the regression lock modes.
+func unlockedCfg(cfg *params.Config)  { cfg.COFS.DisableTxnLocks = true }
+func exclusiveCfg(cfg *params.Config) { cfg.COFS.ExclusiveRowLocks = true }
 
 // raceOffsets is the sweep of start delays for the second mutation of
 // each replay: 0 to 3ms in 150µs steps, densely covering the first
@@ -73,7 +81,11 @@ func TestRenameRenameRaceInterleaving(t *testing.T) {
 		counters *stats.Counters
 	}
 	run := func(delta time.Duration, unlocked bool) outcome {
-		tb, d := txnRig(t, 31, 2, unlocked)
+		var mut func(*params.Config)
+		if unlocked {
+			mut = unlockedCfg
+		}
+		tb, d := txnRig(t, 31, 2, 2, mut)
 		ctx0, ctx1 := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
 		step(tb, "setup", func(p *sim.Proc) {
 			for _, dir := range []string{"/a", "/b", "/c"} {
@@ -151,7 +163,11 @@ func TestRenameRenameRaceInterleaving(t *testing.T) {
 // other name keeps a live inode with nlink=1 in either serial order.
 func TestRenameRemoveRaceInterleaving(t *testing.T) {
 	run := func(delta time.Duration, unlocked bool) (nlink int, statErr error, invErr error) {
-		tb, d := txnRig(t, 33, 2, unlocked)
+		var mut func(*params.Config)
+		if unlocked {
+			mut = unlockedCfg
+		}
+		tb, d := txnRig(t, 33, 2, 2, mut)
 		ctx0, ctx1 := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
 		step(tb, "setup", func(p *sim.Proc) {
 			for _, dir := range []string{"/a", "/c", "/d"} {
@@ -209,18 +225,182 @@ func TestRenameRemoveRaceInterleaving(t *testing.T) {
 	}
 }
 
+// TestCreateCreateOverlapInterleaving replays two concurrent creates
+// of different names in one shared directory, offset-swept like the
+// rename replays above. Both creates coordinate at the parent's shard
+// and both footprints meet on the parent directory's inode row — with
+// exclusive-only locks (COFSParams.ExclusiveRowLocks) the second
+// create must park there for the overlapping offsets, so its
+// validate→commit span strictly follows the first's; with the
+// shared/exclusive table the parent row is Shared and the two spans
+// overlap in virtual time: no offset parks, and the later create
+// finishes strictly earlier wherever the exclusive table serialized.
+// The shard WAL runs synchronously here (LogFlushInterval=0), so each
+// create's durable commit lands inside its locked span — the
+// validate→commit window is commit-wide, the regime where group-commit
+// overlap matters. This pins the recovered overlap itself (the ROADMAP
+// open item), not just the benchmark number;
+// BenchmarkGroupCommitOverlap measures the same effect at storm scale.
+func TestCreateCreateOverlapInterleaving(t *testing.T) {
+	type outcome struct {
+		done              time.Duration // the later create's completion instant
+		conflicts, shared int64
+		invErr            error
+		bothOK            bool
+	}
+	run := func(delta time.Duration, excl bool) outcome {
+		tb, d := txnRig(t, 37, 2, 2, func(cfg *params.Config) {
+			cfg.COFS.LogFlushInterval = 0
+			cfg.COFS.ExclusiveRowLocks = excl
+		})
+		ctx0, ctx1 := cluster.Ctx(0, 1), cluster.Ctx(1, 1)
+		step(tb, "setup", func(p *sim.Proc) {
+			if err := d.Mounts[0].Mkdir(p, ctx0, "/shared", 0777); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The overlap is measured on the creates' own completion
+		// instants (the drained Env.Now() includes unrelated trailing
+		// events).
+		var out outcome
+		create := func(m int, ctx vfs.Ctx, path string) func(p *sim.Proc) {
+			return func(p *sim.Proc) {
+				f, err := d.Mounts[m].Create(p, ctx, path, 0644)
+				if err == nil {
+					f.Close(p)
+				}
+				if p.Now() > out.done {
+					out.done = p.Now()
+				}
+			}
+		}
+		tb.Env.Spawn("createA", create(0, ctx0, "/shared/a"))
+		tb.Env.SpawnAfter("createB", delta, create(1, ctx1, "/shared/b"))
+		tb.Run()
+		out.invErr = d.Service.CheckInvariants()
+		step(tb, "verify", func(p *sim.Proc) {
+			_, aErr := d.Mounts[0].Stat(p, ctx0, "/shared/a")
+			_, bErr := d.Mounts[0].Stat(p, ctx0, "/shared/b")
+			out.bothOK = aErr == nil && bErr == nil
+		})
+		c := d.Counters()
+		out.conflicts = c.Get("mds.lock-conflicts")
+		out.shared = c.Get("mds.lock-shared")
+		return out
+	}
+
+	serialized := 0
+	for _, delta := range raceOffsets() {
+		e := run(delta, true)
+		s := run(delta, false)
+		for name, o := range map[string]outcome{"exclusive": e, "shared-exclusive": s} {
+			if o.invErr != nil {
+				t.Fatalf("offset %v: %s run broke invariants: %v", delta, name, o.invErr)
+			}
+			if !o.bothOK {
+				t.Fatalf("offset %v: %s run lost a create", delta, name)
+			}
+		}
+		if s.conflicts != 0 {
+			t.Fatalf("offset %v: shared/exclusive table parked a create (%d conflicts): same-directory creates no longer overlap", delta, s.conflicts)
+		}
+		if s.shared == 0 {
+			t.Fatalf("offset %v: no shared row locks were taken", delta)
+		}
+		if e.conflicts > 0 {
+			serialized++
+			if s.done >= e.done {
+				t.Fatalf("offset %v: overlap not recovered: shared/exclusive finished at %v, exclusive-only at %v",
+					delta, s.done, e.done)
+			}
+		} else if s.done != e.done {
+			// With no contention the two tables must be bit-identical.
+			t.Fatalf("offset %v: uncontended runs diverge: shared/exclusive %v, exclusive-only %v", delta, s.done, e.done)
+		}
+	}
+	if serialized == 0 {
+		t.Fatal("no offset made the exclusive-only table serialize the creates: the replay no longer overlaps them")
+	}
+}
+
+// TestCreateStormGroupCommitBatching pins the "group commit" in the
+// recovered overlap directly, at the flush level: with the shard's WAL
+// in synchronous mode (LogFlushInterval=0, every durable transaction
+// forces the journal), four clients creating in one directory at small
+// offsets ride shared journal flushes only if their validate→commit
+// spans actually overlap. Exclusive-only, the parent row serializes
+// the creates and every commit flushes alone; shared/exclusive, the
+// commits arrive while a flush is in flight and batch into fewer,
+// shared flushes — strictly fewer syncs and a strictly earlier finish.
+func TestCreateStormGroupCommitBatching(t *testing.T) {
+	run := func(excl bool) (syncs int64, now time.Duration, conflicts int64) {
+		tb, d := txnRig(t, 41, 4, 2, func(cfg *params.Config) {
+			cfg.COFS.LogFlushInterval = 0
+			cfg.COFS.ExclusiveRowLocks = excl
+		})
+		ctx0 := cluster.Ctx(0, 1)
+		step(tb, "setup", func(p *sim.Proc) {
+			if err := d.Mounts[0].Mkdir(p, ctx0, "/shared", 0777); err != nil {
+				t.Fatal(err)
+			}
+		})
+		var base int64
+		for _, s := range d.Service.Shards() {
+			base += s.Disk.Syncs
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			tb.Env.SpawnAfter(fmt.Sprintf("create%d", i), time.Duration(i)*50*time.Microsecond, func(p *sim.Proc) {
+				ctx := cluster.Ctx(i, 1)
+				f, err := d.Mounts[i].Create(p, ctx, fmt.Sprintf("/shared/f%d", i), 0644)
+				if err != nil {
+					t.Errorf("create %d: %v", i, err)
+					return
+				}
+				f.Close(p)
+			})
+		}
+		tb.Run()
+		if err := d.Service.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range d.Service.Shards() {
+			syncs += s.Disk.Syncs
+		}
+		return syncs - base, tb.Env.Now(), d.Counters().Get("mds.lock-conflicts")
+	}
+	exclSyncs, exclNow, exclConflicts := run(true)
+	sxSyncs, sxNow, sxConflicts := run(false)
+	if exclConflicts == 0 {
+		t.Fatal("exclusive-only storm never contended the parent row: the storm no longer overlaps")
+	}
+	if sxConflicts != 0 {
+		t.Fatalf("shared/exclusive storm parked %d times on same-directory creates", sxConflicts)
+	}
+	if sxSyncs >= exclSyncs {
+		t.Fatalf("group commit did not batch: %d flushes shared/exclusive vs %d exclusive-only", sxSyncs, exclSyncs)
+	}
+	if sxNow >= exclNow {
+		t.Fatalf("storm not faster with shared locks: %v vs %v", sxNow, exclNow)
+	}
+}
+
 // TestTxnLocksUncontendedCostIdentical pins the cost contract of the
-// lock layer: with no contention, acquiring and releasing row locks
-// charges nothing — a single-process workload over every cross-shard
-// mutation path must land on exactly the same virtual clock and move
-// exactly the same number of network messages with the layer on and
-// off. (PR 2 pinned the RPC transport the same way.)
+// lock layer, three ways: with no contention, acquiring and releasing
+// row locks charges nothing — a single-process workload over every
+// cross-shard mutation path must land on exactly the same virtual
+// clock and move exactly the same number of network messages with the
+// shared/exclusive table, with the exclusive-only table
+// (COFSParams.ExclusiveRowLocks), and with the layer off entirely
+// (COFSParams.DisableTxnLocks). The three-way diff keeps the
+// bit-identical-figures guarantee pinned for the mode split too. (PR 2
+// pinned the RPC transport the same way.)
 func TestTxnLocksUncontendedCostIdentical(t *testing.T) {
 	for _, shards := range []int{2, 4} {
 		shards := shards
 		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
-			run := func(unlocked bool) (time.Duration, int64, int64, int64) {
-				tb, d := txnRig(t, 55, shards, unlocked)
+			run := func(mut func(*params.Config)) (time.Duration, int64, int64, int64) {
+				tb, d := txnRig(t, 55, 2, shards, mut)
 				ctx := cluster.Ctx(0, 1)
 				step(tb, "workload", func(p *sim.Proc) {
 					m := d.Mounts[0]
@@ -263,17 +443,26 @@ func TestTxnLocksUncontendedCostIdentical(t *testing.T) {
 				c := d.Counters()
 				return tb.Env.Now(), tb.Net.Messages, c.Get("mds.lock-acquires"), c.Get("mds.lock-conflicts")
 			}
-			lockedNow, lockedMsgs, acquires, conflicts := run(false)
-			unlockedNow, unlockedMsgs, _, _ := run(true)
-			if acquires == 0 {
+			sxNow, sxMsgs, sxAcquires, sxConflicts := run(nil)
+			exclNow, exclMsgs, exclAcquires, exclConflicts := run(exclusiveCfg)
+			offNow, offMsgs, _, _ := run(unlockedCfg)
+			if sxAcquires == 0 || exclAcquires == 0 {
 				t.Fatal("workload took no row locks: it no longer exercises the lock layer")
 			}
-			if conflicts != 0 {
-				t.Fatalf("single-process workload contended %d row locks: not an uncontended baseline", conflicts)
+			if sxConflicts != 0 || exclConflicts != 0 {
+				t.Fatalf("single-process workload contended row locks (%d sx, %d excl): not an uncontended baseline",
+					sxConflicts, exclConflicts)
 			}
-			if lockedNow != unlockedNow || lockedMsgs != unlockedMsgs {
-				t.Fatalf("uncontended costs diverge: locked (%v, %d msgs) vs unlocked (%v, %d msgs)",
-					lockedNow, lockedMsgs, unlockedNow, unlockedMsgs)
+			if sxNow != exclNow || sxMsgs != exclMsgs {
+				t.Fatalf("uncontended costs diverge: shared/exclusive (%v, %d msgs) vs exclusive-only (%v, %d msgs)",
+					sxNow, sxMsgs, exclNow, exclMsgs)
+			}
+			if sxNow != offNow || sxMsgs != offMsgs {
+				t.Fatalf("uncontended costs diverge: shared/exclusive (%v, %d msgs) vs locks off (%v, %d msgs)",
+					sxNow, sxMsgs, offNow, offMsgs)
+			}
+			if sxAcquires != exclAcquires {
+				t.Fatalf("the two lock modes acquired different footprints: %d vs %d rows", sxAcquires, exclAcquires)
 			}
 		})
 	}

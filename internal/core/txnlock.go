@@ -18,14 +18,30 @@ import (
 // canonical acquisition order (lock.RowKey.Less) makes the waiting
 // deadlock-free by construction.
 //
+// Footprints are mode-aware (lock.Shared / lock.Exclusive): a mutation
+// takes Exclusive only on the rows it writes structurally (dentries it
+// inserts, deletes or re-points) or whose cross-row predicates its
+// validate→commit gap freezes (a removed directory's emptiness), and
+// Shared on rows it merely read-depends on — above all the parent
+// directory's inode row, whose nlink/mtime bookkeeping is a single
+// atomic read-modify-write inside one serialized DB transaction and
+// needs no cross-phase exclusivity. Shared holders admit each other, so
+// concurrent creates in one directory overlap their validate→commit
+// spans (and their group commits) again instead of serializing on the
+// parent's row.
+//
 // Rows a mutation only discovers by reading (a remove's child inode, a
-// rename's replaced target) join the footprint through rowTxn.extend,
-// which re-acquires the grown footprint in canonical order and tells the
-// caller whether it ever waited — if it did, the validation reads that
-// produced the discovery may be stale and must be re-run. On the
-// uncontended path no acquisition waits, nothing re-runs and nothing is
-// charged, so uncontended costs are bit-identical to the unlocked
-// protocol (pinned by TestTxnLocksUncontendedCostIdentical).
+// rename's replaced target) join the footprint through rowTxn.extend.
+// A discovered row already held Shared is upgraded in place when it has
+// no other sharer (free, no re-validation); otherwise — and for genuinely
+// new keys, which may sort before rows already held — the whole
+// footprint is released and re-acquired in canonical order, and extend
+// tells the caller whether it ever waited: if it did, the validation
+// reads that produced the discovery may be stale and must be re-run. On
+// the uncontended path no acquisition waits, nothing re-runs and nothing
+// is charged, so uncontended costs are bit-identical to the unlocked
+// protocol (pinned by TestTxnLocksUncontendedCostIdentical, in all
+// three modes: locks off, exclusive-only, shared/exclusive).
 
 // Row-lock kinds of the metadata plane.
 const (
@@ -58,52 +74,97 @@ func (s *Service) dentKey(parent vfs.Ino, name string) lock.RowKey {
 // unconditional.
 type rowTxn struct {
 	s    *Service
-	held []lock.RowKey
+	held []lock.Req
 }
 
-// lockRows opens a lock-ordered transaction over keys, coordinated by
-// shard s. It blocks (in virtual time, FIFO per row) while any key is
-// held by another mutation; the shard's worker thread is released while
-// parked, the same non-blocking-server discipline as peerCall, so
-// waiting transactions cannot starve the pool of the shard whose
-// progress they depend on.
-func (s *Service) lockRows(p *sim.Proc, keys ...lock.RowKey) *rowTxn {
+// lockRows opens a lock-ordered transaction over the requested rows,
+// coordinated by shard s. It blocks (in virtual time, FIFO per row)
+// while any key is incompatibly held by another mutation; the shard's
+// worker thread is released while parked, the same non-blocking-server
+// discipline as peerCall, so waiting transactions cannot starve the
+// pool of the shard whose progress they depend on.
+func (s *Service) lockRows(p *sim.Proc, reqs ...lock.Req) *rowTxn {
 	if !s.sharded() || s.cluster.rowLocks == nil {
 		return nil
 	}
-	held := lock.SortKeys(keys)
+	held := lock.SortReqs(reqs)
 	s.acquireRows(p, held)
 	return &rowTxn{s: s, held: held}
 }
 
-// acquireRows locks keys under the worker-thread discipline above.
-func (s *Service) acquireRows(p *sim.Proc, keys []lock.RowKey) {
-	if s.cluster.rowLocks.Acquire(p, keys, func() { s.host.CPU.Release(p) }) {
+// acquireRows locks reqs under the worker-thread discipline above.
+func (s *Service) acquireRows(p *sim.Proc, reqs []lock.Req) {
+	if s.cluster.rowLocks.Acquire(p, reqs, func() { s.host.CPU.Release(p) }) {
 		s.host.CPU.Acquire(p)
 	}
 }
 
 // extend grows the transaction's footprint with rows discovered by its
-// validation reads. Late keys cannot simply be locked in place — they
-// may sort before rows already held, and acquiring against the
-// canonical order is exactly what deadlocks — so the whole footprint is
-// released and re-acquired in order. extend reports whether any
-// re-acquisition waited: if it did, the world may have moved while the
-// transaction briefly held nothing, and the caller must re-run its
-// validation reads before trusting the discovery. When nothing waited,
-// no other process ran between release and re-acquire (the simulation
-// only switches processes at blocking points), so prior reads still
-// hold and the uncontended path re-validates nothing.
-func (t *rowTxn) extend(p *sim.Proc, keys ...lock.RowKey) bool {
-	if t == nil || len(keys) == 0 || t.holdsAll(keys) {
-		// Already covered (a re-validation rediscovered the same rows):
-		// nothing is released, so nothing can have raced — without this
-		// fast path two conflicting mutations re-validating against each
-		// other would hand the FIFO locks back and forth forever.
+// validation reads, or strengthens the mode of rows already held.
+// Three cases, cheapest first:
+//
+//   - Every request is already covered (a re-validation rediscovered
+//     the same rows, at the same or weaker mode): nothing is released,
+//     so nothing can have raced — without this fast path two
+//     conflicting mutations re-validating against each other would
+//     hand the FIFO locks back and forth forever. Returns false.
+//   - Only mode upgrades (no new keys) and every upgraded row has no
+//     other sharer: each converts Shared→Exclusive in place
+//     (lock.RowLocks.TryUpgrade), free and without releasing anything,
+//     so prior validation reads still stand. Returns false.
+//   - Otherwise the late keys cannot simply be locked in place — they
+//     may sort before rows already held, and acquiring against the
+//     canonical order is exactly what deadlocks — so the whole
+//     footprint is released and re-acquired in canonical order with
+//     the merged (strongest) modes. extend then reports whether any
+//     re-acquisition waited: if it did, the world may have moved while
+//     the transaction briefly held nothing, and the caller must re-run
+//     its validation reads before trusting the discovery. When nothing
+//     waited, no other process ran between release and re-acquire (the
+//     simulation only switches processes at blocking points), so prior
+//     reads still hold and the uncontended path re-validates nothing.
+func (t *rowTxn) extend(p *sim.Proc, reqs ...lock.Req) bool {
+	if t == nil || len(reqs) == 0 {
 		return false
 	}
+	var fresh, upgrades []lock.Req
+	for _, r := range reqs {
+		switch held, ok := t.holdMode(r.Key); {
+		case !ok:
+			fresh = append(fresh, r)
+		case held < r.Mode:
+			upgrades = append(upgrades, r)
+		}
+	}
+	if len(fresh) == 0 && len(upgrades) == 0 {
+		return false
+	}
+	if len(fresh) == 0 {
+		// Convert only if every row can upgrade in place (pre-checked,
+		// so a refusal late in the batch cannot strand — and count —
+		// conversions that are released again microseconds later).
+		// A row we hold Shared blocks its upgrade iff another sharer
+		// is present; nothing can change between check and convert,
+		// neither call blocks.
+		inPlace := true
+		for _, r := range upgrades {
+			if sh, ex := t.s.cluster.rowLocks.Holders(r.Key); !ex && sh > 1 {
+				inPlace = false
+				break
+			}
+		}
+		if inPlace {
+			for _, r := range upgrades {
+				t.s.cluster.rowLocks.TryUpgrade(p, r.Key)
+				t.setHoldMode(r.Key, r.Mode)
+			}
+			return false
+		}
+		// Another sharer holds an upgraded row: fall through to the
+		// release-and-reacquire path.
+	}
 	t.s.cluster.rowLocks.Release(p, t.held)
-	t.held = lock.SortKeys(append(t.held, keys...))
+	t.held = lock.SortReqs(append(t.held, reqs...))
 	waited := t.s.cluster.rowLocks.Acquire(p, t.held, func() { t.s.host.CPU.Release(p) })
 	if waited {
 		t.s.host.CPU.Acquire(p)
@@ -111,21 +172,24 @@ func (t *rowTxn) extend(p *sim.Proc, keys ...lock.RowKey) bool {
 	return waited
 }
 
-// holdsAll reports whether every key is already in the footprint.
-func (t *rowTxn) holdsAll(keys []lock.RowKey) bool {
-	for _, k := range keys {
-		found := false
-		for _, h := range t.held {
-			if h == k {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
+// holdMode returns the mode key is held with, if it is in the footprint.
+func (t *rowTxn) holdMode(key lock.RowKey) (lock.Mode, bool) {
+	for _, h := range t.held {
+		if h.Key == key {
+			return h.Mode, true
 		}
 	}
-	return true
+	return 0, false
+}
+
+// setHoldMode records an in-place upgrade in the footprint.
+func (t *rowTxn) setHoldMode(key lock.RowKey, m lock.Mode) {
+	for i := range t.held {
+		if t.held[i].Key == key {
+			t.held[i].Mode = m
+			return
+		}
+	}
 }
 
 // release drops every held row lock. Commit and abort paths release

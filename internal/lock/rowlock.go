@@ -13,17 +13,26 @@ import (
 // internal/core/twophase.go and docs/transactions.md). Where the token
 // Manager above models GPFS's client-side delegation — tokens are
 // *cached* by nodes and revoked over the network — a RowLocks table is
-// a plain short-term mutual-exclusion map: a multi-shard mutation locks
-// every row it will read-depend on or write, holds the locks across its
+// a plain short-term lock map: a multi-shard mutation locks every row
+// it will read-depend on or write, holds the locks across its
 // validate→commit gap, and releases them at commit or abort. Nothing is
 // cached and nothing is revoked; deadlock freedom comes from every
 // acquisition batch following one global canonical order.
+//
+// Locks are mode-aware, GPFS-lock-compatibility-table style: a row can
+// be held Shared by any number of transactions at once (read
+// dependencies — above all the parent directory's inode row under
+// concurrent creates), or Exclusive by one (rows whose bytes or
+// cross-row predicates the transaction's validate→commit gap relies
+// on). Grants are strictly FIFO per row, and a queued waiter blocks
+// *new* grants of either mode, so a writer queued behind a crowd of
+// sharers is never starved by late-arriving sharers.
 //
 // Cost model: conceptually each lock lives on the shard owning its row
 // and acquisition piggybacks on protocol messages that already flow, so
 // an uncontended Acquire charges nothing — the simulation stays
 // bit-identical on uncontended paths. A contended Acquire parks the
-// calling process FIFO until the holder releases: the wait is real
+// calling process FIFO until the holders release: the wait is real
 // virtual time, surfaced in RowLockStats and (via the deployment
 // counters) in "mds.lock-*".
 
@@ -54,105 +63,298 @@ func (k RowKey) Less(o RowKey) bool {
 	return k.Name < o.Name
 }
 
-// SortKeys sorts keys canonically in place and drops duplicates,
-// returning the (possibly shortened) slice. Acquire requires its input
-// in this form.
-func SortKeys(keys []RowKey) []RowKey {
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
-	out := keys[:0]
-	for i, k := range keys {
-		if i == 0 || k != out[len(out)-1] {
-			out = append(out, k)
+// Row locks reuse the package's token Mode: ModeShared admits any
+// number of concurrent holders and protects read dependencies (the row
+// cannot change — no exclusive holder can slip in — while the
+// transaction's validate→commit gap is open); ModeExclusive admits a
+// single holder and protects rows the transaction writes or whose
+// multi-row predicates (a directory's emptiness) it freezes. Modes
+// order by strength, so the stronger of two requests compares greater.
+
+// Req is one row acquisition: the key plus the mode to hold it in.
+type Req struct {
+	Key  RowKey
+	Mode Mode
+}
+
+// S requests key in ModeShared.
+func S(k RowKey) Req { return Req{Key: k, Mode: ModeShared} }
+
+// X requests key in ModeExclusive.
+func X(k RowKey) Req { return Req{Key: k, Mode: ModeExclusive} }
+
+// SortReqs sorts reqs canonically by key in place and merges
+// duplicates, a duplicated key keeping its strongest requested mode.
+// Acquire requires its input in this form.
+func SortReqs(reqs []Req) []Req {
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Key.Less(reqs[j].Key) })
+	out := reqs[:0]
+	for i, r := range reqs {
+		if i > 0 && r.Key == out[len(out)-1].Key {
+			if r.Mode > out[len(out)-1].Mode {
+				out[len(out)-1].Mode = r.Mode
+			}
+			continue
 		}
+		out = append(out, r)
 	}
 	return out
 }
 
 // RowLockStats aggregates the table's counters.
 type RowLockStats struct {
-	// Acquires is the number of row locks taken.
+	// Acquires is the number of row locks taken (any mode).
 	Acquires int64
-	// Conflicts is the number of acquisitions that found the row held
-	// (or queued) and had to wait.
+	// SharedGrants is the number of acquisitions granted in Shared
+	// mode (0 when the table runs ExclusiveOnly).
+	SharedGrants int64
+	// Upgrades is the number of in-place Shared→Exclusive conversions.
+	Upgrades int64
+	// Conflicts is the number of acquisitions that found the row
+	// incompatibly held (or queued) and had to wait.
 	Conflicts int64
 	// WaitTotal is the virtual time spent parked on held rows.
 	WaitTotal time.Duration
 }
 
-// RowLocks is a table of exclusive FIFO row locks keyed by RowKey. Rows
-// are materialized on first acquisition and garbage-collected when the
-// last holder releases with nobody queued, so the table's size is
+// waiter is one parked acquisition. The releaser installs the waiter as
+// a holder *before* signalling its gate, so a woken process owns the
+// row the moment it resumes.
+type waiter struct {
+	p    *sim.Proc
+	mode Mode
+	gate *sim.Cond
+}
+
+// rowState is the live lock state of one row: at most one Exclusive
+// holder, or any number of Shared holders, plus the FIFO queue.
+type rowState struct {
+	excl    *sim.Proc
+	sharers map[*sim.Proc]struct{}
+	queue   []waiter
+}
+
+// compatible reports whether a new grant of mode can join the current
+// holders. The queue must be consulted separately: any queued waiter
+// blocks new grants (FIFO / no starvation).
+func (st *rowState) compatible(mode Mode) bool {
+	if st.excl != nil {
+		return false
+	}
+	return mode == ModeShared || len(st.sharers) == 0
+}
+
+// RowLocks is a table of mode-aware FIFO row locks keyed by RowKey.
+// Rows are materialized on first acquisition and garbage-collected when
+// the last holder releases with nobody queued, so the table's size is
 // bounded by the locks actually in flight.
 type RowLocks struct {
 	env  *sim.Env
-	rows map[RowKey]*sim.Mutex
+	rows map[RowKey]*rowState
+
+	// ExclusiveOnly reverts the table to PR 3's exclusive-only locks:
+	// every acquisition, Shared requests included, takes its row
+	// Exclusive. Comparison and regression knob
+	// (params.COFSParams.ExclusiveRowLocks); set it before first use.
+	ExclusiveOnly bool
+
+	// OnGrant, when non-nil, is invoked at every grant instant — the
+	// immediate grant of an uncontended Acquire, or the hand-over a
+	// releaser performs for a parked waiter — with the holder and the
+	// effective mode. It is an observability hook for tests: the
+	// lock-schedule fuzz harness maintains its shadow ledger with it,
+	// at the true grant instants (a parked waiter resumes only after
+	// its grant is installed, so the caller side alone cannot observe
+	// them exactly). Nil in production; the hook must not block.
+	OnGrant func(holder *sim.Proc, key RowKey, mode Mode)
 
 	Stats RowLockStats
 }
 
 // NewRowLocks creates an empty row-lock table.
 func NewRowLocks(env *sim.Env) *RowLocks {
-	return &RowLocks{env: env, rows: make(map[RowKey]*sim.Mutex)}
+	return &RowLocks{env: env, rows: make(map[RowKey]*rowState)}
 }
 
-// Acquire locks every key, in order. keys must be sorted canonically
-// and duplicate-free (SortKeys); Acquire panics otherwise, because an
-// out-of-order batch is exactly what reintroduces deadlock. onWait, if
-// non-nil, is called once immediately before the first Lock that must
-// park — callers use it to release a server worker thread so parked
-// transactions cannot starve the pool whose progress they wait on.
-// Acquire reports whether any lock had to wait: if it did, the caller's
-// prior validation reads may be stale and must be re-run.
-func (t *RowLocks) Acquire(p *sim.Proc, keys []RowKey, onWait func()) bool {
+// mode applies the ExclusiveOnly override.
+func (t *RowLocks) mode(m Mode) Mode {
+	if t.ExclusiveOnly {
+		return ModeExclusive
+	}
+	return m
+}
+
+// Acquire locks every request, in order. reqs must be sorted
+// canonically and duplicate-free (SortReqs); Acquire panics otherwise,
+// because an out-of-order batch is exactly what reintroduces deadlock.
+// onWait, if non-nil, is called once immediately before the first
+// request that must park — callers use it to release a server worker
+// thread so parked transactions cannot starve the pool whose progress
+// they wait on. Acquire reports whether any lock had to wait: if it
+// did, the caller's prior validation reads may be stale and must be
+// re-run.
+func (t *RowLocks) Acquire(p *sim.Proc, reqs []Req, onWait func()) bool {
 	waited := false
-	for i, k := range keys {
-		if i > 0 && !keys[i-1].Less(k) {
-			panic(fmt.Sprintf("lock: row acquisition out of canonical order: %v after %v", k, keys[i-1]))
+	for i, r := range reqs {
+		if i > 0 && !reqs[i-1].Key.Less(r.Key) {
+			panic(fmt.Sprintf("lock: row acquisition out of canonical order: %v after %v", r.Key, reqs[i-1].Key))
 		}
-		mu, ok := t.rows[k]
+		mode := t.mode(r.Mode)
+		st, ok := t.rows[r.Key]
 		if !ok {
-			mu = sim.NewMutex(t.env, "lock.row")
-			t.rows[k] = mu
+			st = &rowState{sharers: make(map[*sim.Proc]struct{})}
+			t.rows[r.Key] = st
 		}
 		t.Stats.Acquires++
-		if mu.Locked() || mu.QueueLen() > 0 {
+		if len(st.queue) == 0 && st.compatible(mode) {
+			st.grant(p, mode)
+			if t.OnGrant != nil {
+				t.OnGrant(p, r.Key, mode)
+			}
+		} else {
 			t.Stats.Conflicts++
 			if !waited && onWait != nil {
 				onWait()
 			}
 			waited = true
 			start := t.env.Now()
-			mu.Lock(p)
+			w := waiter{p: p, mode: mode, gate: sim.NewCond(t.env)}
+			st.queue = append(st.queue, w)
+			// The releaser installs the holdership before signalling, so
+			// waking up *is* owning the row.
+			w.gate.Wait(p)
 			t.Stats.WaitTotal += t.env.Now() - start
-		} else {
-			mu.Lock(p)
+		}
+		if mode == ModeShared {
+			t.Stats.SharedGrants++
 		}
 	}
 	return waited
 }
 
-// Release unlocks every key (all must be held by p), in reverse
-// canonical order, and garbage-collects rows left idle. Commit and
-// abort paths release identically — the table keeps no transaction
+// grant installs p as a holder. The caller has checked compatibility.
+func (st *rowState) grant(p *sim.Proc, mode Mode) {
+	if mode == ModeExclusive {
+		st.excl = p
+	} else {
+		st.sharers[p] = struct{}{}
+	}
+}
+
+// TryUpgrade converts p's Shared hold on key to Exclusive, in place and
+// without waiting, iff p is the row's sole holder; it reports whether
+// the upgrade happened. With other sharers present it returns false and
+// the caller must fall back to releasing its whole footprint and
+// re-acquiring it in canonical order with the stronger mode (two
+// sharers both waiting to upgrade the same row would deadlock, and a
+// parked upgrade of an already-held key breaks the ascending-order
+// argument that makes the table deadlock-free — so the table never
+// parks an upgrade). A successful upgrade deliberately jumps the FIFO
+// queue: p already holds the row, so converting its grant takes nothing
+// from any queued waiter and creates no wait cycle.
+//
+// Like an uncontended Acquire, TryUpgrade charges nothing. Calling it
+// for a key p does not hold panics; a key already held Exclusive
+// returns true unchanged.
+func (t *RowLocks) TryUpgrade(p *sim.Proc, key RowKey) bool {
+	st, ok := t.rows[key]
+	if !ok {
+		panic(fmt.Sprintf("lock: upgrade of unknown row %v", key))
+	}
+	if st.excl == p {
+		return true
+	}
+	if _, held := st.sharers[p]; !held {
+		panic(fmt.Sprintf("lock: upgrade of row %v not held by %q", key, p.Name()))
+	}
+	if len(st.sharers) > 1 {
+		return false
+	}
+	delete(st.sharers, p)
+	st.excl = p
+	t.Stats.Upgrades++
+	return true
+}
+
+// Release unlocks every request's key (all must be held by p), in
+// reverse canonical order, and garbage-collects rows left idle. Commit
+// and abort paths release identically — the table keeps no transaction
 // outcome state.
-func (t *RowLocks) Release(p *sim.Proc, keys []RowKey) {
-	for i := len(keys) - 1; i >= 0; i-- {
-		k := keys[i]
-		mu, ok := t.rows[k]
+//
+// Release is by key, not by mode: the table knows how p currently holds
+// each row, so a key upgraded mid-transaction (TryUpgrade, or a
+// re-acquisition with a stronger mode) is released exactly once, like
+// any other key, whatever mode it was first acquired in. Releasing a
+// key p does not hold — including a second release of an upgraded key —
+// panics, as does releasing an unknown row.
+func (t *RowLocks) Release(p *sim.Proc, reqs []Req) {
+	for i := len(reqs) - 1; i >= 0; i-- {
+		k := reqs[i].Key
+		st, ok := t.rows[k]
 		if !ok {
 			panic(fmt.Sprintf("lock: release of unknown row %v", k))
 		}
-		mu.Unlock(p)
-		if !mu.Locked() && mu.QueueLen() == 0 {
+		if st.excl == p {
+			st.excl = nil
+		} else if _, held := st.sharers[p]; held {
+			delete(st.sharers, p)
+		} else {
+			panic(fmt.Sprintf("lock: release of row %v not held by %q", k, p.Name()))
+		}
+		t.wakeQueue(k, st)
+		if st.excl == nil && len(st.sharers) == 0 && len(st.queue) == 0 {
 			delete(t.rows, k)
 		}
 	}
 }
 
-// Held reports whether key is currently locked (tests).
+// wakeQueue grants from the queue head while the head is compatible
+// with the holders: one Exclusive waiter alone, or a run of consecutive
+// Shared waiters (stopping at the first queued Exclusive, which
+// preserves FIFO and keeps writers from starving). Each grant is
+// installed before the waiter's gate is signalled.
+func (t *RowLocks) wakeQueue(k RowKey, st *rowState) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if !st.compatible(w.mode) {
+			return
+		}
+		st.queue = st.queue[1:]
+		st.grant(w.p, w.mode)
+		if t.OnGrant != nil {
+			t.OnGrant(w.p, k, w.mode)
+		}
+		w.gate.Signal()
+		if w.mode == ModeExclusive {
+			return
+		}
+	}
+}
+
+// Held reports whether key is currently locked in any mode (tests).
 func (t *RowLocks) Held(key RowKey) bool {
-	mu, ok := t.rows[key]
-	return ok && mu.Locked()
+	st, ok := t.rows[key]
+	return ok && (st.excl != nil || len(st.sharers) > 0)
+}
+
+// Holders reports key's current holders: the number of Shared holders
+// and whether an Exclusive holder exists. Tests and the lock-schedule
+// fuzz harness cross-check the mode compatibility invariant with it.
+func (t *RowLocks) Holders(key RowKey) (shared int, exclusive bool) {
+	st, ok := t.rows[key]
+	if !ok {
+		return 0, false
+	}
+	return len(st.sharers), st.excl != nil
+}
+
+// QueueLen returns the number of parked acquisitions on key (tests).
+func (t *RowLocks) QueueLen(key RowKey) int {
+	st, ok := t.rows[key]
+	if !ok {
+		return 0
+	}
+	return len(st.queue)
 }
 
 // Len returns the number of live lock rows (tests pin the release-time

@@ -193,6 +193,18 @@ type COFSParams struct {
 	// diffs against it. The knob is spelled as a disable so the zero
 	// value is the safe default.
 	DisableTxnLocks bool
+	// ExclusiveRowLocks reverts the row-lock table of the cross-shard
+	// transaction layer to exclusive-only locks: every acquisition,
+	// including the Shared read-dependency footprints (above all the
+	// parent directory's inode row under concurrent creates), takes
+	// its row exclusively, serializing same-directory mutations across
+	// their whole validate→commit spans. Comparison and regression
+	// knob (BenchmarkGroupCommitOverlap measures the group-commit
+	// overlap the shared/exclusive split recovers); the zero value
+	// keeps the mode-aware table. Uncontended acquisition charges
+	// nothing in either mode, so uncontended workloads are
+	// bit-identical across both settings and DisableTxnLocks.
+	ExclusiveRowLocks bool
 	// RPCBatch enables request batching on the client→shard (and
 	// shard→shard) RPC channels: concurrent requests to the same shard
 	// coalesce into one wire round trip while the previous one is in
