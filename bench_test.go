@@ -18,6 +18,7 @@ import (
 	"cofs/internal/core"
 	"cofs/internal/experiments"
 	"cofs/internal/params"
+	"cofs/internal/sim"
 	"cofs/internal/trace"
 )
 
@@ -342,12 +343,20 @@ func BenchmarkShardScaling(b *testing.B) {
 		})
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
 		b.Run(fmt.Sprintf("mdtest-create-%dshards", shards), func(b *testing.B) {
 			var res *bench.MDTestResult
 			for i := 0; i < b.N; i++ {
 				res = run(int64(i+1), shards)
 			}
 			reportMs(b, res.MeanMs("file-create"))
+			if err := bench.WriteRecord(bench.Record{
+				Name: fmt.Sprintf("shard-scaling/create-%dshards", shards), Shards: shards,
+				VmsPerOp: res.MeanMs("file-create"),
+				Extra:    map[string]float64{"vms_per_op_stat": res.MeanMs("file-stat")},
+			}); err != nil {
+				b.Logf("bench record: %v", err)
+			}
 		})
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -411,6 +420,7 @@ func BenchmarkGroupCommitOverlap(b *testing.B) {
 func BenchmarkMetadataCache(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		for _, mode := range []string{"nocache", "lease"} {
+			shards, mode := shards, mode
 			b.Run(fmt.Sprintf("%s-%dshards", mode, shards), func(b *testing.B) {
 				var ms float64
 				for i := 0; i < b.N; i++ {
@@ -422,8 +432,92 @@ func BenchmarkMetadataCache(b *testing.B) {
 					ms, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
 				}
 				reportMs(b, ms)
+				if err := bench.WriteRecord(bench.Record{
+					Name: fmt.Sprintf("metadata-cache/%s-%dshards", mode, shards), Shards: shards,
+					VmsPerOp: ms,
+				}); err != nil {
+					b.Logf("bench record: %v", err)
+				}
 			})
 		}
+	}
+}
+
+// BenchmarkReshardUnderLoad pins the cost of online resharding under
+// load (docs/resharding.md): a create/stat/utime storm — 8 ranks (4
+// nodes x 2 procs), shared directory, coherent lease cache on — while
+// the metadata plane reshards 2→4 as the stat phase starts, so the
+// migration of the 2048 pre-created rows races the stat storm reading
+// them. The stat phase absorbs the dip (row locks held by migration
+// batches, redirects, lease recall storms); the utime phase runs after
+// the migration settles and must match the fresh-4-shard row
+// (recovery); the create phase runs before the reshard, matching the
+// fresh-2-shard row. Results are also written as
+// BENCH_reshard-under-load-*.json records.
+func BenchmarkReshardUnderLoad(b *testing.B) {
+	run := func(seed int64, shards, target int) (*bench.MetaratesResult, *core.Deployment, error) {
+		cfg := params.Default()
+		cfg.COFS.MetadataShards = shards
+		cfg.COFS.AttrLease = 30 * time.Second
+		tb := cluster.New(seed, 4, cfg)
+		d := core.Deploy(tb, nil)
+		t := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+		mcfg := bench.MetaratesConfig{
+			Nodes: 4, ProcsPerNode: 2, FilesPerProc: 256,
+			Dir: "/shared", Ops: []string{"create", "stat", "utime"},
+		}
+		// The hook runs on a spawned sim proc: record the error and
+		// surface it on the sub-benchmark's goroutine after the run.
+		var reshardErr error
+		if target > 0 {
+			mcfg.PhaseHook = func(p *sim.Proc, phase string) {
+				if phase == "stat" && reshardErr == nil {
+					reshardErr = d.Service.Reshard(p, target)
+				}
+			}
+		}
+		res := bench.Metarates(t, mcfg)
+		return res, d, reshardErr
+	}
+	cases := []struct {
+		name           string
+		shards, target int
+	}{
+		{"storm-2to4", 2, 4},    // the measured migration
+		{"fresh-4shards", 4, 0}, // recovery target
+		{"fresh-2shards", 2, 0}, // pre-reshard baseline
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res *bench.MetaratesResult
+			var d *core.Deployment
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, d, err = run(int64(i+1), tc.shards, tc.target)
+				if err != nil {
+					b.Fatalf("mid-storm reshard: %v", err)
+				}
+			}
+			b.ReportMetric(res.MeanMs("stat"), "vms/op-stat")
+			b.ReportMetric(res.MeanMs("utime"), "vms/op-utime")
+			rec := bench.Record{
+				Name:     "reshard-under-load/" + tc.name,
+				Shards:   tc.shards,
+				VmsPerOp: res.MeanMs("stat"),
+				Extra: map[string]float64{
+					"vms_per_op_create": res.MeanMs("create"),
+					"vms_per_op_utime":  res.MeanMs("utime"),
+				},
+			}
+			if tc.target > 0 {
+				rec.Extra["target_shards"] = float64(tc.target)
+			}
+			rec.SetCounters(d.Counters())
+			if err := bench.WriteRecord(rec); err != nil {
+				b.Logf("bench record: %v", err)
+			}
+		})
 	}
 }
 

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	cofsctl [-nodes N] [-shards M] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|all
+//	cofsctl [-nodes N] [-shards M] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|reshard|all
+//
+// The reshard verb migrates the live plane to -reshard-to shards after
+// the demo workload, runs a second workload over the migrated rows and
+// reports the movement counters (docs/resharding.md).
 package main
 
 import (
@@ -32,15 +36,16 @@ func main() {
 	rpcBatch := flag.Bool("rpc-batch", false, "coalesce concurrent RPCs to the same shard into one round trip")
 	exclLocks := flag.Bool("excl-locks", false, "revert the row-lock table to exclusive-only locks (no shared read-dependency grants)")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
+	reshardTo := flag.Int("reshard-to", 2, "reshard: target shard count")
 	flag.Parse()
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
 	switch what {
-	case "mapping", "tables", "stats", "fsck", "all":
+	case "mapping", "tables", "stats", "fsck", "reshard", "all":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-shards M] [-files F] [-corrupt] mapping|tables|stats|fsck|all")
+		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-shards M] [-files F] [-corrupt] [-reshard-to M2] mapping|tables|stats|fsck|reshard|all")
 		os.Exit(2)
 	}
 
@@ -119,6 +124,44 @@ func main() {
 			fmt.Printf("  shard%02d: %d inode rows\n", i, n)
 		}
 	}
+	if what == "reshard" {
+		fmt.Printf("== online reshard: %d -> %d shards ==\n", d.Service.ServingShards(), *reshardTo)
+		fmt.Printf("  rows per shard before: %v\n", d.Service.ShardCounts())
+		tb.Env.Spawn("reshard", func(p *sim.Proc) {
+			if err := d.Service.Reshard(p, *reshardTo); err != nil {
+				panic(fmt.Sprintf("reshard: %v", err))
+			}
+		})
+		// A second workload runs concurrently with the migration, so the
+		// movement happens under live traffic, redirects included.
+		for n := 0; n < *nodes; n++ {
+			node := n
+			tb.Env.Spawn("load2", func(p *sim.Proc) {
+				m := d.Mounts[node]
+				ctx := cluster.Ctx(node, 1)
+				for i := 0; i < *files; i++ {
+					name := fmt.Sprintf("/work/g-%02d-%04d", node, i)
+					f, err := m.Create(p, ctx, name, 0644)
+					if err != nil {
+						panic(err)
+					}
+					f.Close(p)
+					m.Stat(p, ctx, fmt.Sprintf("/work/f-%02d-%04d", node, i))
+				}
+			})
+		}
+		tb.Run()
+		if err := d.Service.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "cofsctl: plane invariants after reshard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  rows per shard after:  %v\n", d.Service.ShardCounts())
+		rs := d.Service.ReshardStats()
+		fmt.Printf("  epochs=%d groups-moved=%d rows-moved=%d bytes=%d redirects=%d refetches=%d lease-recalls=%d\n",
+			rs.Epochs, rs.GroupsMoved, rs.RowsMoved, rs.BytesMoved, rs.Redirects, rs.Refetches, rs.Recalls)
+		fmt.Println("== per-layer counters ==")
+		d.Counters().Fprint(os.Stdout, "  ")
+	}
 	if what == "fsck" || what == "all" {
 		fmt.Println("== fsck (service tables vs underlying file system) ==")
 		if *corrupt {
@@ -166,10 +209,8 @@ func main() {
 				i, fs.Stats.ServiceOps, fs.Stats.UnderCreates, fs.Stats.UnderOpens,
 				fs.Stats.BucketSpills, fs.Stats.WriteBacks)
 		}
-		fmt.Println("== per-layer counters (rpc transport / client cache / leases) ==")
-		for _, line := range strings.Split(strings.TrimRight(d.Counters().String(), "\n"), "\n") {
-			fmt.Println("  " + line)
-		}
+		fmt.Println("== per-layer counters (rpc transport / client cache / leases / reshard) ==")
+		d.Counters().Fprint(os.Stdout, "  ")
 		fmt.Printf("  virtual time: %v\n", tb.Env.Now())
 	}
 }

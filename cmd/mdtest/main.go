@@ -3,8 +3,10 @@
 //
 //	mdtest -fs gpfs -nodes 8 -depth 2 -branch 4 -files 256
 //	mdtest -fs cofs -nodes 8 -shared -shift
+//	mdtest -fs cofs -shards 2 -reshard-at file-create -reshard-to 4
 //
-// It reports per-phase operation rates, mdtest-style.
+// It reports per-phase operation rates, mdtest-style; with -reshard-at
+// the COFS metadata plane reshards mid-phase while the ranks run.
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 		attrLease = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 		rpcBatch  = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
 		exclLocks = flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
+		reshardAt = flag.String("reshard-at", "", "cofs: reshard mid-run, when this phase starts (e.g. file-create)")
+		reshardTo = flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
 	)
 	flag.Parse()
 
@@ -44,21 +48,34 @@ func main() {
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
+	var deployment *core.Deployment
 	switch *fs {
 	case "gpfs":
 		tgt = bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	case "cofs":
-		d := core.Deploy(tb, nil)
-		tgt = bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+		deployment = core.Deploy(tb, nil)
+		tgt = bench.Target{Env: tb.Env, Mounts: deployment.Mounts, Ctx: cluster.Ctx}
 	default:
 		fmt.Fprintf(os.Stderr, "mdtest: unknown fs %q\n", *fs)
 		os.Exit(1)
 	}
 
-	res := bench.MDTest(tgt, bench.MDTestConfig{
+	mcfg := bench.MDTestConfig{
 		Nodes: *nodes, ProcsPerNode: *procs, Depth: *depth, Branch: *branch, FilesPerRank: *files,
 		Shared: *shared, StatShift: *shift,
-	})
+	}
+	if *reshardAt != "" {
+		if deployment == nil {
+			fmt.Fprintln(os.Stderr, "mdtest: -reshard-at needs -fs cofs")
+			os.Exit(2)
+		}
+		if *reshardTo < 1 {
+			fmt.Fprintln(os.Stderr, "mdtest: -reshard-at needs -reshard-to")
+			os.Exit(2)
+		}
+		mcfg.PhaseHook = bench.ReshardHook(*reshardAt, *reshardTo, deployment.Service.Reshard, os.Stderr, "mdtest")
+	}
+	res := bench.MDTest(tgt, mcfg)
 	mode := "unique trees"
 	if *shared {
 		mode = "shared tree"
@@ -66,4 +83,12 @@ func main() {
 	fmt.Printf("mdtest on %s: %d ranks (%d nodes x %d), depth %d, branch %d, %d files/rank, %s, shift=%v\n\n",
 		*fs, *nodes**procs, *nodes, *procs, *depth, *branch, *files, mode, *shift)
 	fmt.Print(res.Report())
+	if deployment != nil {
+		if *reshardAt != "" {
+			fmt.Printf("\ncofs shards after run: %d (rows per shard: %v)\n",
+				deployment.Service.ServingShards(), deployment.Service.ShardCounts())
+		}
+		fmt.Println("\ncofs per-layer counters:")
+		deployment.Counters().Fprint(os.Stdout, "  ")
+	}
 }

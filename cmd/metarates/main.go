@@ -1,10 +1,13 @@
 // Command metarates runs the metarates benchmark (UCAR/NCAR — parallel
 // metadata transaction rates) against the simulated testbed, on either
-// the bare GPFS-like file system or COFS over it.
+// the bare GPFS-like file system or COFS over it. With -reshard-at the
+// COFS metadata plane reshards to -reshard-to shards mid-run, while the
+// named operation's storm is executing.
 //
 // Usage:
 //
 //	metarates [-fs gpfs|cofs] [-nodes N] [-shards M] [-procs P] [-files F] [-dir D] [-ops list] [-seed S]
+//	          [-reshard-at op -reshard-to M2]
 package main
 
 import (
@@ -31,6 +34,8 @@ func main() {
 	attrLease := flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 	rpcBatch := flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
 	exclLocks := flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
+	reshardAt := flag.String("reshard-at", "", "cofs: reshard the metadata plane mid-run, when this operation's phase starts")
+	reshardTo := flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
 	flag.Parse()
 
 	cfg := params.Default()
@@ -51,13 +56,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := bench.Metarates(target, bench.MetaratesConfig{
+	mcfg := bench.MetaratesConfig{
 		Nodes:        *nodes,
 		ProcsPerNode: *procs,
 		FilesPerProc: *files,
 		Dir:          *dir,
 		Ops:          strings.Split(*ops, ","),
-	})
+	}
+	if *reshardAt != "" {
+		if deployment == nil {
+			fmt.Fprintln(os.Stderr, "metarates: -reshard-at needs -fs cofs")
+			os.Exit(2)
+		}
+		if *reshardTo < 1 {
+			fmt.Fprintln(os.Stderr, "metarates: -reshard-at needs -reshard-to")
+			os.Exit(2)
+		}
+		mcfg.PhaseHook = bench.ReshardHook(*reshardAt, *reshardTo, deployment.Service.Reshard, os.Stderr, "metarates")
+	}
+	res := bench.Metarates(target, mcfg)
 
 	fmt.Printf("metarates: fs=%s nodes=%d procs/node=%d files/proc=%d dir=%s\n",
 		*fsKind, *nodes, *procs, *files, *dir)
@@ -78,19 +95,12 @@ func main() {
 		st := deployment.Service.Stats()
 		fmt.Printf("\ncofs service: %d requests (%d creates, %d lookups, %d getattrs, %d updates, %d removes, %d peer rpcs)\n",
 			st.Requests, st.Creates, st.Lookups, st.Getattrs, st.Updates, st.Removes, st.PeerCalls)
-		if *attrLease > 0 || *rpcBatch {
-			c := deployment.Counters()
-			fmt.Printf("cofs transport: %d rpcs in %d round trips (%d batched); cache: %d attr hits, %d dentry hits, %d negative hits, %d lease revocations\n",
-				c.Get("rpc.client.calls"), c.Get("rpc.client.roundtrips"), c.Get("rpc.client.batched-reqs"),
-				c.Get("cache.attr-hits"), c.Get("cache.dentry-hits"), c.Get("cache.negative-hits"),
-				c.Get("mds.lease-revocations"))
+		if *reshardAt != "" {
+			fmt.Printf("cofs shards after run: %d (rows per shard: %v)\n",
+				deployment.Service.ServingShards(), deployment.Service.ShardCounts())
 		}
-		if *shards > 1 {
-			c := deployment.Counters()
-			fmt.Printf("cofs row locks: %d acquired (%d shared, %d upgrades), %d conflicts, %dus waited\n",
-				c.Get("mds.lock-acquires"), c.Get("mds.lock-shared"), c.Get("mds.lock-upgrades"),
-				c.Get("mds.lock-conflicts"), c.Get("mds.lock-wait-us"))
-		}
+		fmt.Println("cofs per-layer counters:")
+		deployment.Counters().Fprint(os.Stdout, "  ")
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())
 }

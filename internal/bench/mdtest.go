@@ -42,6 +42,12 @@ type MDTestConfig struct {
 	StatShift bool
 	// Dir is the root work directory.
 	Dir string
+	// PhaseHook, when non-nil, is spawned as its own simulated process
+	// at the start of each phase, running concurrently with the ranks
+	// (the phase barrier waits for it too). Mid-run triggers — above
+	// all `-reshard-at`, which reshards the metadata plane while the
+	// phase runs — ride it.
+	PhaseHook func(p *sim.Proc, phase string)
 }
 
 // MDTestPhases lists the measured phases in execution order.
@@ -166,6 +172,9 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 
 	phase := func(name string, ranks int, fn func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int) {
 		start := t.Env.Now()
+		if cfg.PhaseHook != nil {
+			t.Env.Spawn("hook."+name, func(p *sim.Proc) { cfg.PhaseHook(p, name) })
+		}
 		ops := make([]int, ranks)
 		ends := make([]time.Duration, ranks)
 		for r := 0; r < ranks; r++ {

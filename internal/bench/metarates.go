@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"cofs/internal/sim"
@@ -33,10 +34,33 @@ type MetaratesConfig struct {
 	// Ops selects the measured operations in order; the default is the
 	// paper's set: create, stat, utime, open.
 	Ops []string
+	// PhaseHook, when non-nil, is spawned as its own simulated process
+	// at the start of each measured phase, running concurrently with
+	// the ranks (the phase barrier waits for it too). Mid-run triggers
+	// — above all `-reshard-at`, which reshards the metadata plane
+	// while the storm runs — ride it.
+	PhaseHook func(p *sim.Proc, phase string)
 }
 
 // DefaultOps is the paper's operation set.
 var DefaultOps = []string{"create", "stat", "utime", "open"}
+
+// ReshardHook builds the PhaseHook behind the tools' -reshard-at
+// flags: when the named phase starts it invokes reshard (the metadata
+// plane's Reshard method) toward `to` shards, reporting failure to
+// errw under the tool's name. One constructor shared by mdtest and
+// metarates, so the mid-run trigger's contract cannot drift between
+// them.
+func ReshardHook(at string, to int, reshard func(p *sim.Proc, n int) error, errw io.Writer, tool string) func(p *sim.Proc, phase string) {
+	return func(p *sim.Proc, phase string) {
+		if phase != at {
+			return
+		}
+		if err := reshard(p, to); err != nil {
+			fmt.Fprintf(errw, "%s: mid-run reshard: %v\n", tool, err)
+		}
+	}
+}
 
 // MetaratesResult holds per-operation latency summaries.
 type MetaratesResult struct {
@@ -88,12 +112,19 @@ func Metarates(t Target, cfg MetaratesConfig) *MetaratesResult {
 		}
 	})
 
+	spawnHook := func(op string) {
+		if cfg.PhaseHook != nil {
+			t.Env.Spawn("hook."+op, func(p *sim.Proc) { cfg.PhaseHook(p, op) })
+		}
+	}
+
 	for _, op := range ops {
 		sum := &stats.Summary{}
 		res.PerOp[op] = sum
 		start := t.Env.Now()
 		if op == "create" {
 			// Parallel create, then parallel delete.
+			spawnHook(op)
 			t.forEachRank(cfg, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) {
 				for i := 0; i < cfg.FilesPerProc; i++ {
 					opStart := p.Now()
@@ -137,6 +168,7 @@ func Metarates(t Target, cfg MetaratesConfig) *MetaratesResult {
 
 		start = t.Env.Now()
 		measured := op
+		spawnHook(op)
 		t.forEachRank(cfg, func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) {
 			for i := 0; i < cfg.FilesPerProc; i++ {
 				name := fileName(cfg.Dir, rank, i)

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cofs/internal/stats"
+)
+
+// Record is one benchmark's machine-readable result: the perf
+// trajectory of the repo, emitted next to the human-readable benchmark
+// output so CI can archive it (the bench smoke job uploads BENCH_*.json
+// as artifacts) and trends stop living only in commit messages.
+type Record struct {
+	// Name identifies the benchmark (and sub-configuration), e.g.
+	// "reshard-under-load/2to4".
+	Name string `json:"name"`
+	// Shards is the metadata shard count of the run (0 when not
+	// meaningful).
+	Shards int `json:"shards,omitempty"`
+	// VmsPerOp is the paper's headline metric: virtual milliseconds per
+	// operation.
+	VmsPerOp float64 `json:"vms_per_op,omitempty"`
+	// Extra holds named secondary metrics (dip ratios, recovery times,
+	// MB/s...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Counters snapshots the deployment's per-layer observability
+	// counters at the end of the run.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// SetCounters fills Record.Counters from a deployment counter set.
+func (r *Record) SetCounters(c *stats.Counters) {
+	r.Counters = make(map[string]int64)
+	for _, name := range c.Names() {
+		r.Counters[name] = c.Get(name)
+	}
+}
+
+// WriteRecord writes r as BENCH_<name>.json (path separators and
+// spaces in the name become dashes) in the directory named by
+// $COFS_BENCH_DIR, defaulting to the current directory. Benchmarks
+// call it best-effort at the end of a run; the returned error is for
+// callers that want to surface it.
+func WriteRecord(r Record) error {
+	dir := os.Getenv("COFS_BENCH_DIR")
+	if dir == "" {
+		dir = "."
+	}
+	name := strings.NewReplacer("/", "-", " ", "-", "\\", "-").Replace(r.Name)
+	body, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name)), append(body, '\n'), 0644)
+}

@@ -106,5 +106,14 @@ func (d *Deployment) Counters() *stats.Counters {
 	c.Add("mds.lock-upgrades", ls.Upgrades)
 	c.Add("mds.lock-conflicts", ls.Conflicts)
 	c.Add("mds.lock-wait-us", int64(ls.WaitTotal/time.Microsecond))
+	rs := d.Service.ReshardStats()
+	c.Add("mds.reshard-runs", rs.Reshards)
+	c.Add("mds.reshard-epochs", rs.Epochs)
+	c.Add("mds.reshard-groups-moved", rs.GroupsMoved)
+	c.Add("mds.reshard-rows-moved", rs.RowsMoved)
+	c.Add("mds.reshard-bytes-moved", rs.BytesMoved)
+	c.Add("mds.reshard-redirects", rs.Redirects)
+	c.Add("mds.reshard-refetches", rs.Refetches)
+	c.Add("mds.reshard-lease-recalls", rs.Recalls)
 	return c
 }

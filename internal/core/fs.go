@@ -505,6 +505,9 @@ func (f *FS) Readdir(p *sim.Proc, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, err
 		return nil, err
 	}
 	for _, a := range attrs {
+		if a.Ino == 0 {
+			continue // entry raced a concurrent remove: nothing to cache
+		}
 		f.attrs.put(p, a, "")
 	}
 	return ents, nil

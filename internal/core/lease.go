@@ -238,6 +238,40 @@ func (s *Service) grantNegative(p *sim.Proc, sess *Session, parent vfs.Ino, name
 	sess.cache.installDentry(parent, name, 0, exp)
 }
 
+// recallGroupLeases recalls every lease this shard's table holds on
+// rows of the given (just-migrated) groups: the groups' attribute
+// leases and every dentry lease — positive or negative — under the
+// directories they name. Migration has no mutating session, so nobody
+// is exempt; entries die at the batch's commit instant and the recall
+// messages are charged to the migration. Keys are recalled in
+// deterministic order (the lease table is a map).
+func (s *Service) recallGroupLeases(p *sim.Proc, ids []vfs.Ino) {
+	if !s.leases.enabled() {
+		return
+	}
+	moved := make(map[vfs.Ino]bool, len(ids))
+	for _, id := range ids {
+		moved[id] = true
+	}
+	var keys []leaseKey
+	for key := range s.leases.holders {
+		if moved[key.ino] || (key.name != "" && moved[key.parent]) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ino != b.ino {
+			return a.ino < b.ino
+		}
+		if a.parent != b.parent {
+			return a.parent < b.parent
+		}
+		return a.name < b.name
+	})
+	s.revokeLeases(p, nil, keys...)
+}
+
 // revokeLeases recalls every given key from every holder. Cache
 // entries die at the commit instant; then the recall messages are
 // charged to the mutation (one callback per victim session), with the

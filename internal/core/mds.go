@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"cofs/internal/lock"
 	"cofs/internal/netsim"
 	"cofs/internal/params"
+	"cofs/internal/reshard"
 	"cofs/internal/rpc"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
@@ -23,6 +25,16 @@ import (
 // explicit two-phase protocol over simulated shard-to-shard RPCs (see
 // twophase.go), so the virtual-time model keeps charging realistic
 // latency for the distribution the single-service prototype avoided.
+//
+// The shard map is epoch-versioned (internal/reshard, docs/
+// resharding.md): a small coordinator owns the authoritative version,
+// MDSCluster.Reshard migrates rows to a new shard count while the plane
+// keeps serving, and clients route by the (possibly stale) version
+// their session last fetched. A shard that no longer owns a request's
+// routing row answers ErrWrongEpoch; the routing layer below refetches
+// the map and retries. With Reshard never called the current version is
+// the deploy-time strided map forever, every session shares its
+// pointer, and routing is bit-identical to a static map.
 
 // ShardMap is the deterministic placement function of the metadata
 // plane. Inode rows (and their mappings) live on the shard derived from
@@ -44,10 +56,7 @@ type ShardMap struct {
 // Of returns the shard owning an inode id. The same id maps to the same
 // shard on every run and across restarts with an unchanged shard count.
 func (m ShardMap) Of(ino vfs.Ino) int {
-	if m.Shards <= 1 {
-		return 0
-	}
-	return int((uint64(ino) - 1) % uint64(m.Shards))
+	return reshard.Owner(uint64(ino), m.Shards)
 }
 
 // DirTarget returns the shard a new directory created as (parent, name)
@@ -68,22 +77,61 @@ func (m ShardMap) DirTarget(parent vfs.Ino, name string) int {
 	return int(mix64(h.Sum64()) % uint64(m.Shards))
 }
 
+// ErrWrongEpoch is the redirect a shard answers when the client's shard
+// map raced a live migration: the request reached a shard that no
+// longer (or does not yet) own its routing row. The routing layer
+// refetches the current map version and retries; the error never
+// escapes to the VFS surface.
+var ErrWrongEpoch = errors.New("cofs: shard map epoch out of date")
+
 // MDSCluster is the sharded COFS metadata service plane. It exposes the
 // same operation surface the single Service used to, routing each call
 // to its coordinator shard; a deployment with one shard is behaviourally
 // and cost-identical to the paper's prototype.
 type MDSCluster struct {
-	// Map is the deterministic shard map.
-	Map    ShardMap
-	cfg    params.COFSParams
+	// Maps owns the epoch-versioned shard map (internal/reshard). The
+	// current version is the authoritative ownership function; sessions
+	// route by the version they last fetched.
+	Maps *reshard.Coordinator
+	cfg  params.COFSParams
+	// full keeps the whole testbed configuration: Reshard builds new
+	// shards (disk, database, service) from it.
+	full   params.Config
+	net    *netsim.Net
 	shards []*Service
+	// lockShards freezes the deploy-time shard count for the canonical
+	// row-lock order (lock.RowKey.Shard): the ordering component must
+	// name the same shard for the same row at every epoch, or two
+	// transactions spanning a migration would sort the same rows
+	// differently and the deadlock-freedom argument would fall. It is
+	// an ordering namespace only — actual ownership lives in Maps.
+	lockShards int
+	// sessions tracks every client connection: growing the plane must
+	// dial each session's channels to the new shards before any request
+	// can be routed at them.
+	sessions []*Session
 	// rowLocks is the plane's ordered row-lock table: cross-shard
 	// mutations hold per-inode/per-dentry locks across their whole
 	// validate→commit span (txnlock.go, docs/transactions.md). Nil on
 	// unsharded planes — a single shard commits every mutation in one
 	// serialized transaction — and when COFSParams.DisableTxnLocks
-	// reverts to the unlocked protocol for regression replays.
+	// reverts to the unlocked protocol for regression replays. Growing
+	// an unsharded plane creates it (Reshard).
 	rowLocks *lock.RowLocks
+	// reshardHost is the coordinator's own small host, created lazily at
+	// the first Reshard, with one channel per shard for migration
+	// traffic.
+	reshardHost  *netsim.Host
+	reshardConns []*rpc.Conn
+	// rstats counts the resharding activity (mds.reshard-* counters).
+	rstats reshard.Stats
+	// resharding is Reshard's re-entry latch. The coordinator's ErrBusy
+	// only triggers at Begin, which runs after the plane has already
+	// been grown and its allocators re-pointed; the latch is taken
+	// before the first mutation, so a Reshard losing a race changes
+	// nothing (the simulation is cooperative: there is no yield between
+	// reading and setting it).
+	resharding bool
 	// priorPeer carries the peer-channel counters of a plane this one
 	// replaced at failover, keeping the per-layer report cumulative
 	// like the client-side counters.
@@ -95,7 +143,16 @@ type MDSCluster struct {
 // disk named after its host, plus an RPC channel to every peer shard
 // for the two-phase protocol traffic.
 func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MDSCluster {
-	c := &MDSCluster{Map: ShardMap{Shards: len(hosts)}, cfg: cfg.COFS}
+	c := &MDSCluster{
+		Maps:       reshard.NewCoordinator(len(hosts)),
+		cfg:        cfg.COFS,
+		full:       cfg,
+		net:        net,
+		lockShards: len(hosts),
+	}
+	if c.lockShards < 1 {
+		c.lockShards = 1
+	}
 	if len(hosts) > 1 && !cfg.COFS.DisableTxnLocks {
 		c.rowLocks = lock.NewRowLocks(net.Env())
 		c.rowLocks.ExclusiveOnly = cfg.COFS.ExclusiveRowLocks
@@ -115,69 +172,148 @@ func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MD
 }
 
 // Shards returns the shard services in shard-id order (tooling/tests).
+// After a shrink the slice still includes the drained, empty shards;
+// ServingShards reports the count the map actually routes over.
 func (c *MDSCluster) Shards() []*Service { return c.shards }
 
-// shard returns the shard owning ino.
-func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Map.Of(ino)] }
+// ServingShards is the shard count of the current map: the target
+// count mid-migration, the settled count otherwise. It is what "how
+// many shards does this plane have" means to an operator, and differs
+// from len(Shards()) only after a shrink (drained services linger,
+// empty and unrouted).
+func (c *MDSCluster) ServingShards() int { return c.Maps.Current().Target() }
+
+// Of returns the shard owning ino at the current epoch.
+func (c *MDSCluster) Of(ino vfs.Ino) int { return c.Maps.Current().Of(uint64(ino)) }
+
+// dirTarget returns the shard a new directory (parent, name) allocates
+// from, by the current map's target count — during a migration new
+// directories place straight into the post-migration layout, so nothing
+// created mid-flight ever needs to move.
+func (c *MDSCluster) dirTarget(parent vfs.Ino, name string) int {
+	return ShardMap{Shards: c.Maps.Current().Target()}.DirTarget(parent, name)
+}
+
+// shard returns the shard owning ino at the current epoch.
+func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Of(ino)] }
+
+// ReshardStats returns the plane's resharding counters.
+func (c *MDSCluster) ReshardStats() reshard.Stats { return c.rstats }
 
 // ---- routed operations (the client-facing surface used by FS) ----
 //
 // Every operation travels the calling session's RPC channel to its
 // coordinator shard (see internal/rpc and session.go): the transport
 // charges the wire and dispatch costs, the shard executes the operation
-// body and manages the session's cache leases.
+// body and manages the session's cache leases. The shard is chosen by
+// the session's map version; when that version raced a migration the
+// shard redirects (ErrWrongEpoch) and routed refetches and retries —
+// the misrouted round trip is the price of the race, one extra hop.
+
+// routed runs op against the shard the session's map version assigns
+// ino, refetching the map and retrying on a redirect. op returns the
+// operation's error so routed can spot the redirect; results travel in
+// the caller's closure.
+func (c *MDSCluster) routed(p *sim.Proc, sess *Session, ino vfs.Ino, op func(s *Service) error) {
+	for {
+		if op(c.shards[sess.mapView(c).Of(uint64(ino))]) != ErrWrongEpoch {
+			return
+		}
+		sess.refetchMap(p, c)
+	}
+}
 
 // Lookup resolves (parent, name); coordinated by the parent's shard.
-func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (vfs.Attr, error) {
-	return c.shard(parent).Lookup(p, sess, parent, name)
+func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (attr vfs.Attr, err error) {
+	c.routed(p, sess, parent, func(s *Service) error {
+		attr, err = s.Lookup(p, sess, parent, name)
+		return err
+	})
+	return attr, err
 }
 
 // Getattr returns the attributes of id from its owning shard.
-func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, error) {
-	return c.shard(id).Getattr(p, sess, id)
+func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.Attr, err error) {
+	c.routed(p, sess, id, func(s *Service) error {
+		attr, err = s.Getattr(p, sess, id)
+		return err
+	})
+	return attr, err
 }
 
 // Setattr updates attributes of id on its owning shard.
-func (c *MDSCluster) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (vfs.Attr, error) {
-	return c.shard(id).Setattr(p, sess, ctx, id, set)
+func (c *MDSCluster) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (attr vfs.Attr, err error) {
+	c.routed(p, sess, id, func(s *Service) error {
+		attr, err = s.Setattr(p, sess, ctx, id, set)
+		return err
+	})
+	return attr, err
 }
 
 // Create allocates a new object under parent; coordinated by the
 // parent's shard (which owns the new dentry).
-func (c *MDSCluster) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (vfs.Attr, string, error) {
-	return c.shard(parent).Create(p, sess, ctx, parent, name, t, mode, bucket, target)
+func (c *MDSCluster) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (attr vfs.Attr, upath string, err error) {
+	c.routed(p, sess, parent, func(s *Service) error {
+		attr, upath, err = s.Create(p, sess, ctx, parent, name, t, mode, bucket, target)
+		return err
+	})
+	return attr, upath, err
 }
 
 // Readlink returns a symlink's target from its owning shard.
-func (c *MDSCluster) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (string, error) {
-	return c.shard(id).Readlink(p, sess, id)
+func (c *MDSCluster) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (tgt string, err error) {
+	c.routed(p, sess, id, func(s *Service) error {
+		tgt, err = s.Readlink(p, sess, id)
+		return err
+	})
+	return tgt, err
 }
 
 // OpenInfo returns attributes and underlying mapping of a regular file.
-func (c *MDSCluster) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, string, error) {
-	return c.shard(id).OpenInfo(p, sess, id)
+func (c *MDSCluster) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.Attr, upath string, err error) {
+	c.routed(p, sess, id, func(s *Service) error {
+		attr, upath, err = s.OpenInfo(p, sess, id)
+		return err
+	})
+	return attr, upath, err
 }
 
 // Remove unlinks (parent, name); coordinated by the parent's shard.
-func (c *MDSCluster) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (string, vfs.Ino, error) {
-	return c.shard(parent).Remove(p, sess, ctx, parent, name, rmdir)
+func (c *MDSCluster) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (upath string, id vfs.Ino, err error) {
+	c.routed(p, sess, parent, func(s *Service) error {
+		upath, id, err = s.Remove(p, sess, ctx, parent, name, rmdir)
+		return err
+	})
+	return upath, id, err
 }
 
 // Rename moves (srcDir, srcName) to (dstDir, dstName); coordinated by
 // the source directory's shard.
-func (c *MDSCluster) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
-	return c.shard(srcDir).Rename(p, sess, ctx, srcDir, srcName, dstDir, dstName)
+func (c *MDSCluster) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (upath string, id vfs.Ino, err error) {
+	c.routed(p, sess, srcDir, func(s *Service) error {
+		upath, id, err = s.Rename(p, sess, ctx, srcDir, srcName, dstDir, dstName)
+		return err
+	})
+	return upath, id, err
 }
 
 // Link adds a hard link to id at (parent, name); coordinated by the
 // parent's shard.
-func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
-	return c.shard(parent).Link(p, sess, ctx, id, parent, name)
+func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (attr vfs.Attr, err error) {
+	c.routed(p, sess, parent, func(s *Service) error {
+		attr, err = s.Link(p, sess, ctx, id, parent, name)
+		return err
+	})
+	return attr, err
 }
 
 // ReaddirPlus lists dir with attributes; coordinated by dir's shard.
-func (c *MDSCluster) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
-	return c.shard(dir).ReaddirPlus(p, sess, ctx, dir)
+func (c *MDSCluster) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) (ents []vfs.DirEntry, attrs []vfs.Attr, err error) {
+	c.routed(p, sess, dir, func(s *Service) error {
+		ents, attrs, err = s.ReaddirPlus(p, sess, ctx, dir)
+		return err
+	})
+	return ents, attrs, err
 }
 
 // Readdir lists dir (names and types only).
@@ -187,8 +323,12 @@ func (c *MDSCluster) Readdir(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.In
 }
 
 // WriteBack records a writer's size/mtime at close on id's shard.
-func (c *MDSCluster) WriteBack(p *sim.Proc, sess *Session, id vfs.Ino, size int64, mtime time.Duration) error {
-	return c.shard(id).WriteBack(p, sess, id, size, mtime)
+func (c *MDSCluster) WriteBack(p *sim.Proc, sess *Session, id vfs.Ino, size int64, mtime time.Duration) (err error) {
+	c.routed(p, sess, id, func(s *Service) error {
+		err = s.WriteBack(p, sess, id, size, mtime)
+		return err
+	})
+	return err
 }
 
 // CountObjects returns (files, dirs) aggregated over every shard, one
@@ -275,7 +415,8 @@ func (c *MDSCluster) LockStats() lock.RowLockStats {
 }
 
 // PeerTransportStats aggregates the shard-to-shard channel counters of
-// the two-phase protocol across the plane.
+// the two-phase protocol across the plane, including the migration
+// channels of any reshard.
 func (c *MDSCluster) PeerTransportStats() rpc.ConnStats {
 	out := c.priorPeer
 	for _, s := range c.shards {
@@ -284,6 +425,9 @@ func (c *MDSCluster) PeerTransportStats() rpc.ConnStats {
 				out.Add(pc.Stats)
 			}
 		}
+	}
+	for _, rc := range c.reshardConns {
+		out.Add(rc.Stats)
 	}
 	return out
 }
@@ -321,7 +465,8 @@ func (c *MDSCluster) ShardCounts() []int {
 // at a live inode (wherever it lives), dentry types mirror inode types,
 // nlink matches the cluster-wide dentry references for non-directories,
 // and every regular file has a mapping co-located with its inode. Tests
-// call it after workloads.
+// call it after workloads, at drained instants (mid-migration a batch's
+// rows are legitimately in flight between shards).
 func (c *MDSCluster) CheckInvariants() error {
 	type loc struct {
 		row   inodeRow
@@ -332,8 +477,8 @@ func (c *MDSCluster) CheckInvariants() error {
 	for si, s := range c.shards {
 		si, s := si, s
 		s.inodes.Each(func(id vfs.Ino, row inodeRow) {
-			if c.Map.Of(id) != si {
-				err = fmt.Errorf("core: inode %d on shard %d, map says %d", id, si, c.Map.Of(id))
+			if c.Of(id) != si {
+				err = fmt.Errorf("core: inode %d on shard %d, map says %d", id, si, c.Of(id))
 			}
 			if row.ID != id {
 				err = fmt.Errorf("core: inode row %d disagrees with its key %d", row.ID, id)
@@ -341,8 +486,8 @@ func (c *MDSCluster) CheckInvariants() error {
 			inodes[id] = loc{row: row, shard: si}
 		})
 		s.mappings.Each(func(id vfs.Ino, upath string) {
-			if c.Map.Of(id) != si {
-				err = fmt.Errorf("core: mapping for %d on shard %d, map says %d", id, si, c.Map.Of(id))
+			if c.Of(id) != si {
+				err = fmt.Errorf("core: mapping for %d on shard %d, map says %d", id, si, c.Of(id))
 			}
 		})
 	}
@@ -358,8 +503,8 @@ func (c *MDSCluster) CheckInvariants() error {
 				err = fmt.Errorf("core: dentry row %v disagrees with its key %v", de, k)
 				return
 			}
-			if c.Map.Of(k.Parent) != si {
-				err = fmt.Errorf("core: dentry %d/%s on shard %d, map says %d", k.Parent, k.Name, si, c.Map.Of(k.Parent))
+			if c.Of(k.Parent) != si {
+				err = fmt.Errorf("core: dentry %d/%s on shard %d, map says %d", k.Parent, k.Name, si, c.Of(k.Parent))
 				return
 			}
 			l, ok := inodes[de.Child]

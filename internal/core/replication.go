@@ -79,12 +79,20 @@ func (sb *Standby) Promote(d *Deployment) int {
 // AdoptIDCounter recomputes the shard's next file id from the largest
 // id of its stride present in its inode table. Must be called when a
 // shard starts serving from replicated or recovered tables it did not
-// populate itself.
+// populate itself. A shard whose allocator a live shrink drained
+// allocates nothing and adopts nothing; after a settled reshard every
+// row in the table belongs to the (re-pointed) stride like natively
+// allocated ones, so the scan needs no migration awareness beyond the
+// stride fields. (Adopting mid-migration is unsupported, like crashing
+// mid-migration.)
 func (s *Service) AdoptIDCounter() {
-	next := firstID(s.shardID, int(s.stride()))
+	if !s.canAlloc() {
+		return
+	}
+	next := s.allocBase
 	s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
 		if id >= next {
-			next = id + s.stride()
+			next = id + s.allocStride
 		}
 	})
 	s.nextID = next

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cofs/internal/lock"
+	"cofs/internal/mdb"
+	"cofs/internal/reshard"
+	"cofs/internal/rpc"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// This file is the data plane of online resharding (docs/resharding.md;
+// the epoch-versioned map and the migration plan live in
+// internal/reshard). MDSCluster.Reshard re-points the serving plane at
+// a new shard count while it keeps serving:
+//
+//  1. Grow the plane if needed: new shards on new hosts, the peer mesh
+//     and every session's channels extended. Nothing routes to the new
+//     shards until the map says so.
+//  2. Publish the first migration epoch (reshard.Coordinator.Begin):
+//     allocators switch to the target placement above the newborn
+//     boundary, so everything created from here on is born where it
+//     will live; a shard the shrink drains stops allocating and
+//     delegates the inode half of creates (Service.allocSite).
+//  3. Migrate the planned groups — the rows at or below the boundary
+//     whose owner changes — in bounded batches. Each batch takes its
+//     groups' Exclusive row locks through the ordinary lock table, so
+//     it serializes against in-flight transactions with no new
+//     deadlock argument (the canonical order is shared); copies the
+//     rows over the coordinator's RPC channels with full transfer and
+//     CPU costs; installs the epoch that flips ownership; deletes the
+//     source rows; and recalls every client lease the source still
+//     holds on them — positive, negative and attribute leases alike —
+//     at that commit instant, reusing the lease table's recall path.
+//  4. Settle (Finish): the map is pure strided placement at the target
+//     count, indistinguishable from a fresh deploy's.
+//
+// Requests racing a move are redirected (ErrWrongEpoch) and retry off a
+// refetched map; see service.go's claim/missErr and session.go.
+
+// Reshard migrates the metadata plane to n shards while it keeps
+// serving, blocking the calling process for the duration of the
+// migration (virtual time; concurrent traffic proceeds, throttled only
+// by each batch's row locks). It returns an error — without touching
+// the plane — when a migration is already in flight, when the plane
+// runs without the row-lock layer (DisableTxnLocks), or when epoch
+// routing is disabled (DisableReshardEpochs). Resharding to the current
+// count is a no-op.
+func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: reshard to %d shards", n)
+	}
+	if c.cfg.DisableReshardEpochs {
+		return fmt.Errorf("core: resharding disabled (DisableReshardEpochs)")
+	}
+	if c.cfg.DisableTxnLocks {
+		return fmt.Errorf("core: resharding requires the row-lock layer (DisableTxnLocks is set)")
+	}
+	cur := c.Maps.Current()
+	if c.resharding || cur.Migrating() {
+		return reshard.ErrBusy
+	}
+	if n == cur.Target() {
+		return nil
+	}
+	// Latched before the first plane mutation: a concurrent Reshard
+	// must lose the race here, not at Begin — by then the loser would
+	// already have grown the plane and re-pointed every allocator.
+	c.resharding = true
+	defer func() { c.resharding = false }()
+
+	c.growTo(n)
+	c.ensureReshardRig()
+
+	// Freeze every shard's transaction mutex (in shard order — no
+	// transaction ever spans two shards' mutexes, so ordered
+	// acquisition cannot deadlock) for the boundary/plan computation:
+	// every allocID runs inside its shard's transaction, so a frozen
+	// plane has no id allocated but not yet visible in the tables — the
+	// window that would otherwise strand a mid-commit create's row on a
+	// shard the new map does not assign it.
+	for _, s := range c.shards {
+		s.DB.Freeze(p)
+	}
+	// The newborn boundary: every id allocated so far is at or below
+	// it, every id allocated after Begin is above it.
+	var split vfs.Ino
+	for _, s := range c.shards {
+		if s.canAlloc() && s.nextID-1 > split {
+			split = s.nextID - 1
+		}
+	}
+	// Re-point every allocator at the target placement; drained shards
+	// stop allocating.
+	for i, s := range c.shards {
+		if i < n {
+			s.setAllocStride(i, n, split)
+		} else {
+			s.setAllocStride(-1, 0, 0)
+		}
+	}
+	// Plan: every live group whose owner changes. The boundary, the
+	// allocator switch above, this scan and Begin below all run under
+	// the freeze without a yield, so no allocation or commit can slip
+	// between the plan and the epoch that starts executing it.
+	var groups []uint64
+	for _, s := range c.shards {
+		s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
+			groups = append(groups, uint64(id))
+		})
+	}
+	moves := reshard.PlanMoves(cur.New, n, uint64(split), groups)
+	if _, err := c.Maps.Begin(n, uint64(split)); err != nil {
+		for i := len(c.shards) - 1; i >= 0; i-- {
+			c.shards[i].DB.Thaw(p)
+		}
+		return err
+	}
+	c.rstats.Epochs++
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].DB.Thaw(p)
+	}
+
+	batch := c.cfg.ReshardBatchRows
+	if batch <= 0 {
+		batch = 64
+	}
+	for _, b := range reshard.Batches(moves, batch) {
+		c.moveBatch(p, b)
+	}
+
+	c.Maps.Finish()
+	c.rstats.Epochs++
+	c.rstats.Reshards++
+
+	// A drained shard owns nothing now and nothing routes to it; its
+	// tables must be empty (newborns were never born there, and every
+	// old group moved off). A leftover row would be unreachable — fail
+	// loudly rather than lose it.
+	for i := n; i < len(c.shards); i++ {
+		s := c.shards[i]
+		if s.inodes.Len() != 0 || s.dentries.Len() != 0 || s.mappings.Len() != 0 {
+			return fmt.Errorf("core: drained shard %d not empty after reshard (%d inodes, %d dentries, %d mappings)",
+				i, s.inodes.Len(), s.dentries.Len(), s.mappings.Len())
+		}
+	}
+	return nil
+}
+
+// growTo extends the plane to n serving shards: new shards on new
+// hosts (named like AddServiceHosts names them), the peer mesh
+// completed, the row-lock table created if the plane was unsharded,
+// and every connected session dialed to the new shards. Runs without a
+// yield; nothing routes at the new shards until an epoch says so.
+func (c *MDSCluster) growTo(n int) {
+	for i := len(c.shards); i < n; i++ {
+		host := c.net.AddHost(fmt.Sprintf("cofs-mds%d", i), c.cfg.ServiceWorkers, 0)
+		c.shards = append(c.shards, newShard(c.net, host, c.full, c, i))
+	}
+	if len(c.shards) > 1 && c.rowLocks == nil && !c.cfg.DisableTxnLocks {
+		c.rowLocks = lock.NewRowLocks(c.net.Env())
+		c.rowLocks.ExclusiveOnly = c.cfg.ExclusiveRowLocks
+	}
+	for _, s := range c.shards {
+		for len(s.peers) < len(c.shards) {
+			s.peers = append(s.peers, nil)
+		}
+		for j, t := range c.shards {
+			if t != s && s.peers[j] == nil {
+				s.peers[j] = rpc.Dial(c.net, s.host, t.host, c.cfg.RPCBatch)
+			}
+		}
+	}
+	for _, sess := range c.sessions {
+		for i := len(sess.conns); i < len(c.shards); i++ {
+			sess.conns = append(sess.conns, rpc.Dial(c.net, sess.host, c.shards[i].host, c.cfg.RPCBatch))
+		}
+	}
+}
+
+// ensureReshardRig provisions the coordinator's own small host (the
+// "small coordinator" owning the shard maps) and its migration channel
+// to every shard. Lazy: a plane that never reshards never grows it.
+func (c *MDSCluster) ensureReshardRig() {
+	if c.reshardHost == nil {
+		c.reshardHost = c.net.AddHost("cofs-reshard", 1, 0)
+	}
+	for i := len(c.reshardConns); i < len(c.shards); i++ {
+		c.reshardConns = append(c.reshardConns, rpc.Dial(c.net, c.reshardHost, c.shards[i].host, false))
+	}
+}
+
+// movedRows is one (source, target) sweep's row freight.
+type movedRows struct {
+	inodes   []inodeRow
+	dents    []dentryRow
+	mappings []struct {
+		id    vfs.Ino
+		upath string
+	}
+	bytes int64
+}
+
+// moveBatch migrates one batch of groups. The batch's Exclusive row
+// locks are held across the whole copy→install→delete→recall span, so
+// every transaction footprint touching these rows — including the
+// discovered-row extensions of removes and renames — is either
+// entirely before the move (its effects are copied) or entirely after
+// (it is routed, or redirected, to the target shard).
+func (c *MDSCluster) moveBatch(p *sim.Proc, batch []reshard.Move) {
+	reqs := make([]lock.Req, 0, len(batch))
+	for _, mv := range batch {
+		reqs = append(reqs, lock.X(c.shards[0].inoKey(vfs.Ino(mv.Group))))
+	}
+	reqs = lock.SortReqs(reqs)
+	if c.rowLocks != nil {
+		c.rowLocks.Acquire(p, reqs, nil)
+		defer c.rowLocks.Release(p, reqs)
+	}
+
+	// One locked sweep per (source, target) pair, in deterministic
+	// order; each sweep installs its own epoch between the copy and the
+	// source delete.
+	type pair struct{ from, to int }
+	sweeps := make(map[pair][]vfs.Ino)
+	var order []pair
+	for _, mv := range batch {
+		k := pair{mv.From, mv.To}
+		if _, ok := sweeps[k]; !ok {
+			order = append(order, k)
+		}
+		sweeps[k] = append(sweeps[k], vfs.Ino(mv.Group))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].to < order[j].to
+	})
+	for _, k := range order {
+		c.movePair(p, k.from, k.to, sweeps[k])
+	}
+}
+
+// movePair migrates the given groups from one shard to another: a
+// coordinator RPC to the source whose body reads the rows, ships them
+// to the target over the peer channel (one transfer sized by the
+// freight), installs the ownership epoch, deletes the source rows and
+// recalls the source's client leases on them. The copy and the delete
+// are separate source transactions; the gap between them is safe
+// because the groups' X locks (held by moveBatch) exclude every writer
+// and the epoch is installed before the delete, so a reader racing the
+// gap either sees the intact source rows (bit-equal to the target's,
+// nothing can write) or a miss it diagnoses as a move (missErr).
+func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) {
+	from, to := c.shards[src], c.shards[dst]
+	groups := make([]uint64, len(ids))
+	for i, id := range ids {
+		groups[i] = uint64(id)
+	}
+	c.reshardConns[src].Call(p, rpc.Request{
+		Op: rpc.OpReshard, ReqBytes: 64 + int64(8*len(ids)), CPU: from.cfg.ServiceCPUPerOp,
+		Run: func(p *sim.Proc) {
+			var freight movedRows
+			from.DB.Transaction(p, func(tx *mdb.Tx) {
+				for _, id := range ids {
+					if row, ok := mdb.Get(tx, from.inodes, id); ok {
+						freight.inodes = append(freight.inodes, row)
+						freight.bytes += 160
+					}
+					if upath, ok := mdb.Get(tx, from.mappings, id); ok {
+						freight.mappings = append(freight.mappings, struct {
+							id    vfs.Ino
+							upath string
+						}{id, upath})
+						freight.bytes += 32 + int64(len(upath))
+					}
+					keys := mdb.IndexKeys(tx, from.dentries, "parent", parentIndexKey(id))
+					sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+					for _, k := range keys {
+						if de, ok := mdb.Get(tx, from.dentries, k); ok {
+							freight.dents = append(freight.dents, de)
+							freight.bytes += 64 + int64(len(k.Name))
+						}
+					}
+				}
+			})
+			// Ship and install at the target (durably: the rows ride the
+			// target's WAL like native commits).
+			peerCall(p, from, to, freight.bytes, 64, to.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
+				to.DB.Transaction(p, func(tx *mdb.Tx) {
+					for _, row := range freight.inodes {
+						mdb.Put(tx, to.inodes, row.ID, row)
+					}
+					for _, m := range freight.mappings {
+						mdb.Put(tx, to.mappings, m.id, m.upath)
+					}
+					for _, de := range freight.dents {
+						mdb.Put(tx, to.dentries, dentryKey{Parent: de.Parent, Name: de.Name}, de)
+					}
+				})
+				return struct{}{}
+			})
+			// Flip ownership before the source rows die: from here on a
+			// reader's miss at the source means "moved", never "gone".
+			c.Maps.Commit(groups)
+			c.rstats.Epochs++
+			c.rstats.GroupsMoved += int64(len(groups))
+			c.rstats.RowsMoved += int64(len(freight.inodes) + len(freight.dents) + len(freight.mappings))
+			c.rstats.BytesMoved += freight.bytes
+			from.DB.Transaction(p, func(tx *mdb.Tx) {
+				for _, row := range freight.inodes {
+					mdb.Delete(tx, from.inodes, row.ID)
+				}
+				for _, m := range freight.mappings {
+					mdb.Delete(tx, from.mappings, m.id)
+				}
+				for _, de := range freight.dents {
+					mdb.Delete(tx, from.dentries, dentryKey{Parent: de.Parent, Name: de.Name})
+				}
+			})
+			// Recall every client lease the source still holds on the
+			// moved groups — attribute, positive and negative dentry
+			// leases alike (a stale negative would otherwise hide a name
+			// created later at the target).
+			before := from.Stats.Revocations
+			from.recallGroupLeases(p, ids)
+			c.rstats.Recalls += from.Stats.Revocations - before
+		},
+		RespBytes: rpc.Fixed(64),
+	})
+}

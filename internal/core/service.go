@@ -101,10 +101,17 @@ type Service struct {
 	dentries *mdb.Table[dentryKey, dentryRow]
 	mappings *mdb.Table[vfs.Ino, string]
 
-	// nextID allocates from this shard's stride: every id i with
-	// (i-1) mod N == shardID, so placement-by-id is stable across
-	// restarts and never needs a lookup table.
-	nextID vfs.Ino
+	// nextID allocates from this shard's stride: allocBase is the
+	// smallest id of the stride and allocStride the step, so placement-
+	// by-id is stable across restarts and never needs a lookup table.
+	// At deploy time the stride is (shardID, N); a reshard re-points it
+	// at the target placement — newborn ids above the migration's split
+	// are born on the shard that will own them — and zeroes allocStride
+	// on a shard the migration drains (it then delegates the inode half
+	// of creates to an owning shard, createRemote).
+	nextID      vfs.Ino
+	allocBase   vfs.Ino
+	allocStride vfs.Ino
 
 	// leases tracks which client session holds a lease on which of this
 	// shard's rows (nil unless COFSParams.AttrLease is set; see
@@ -128,16 +135,23 @@ func newShard(net *netsim.Net, host *netsim.Host, cfg params.Config, c *MDSClust
 	}
 	d := disk.New(env, diskName, cfg.Disk)
 	db := mdb.NewAsync(env, d, cfg.COFS.DBOpTime, cfg.COFS.LogFlushInterval)
+	base := firstID(shardID, c.lockShards)
+	stride := vfs.Ino(c.lockShards)
+	if stride < 1 {
+		stride = 1
+	}
 	s := &Service{
-		net:     net,
-		host:    host,
-		cfg:     cfg.COFS,
-		cluster: c,
-		shardID: shardID,
-		Disk:    d,
-		DB:      db,
-		nextID:  firstID(shardID, c.Map.Shards),
-		leases:  newLeaseTable(cfg.COFS.AttrLease),
+		net:         net,
+		host:        host,
+		cfg:         cfg.COFS,
+		cluster:     c,
+		shardID:     shardID,
+		Disk:        d,
+		DB:          db,
+		nextID:      base,
+		allocBase:   base,
+		allocStride: stride,
+		leases:      newLeaseTable(cfg.COFS.AttrLease),
 	}
 	s.inodes = mdb.NewTable[vfs.Ino, inodeRow](db, "inode", mdb.DiscCopies)
 	s.dentries = mdb.NewTable[dentryKey, dentryRow](db, "dentry", mdb.DiscCopies)
@@ -163,28 +177,58 @@ func firstID(shardID, shards int) vfs.Ino {
 	return RootID + vfs.Ino(shardID)
 }
 
-// stride is the id-allocation step (the cluster's shard count).
-func (s *Service) stride() vfs.Ino {
-	if s.cluster == nil || s.cluster.Map.Shards <= 1 {
-		return 1
+// sharded reports whether cross-shard coordination can be needed.
+func (s *Service) sharded() bool { return s.cluster != nil && len(s.cluster.shards) > 1 }
+
+// owns reports whether this shard holds ino's inode row at the current
+// shard-map epoch.
+func (s *Service) owns(ino vfs.Ino) bool { return !s.sharded() || s.cluster.Of(ino) == s.shardID }
+
+// claim verifies this shard owns the routing row of a request at the
+// current epoch. A request routed by a map version that raced a live
+// migration is bounced with ErrWrongEpoch — the cheap redirect the
+// routing layer turns into a map refetch and retry. Free (and always
+// nil) on a plane that never reshards.
+func (s *Service) claim(ino vfs.Ino) error {
+	if s.owns(ino) {
+		return nil
 	}
-	return vfs.Ino(s.cluster.Map.Shards)
+	s.cluster.rstats.Redirects++
+	return ErrWrongEpoch
 }
 
-// sharded reports whether cross-shard coordination can be needed.
-func (s *Service) sharded() bool { return s.cluster != nil && s.cluster.Map.Shards > 1 }
-
-// owns reports whether this shard holds ino's inode row.
-func (s *Service) owns(ino vfs.Ino) bool { return !s.sharded() || s.cluster.Map.Of(ino) == s.shardID }
-
-// peer returns the shard owning ino.
+// peer returns the shard owning ino at the current epoch.
 func (s *Service) peer(ino vfs.Ino) *Service { return s.cluster.shard(ino) }
+
+// canAlloc reports whether this shard may allocate new ids (false on a
+// shard a live shrink is draining).
+func (s *Service) canAlloc() bool { return s.allocStride > 0 }
 
 // allocID takes the next id from this shard's stride.
 func (s *Service) allocID() vfs.Ino {
 	id := s.nextID
-	s.nextID += s.stride()
+	s.nextID += s.allocStride
 	return id
+}
+
+// setAllocStride re-points the shard's allocator (Reshard): the next id
+// is the smallest id of stride class (class, step) strictly above
+// floor, so newborn ids never collide with anything allocated before
+// the migration began. class == -1 disables allocation (a drained
+// shard).
+func (s *Service) setAllocStride(class, step int, floor vfs.Ino) {
+	if class < 0 {
+		s.allocStride = 0
+		return
+	}
+	base := firstID(class, step) // smallest allocatable id with (id-1) mod step == class
+	next := base
+	if floor >= base {
+		next = base + ((floor-base)/vfs.Ino(step)+1)*vfs.Ino(step)
+	}
+	s.allocBase = base
+	s.allocStride = vfs.Ino(step)
+	s.nextID = next
 }
 
 // Host returns the service node.
@@ -248,16 +292,38 @@ type attrReply struct {
 	err  error
 }
 
+// missErr maps a missing row to the right error at the current epoch:
+// when the row's group is no longer owned here it did not die — it
+// migrated mid-request — and the caller must be redirected instead of
+// told the row is gone (the "no client ever observes a missing row"
+// half of the resharding contract). Otherwise fallback stands.
+func (s *Service) missErr(ino vfs.Ino, fallback error) error {
+	if !s.owns(ino) {
+		s.cluster.rstats.Redirects++
+		return ErrWrongEpoch
+	}
+	return fallback
+}
+
 // Lookup resolves (parent, name) and returns the child's attributes.
 // With leases enabled a successful resolution grants the caller a
 // dentry + attribute lease, and a clean miss grants a negative dentry.
 func (s *Service) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (vfs.Attr, error) {
 	s.Stats.Lookups++
 	r := callRead(p, s, sess, rpc.OpLookup, 128, 192, func(p *sim.Proc) attrReply {
+		if err := s.claim(parent); err != nil {
+			return attrReply{err: err}
+		}
 		de, ok := mdb.DirtyGet(p, s.dentries, dentryKey{Parent: parent, Name: name})
 		if !ok {
 			// The parent's inode is always co-located with its dentries
-			// (both place by the parent's id), so this read is local.
+			// (both place by the parent's id), so this read is local —
+			// unless the parent's group migrated between the claim above
+			// and this read, in which case the miss means "moved", not
+			// "absent", and the client is redirected.
+			if err := s.missErr(parent, nil); err != nil {
+				return attrReply{err: err}
+			}
 			din, dirOK := mdb.DirtyGet(p, s.inodes, parent)
 			if dirOK && din.Type != vfs.TypeDir {
 				return attrReply{err: vfs.ErrNotDir}
@@ -278,6 +344,15 @@ func (s *Service) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string
 		}
 		row, ok := mdb.DirtyGet(p, s.inodes, de.Child)
 		if !ok {
+			if !s.owns(de.Child) {
+				// The child's group migrated mid-lookup: finish at its
+				// new owner instead of reporting a missing row.
+				r := s.peerGetattr(p, sess, de.Child)
+				if r.err == nil {
+					s.grantDentry(p, sess, parent, name, de.Child)
+				}
+				return r
+			}
 			return attrReply{err: vfs.ErrNotExist}
 		}
 		s.grantDentry(p, sess, parent, name, de.Child)
@@ -291,9 +366,12 @@ func (s *Service) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string
 func (s *Service) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, error) {
 	s.Stats.Getattrs++
 	r := callRead(p, s, sess, rpc.OpGetattr, 96, 192, func(p *sim.Proc) attrReply {
+		if err := s.claim(id); err != nil {
+			return attrReply{err: err}
+		}
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
-			return attrReply{err: vfs.ErrNotExist}
+			return attrReply{err: s.missErr(id, vfs.ErrNotExist)}
 		}
 		s.grantAttr(p, sess, id, "")
 		return attrReply{attr: row.attr()}
@@ -334,11 +412,26 @@ func (s *Service) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, s
 // session is granted a fresh one.
 func (s *Service) updateRow(p *sim.Proc, sess *Session, op rpc.Op, id vfs.Ino, fn func(*inodeRow) error) (vfs.Attr, error) {
 	r := call(p, s, sess, op, 160, 192, func(p *sim.Proc) attrReply {
+		// The row's Shared lock keeps a live migration (which takes the
+		// group Exclusive) from moving it out from under the update
+		// transaction; free when uncontended, no-op on an unsharded
+		// plane. Shared suffices: the write itself is atomic inside the
+		// serialized transaction below, like the parent-row bumps of
+		// Create (docs/transactions.md).
+		txn := s.lockRows(p, lock.S(s.inoKey(id)))
+		defer txn.release(p)
+		if err := s.claim(id); err != nil {
+			return attrReply{err: err}
+		}
 		var out attrReply
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(txn) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			row, ok := mdb.Get(tx, s.inodes, id)
 			if !ok {
-				out.err = vfs.ErrNotExist
+				out.err = s.missErr(id, vfs.ErrNotExist)
 				return
 			}
 			if err := fn(&row); err != nil {
@@ -397,6 +490,23 @@ func canAccess(ctx vfs.Ctx, uid, gid, mode, bit uint32) bool {
 	}
 }
 
+// allocSite returns the shard that allocates (and therefore owns) a new
+// object's inode row. Directories place by the current map's DirTarget
+// (hashed over the target shard count, so a mid-migration mkdir lands
+// straight in the post-migration layout). Files and symlinks allocate
+// on the coordinator itself — the paper's local-commit fast path —
+// unless a live shrink has drained this shard's allocator, in which
+// case they fall to a deterministic owning shard of the target layout.
+func (s *Service) allocSite(t vfs.FileType, parent vfs.Ino, name string) *Service {
+	if t == vfs.TypeDir {
+		return s.cluster.shards[s.cluster.dirTarget(parent, name)]
+	}
+	if s.canAlloc() {
+		return s
+	}
+	return s.cluster.shards[s.shardID%s.cluster.Maps.Current().Target()]
+}
+
 // Create allocates a new object of the given type under parent. For
 // regular files, bucket is the underlying directory chosen by the
 // client's placement driver: the service composes and records the
@@ -407,11 +517,12 @@ func (s *Service) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 	s.Stats.Creates++
 	// New files and symlinks allocate from this shard's stride, so the
 	// whole create commits locally. New directories place by the shard
-	// map's DirTarget; when that is a different shard, the inode half of
-	// the create runs there under the two-phase protocol.
-	if s.sharded() && t == vfs.TypeDir {
-		if ts := s.cluster.shards[s.cluster.Map.DirTarget(parent, name)]; ts != s {
-			return s.createRemoteDir(p, sess, ctx, parent, name, mode, ts)
+	// map's DirTarget; when that is a different shard — or when a live
+	// shrink has drained this shard's allocator — the inode half of the
+	// create runs at the allocating shard under the two-phase protocol.
+	if s.sharded() {
+		if ts := s.allocSite(t, parent, name); ts != s {
+			return s.createRemote(p, sess, ctx, parent, name, t, mode, bucket, target, ts)
 		}
 	}
 	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
@@ -428,7 +539,23 @@ func (s *Service) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 		// overlap instead of serializing on the parent.
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
+		if err := s.claim(parent); err != nil {
+			out.err = err
+			return out
+		}
+		if !s.canAlloc() {
+			// A shrink began while this request was in flight and
+			// drained the allocator: redirect — the retry re-routes
+			// through allocSite and takes the remote-create path.
+			s.cluster.rstats.Redirects++
+			out.err = ErrWrongEpoch
+			return out
+		}
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(txn) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {
 				out.err = err
@@ -481,9 +608,12 @@ func (s *Service) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (string, erro
 		err    error
 	}
 	r := callRead(p, s, sess, rpc.OpReadlink, 96, 256, func(p *sim.Proc) reply {
+		if err := s.claim(id); err != nil {
+			return reply{err: err}
+		}
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
-			return reply{err: vfs.ErrNotExist}
+			return reply{err: s.missErr(id, vfs.ErrNotExist)}
 		}
 		if row.Type != vfs.TypeSymlink {
 			return reply{err: vfs.ErrInvalid}
@@ -503,9 +633,12 @@ type mappingReply struct {
 // file in one round trip (used by open).
 func (s *Service) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, string, error) {
 	r := callRead(p, s, sess, rpc.OpOpenInfo, 96, 256, func(p *sim.Proc) mappingReply {
+		if err := s.claim(id); err != nil {
+			return mappingReply{err: err}
+		}
 		row, ok := mdb.DirtyGet(p, s.inodes, id)
 		if !ok {
-			return mappingReply{err: vfs.ErrNotExist}
+			return mappingReply{err: s.missErr(id, vfs.ErrNotExist)}
 		}
 		upath, _ := mdb.DirtyGet(p, s.mappings, id)
 		s.grantAttr(p, sess, id, upath)
@@ -533,7 +666,17 @@ func (s *Service) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 	}
 	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
+		// The claim is free on a plane that never grows; on one racing
+		// its first grow it keeps a request dispatched down this
+		// single-shard path from reporting migrated rows as missing.
+		if err := s.claim(parent); err != nil {
+			return removeReply{err: err}
+		}
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(nil) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {
 				out.err = err
@@ -547,7 +690,12 @@ func (s *Service) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino
 			}
 			id := de.Child
 			out.id = id
-			row, _ := mdb.Get(tx, s.inodes, id)
+			row, rowOK := mdb.Get(tx, s.inodes, id)
+			if !rowOK {
+				if out.err = s.missErr(id, nil); out.err != nil {
+					return
+				}
+			}
 			if rmdir {
 				if row.Type != vfs.TypeDir {
 					out.err = vfs.ErrNotDir
@@ -601,7 +749,16 @@ func (s *Service) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino
 	r := call(p, s, sess, rpc.OpRename, 224, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		mutated := false
+		// See Remove above: free claims that turn migrated-row misses
+		// into redirects when this single-shard path races a grow.
+		if err := s.claim(srcDir); err != nil {
+			return removeReply{err: err}
+		}
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(nil) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			sd, err := s.dirRow(tx, ctx, srcDir, true)
 			if err != nil {
 				out.err = err
@@ -609,6 +766,9 @@ func (s *Service) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino
 			}
 			dd, err := s.dirRow(tx, ctx, dstDir, true)
 			if err != nil {
+				if err == vfs.ErrNotExist {
+					err = s.missErr(dstDir, err)
+				}
 				out.err = err
 				return
 			}
@@ -623,7 +783,12 @@ func (s *Service) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino
 				out.err = vfs.ErrInvalid
 				return
 			}
-			moving, _ := mdb.Get(tx, s.inodes, id)
+			moving, movingOK := mdb.Get(tx, s.inodes, id)
+			if !movingOK {
+				if out.err = s.missErr(id, nil); out.err != nil {
+					return
+				}
+			}
 			dstKey := dentryKey{Parent: dstDir, Name: dstName}
 			if dstDe, ok := mdb.Get(tx, s.dentries, dstKey); ok {
 				existing := dstDe.Child
@@ -632,7 +797,12 @@ func (s *Service) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino
 					return
 				}
 				out.id = existing
-				tgt, _ := mdb.Get(tx, s.inodes, existing)
+				tgt, tgtOK := mdb.Get(tx, s.inodes, existing)
+				if !tgtOK {
+					if out.err = s.missErr(existing, nil); out.err != nil {
+						return
+					}
+				}
 				if tgt.Type == vfs.TypeDir {
 					if moving.Type != vfs.TypeDir {
 						out.err = vfs.ErrIsDir
@@ -711,7 +881,15 @@ func (s *Service) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, pare
 		// target row must not move under.
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)), lock.S(s.inoKey(id)))
 		defer txn.release(p)
+		if err := s.claim(parent); err != nil {
+			out.err = err
+			return out
+		}
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(txn) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			din, err := s.dirRow(tx, ctx, parent, true)
 			if err != nil {
 				out.err = err
@@ -719,7 +897,10 @@ func (s *Service) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, pare
 			}
 			row, ok := mdb.Get(tx, s.inodes, id)
 			if !ok {
-				out.err = vfs.ErrNotExist
+				// The target may have migrated between the client-side
+				// ownership check and this body: redirect, the retry
+				// re-routes through linkRemote.
+				out.err = s.missErr(id, vfs.ErrNotExist)
 				return
 			}
 			if row.Type == vfs.TypeDir {
@@ -767,7 +948,14 @@ func (s *Service) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.I
 	}
 	r := callDyn(p, s, sess, rpc.OpReaddir, 96, s.cfg.ServiceCPUPerOp, func(p *sim.Proc) readdirReply {
 		var out readdirReply
+		if err := s.claim(dir); err != nil {
+			return readdirReply{err: err}
+		}
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
+			if s.staleProtocol(nil) {
+				out.err = ErrWrongEpoch
+				return
+			}
 			if _, err := s.dirRow(tx, ctx, dir, false); err != nil {
 				out.err = err
 				return

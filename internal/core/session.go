@@ -2,7 +2,9 @@ package core
 
 import (
 	"cofs/internal/netsim"
+	"cofs/internal/reshard"
 	"cofs/internal/rpc"
+	"cofs/internal/sim"
 )
 
 // Session is one client's connection to the metadata plane: a typed RPC
@@ -15,6 +17,12 @@ type Session struct {
 	host  *netsim.Host
 	cache *clientCache
 	conns []*rpc.Conn
+	// view is the shard-map version this client routes by (the epoch it
+	// stamps its requests with — the stamp itself rides the RPC header
+	// already charged to every message). It is refreshed only when a
+	// shard redirects with ErrWrongEpoch, so with no migration in
+	// flight the session shares the plane's settled version forever.
+	view *reshard.Map
 	// prior carries the transport counters of sessions this one
 	// replaced (failover re-dial), so the per-layer report stays
 	// cumulative like the cache counters next to it.
@@ -26,11 +34,39 @@ type Session struct {
 // attribute/dentry cache; shards install lease-granted entries into it
 // and recall them on conflicting mutations.
 func (c *MDSCluster) Connect(host *netsim.Host, node int, cache *clientCache) *Session {
-	sess := &Session{node: node, host: host, cache: cache}
+	sess := &Session{node: node, host: host, cache: cache, view: c.Maps.Current()}
 	for _, s := range c.shards {
 		sess.conns = append(sess.conns, rpc.Dial(s.net, host, s.host, c.cfg.RPCBatch))
 	}
+	c.sessions = append(c.sessions, sess)
 	return sess
+}
+
+// mapView returns the shard-map version this session routes by. With
+// COFSParams.DisableReshardEpochs the plane reverts to static routing
+// straight off the authoritative map (the regression knob the
+// never-resharded cost baseline diffs against).
+func (sess *Session) mapView(c *MDSCluster) *reshard.Map {
+	if c.cfg.DisableReshardEpochs {
+		return c.Maps.Current()
+	}
+	return sess.view
+}
+
+// refetchMap fetches the current shard-map version after a redirect:
+// one round trip to shard 0, which serves the map on the coordinator's
+// behalf. The response carries the map descriptor plus the moved set
+// (modelled as a bitmap over the ids below the newborn boundary), so a
+// refetch mid-migration costs what shipping the version really would.
+func (sess *Session) refetchMap(p *sim.Proc, c *MDSCluster) {
+	c.rstats.Refetches++
+	sess.conns[0].Call(p, rpc.Request{
+		Op: rpc.OpMapFetch, ReqBytes: 32, CPU: c.cfg.ServiceCPUPerOp / 4,
+		Run: func(p *sim.Proc) { sess.view = c.Maps.Current() },
+		RespBytes: func() int64 {
+			return 128 + int64(sess.view.MovedCount)/8
+		},
+	})
 }
 
 // TransportStats aggregates the session's per-shard channel counters,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"cofs/internal/lock"
@@ -39,24 +40,35 @@ import (
 // peerGetattr reads an inode's attributes from its owning shard (one
 // dirty-read hop). The attribute lease, if any, is granted by the
 // owning shard — the one that will see (and recall on) mutations of the
-// row.
+// row. The owner is re-resolved and the hop retried when the row's
+// group migrates mid-read (server-side redirect: no client epoch is
+// involved, the coordinator simply chases the current map).
 func (s *Service) peerGetattr(p *sim.Proc, sess *Session, id vfs.Ino) attrReply {
-	ts := s.peer(id)
-	return peerCall(p, s, ts, 96, 192, ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) attrReply {
-		row, ok := mdb.DirtyGet(p, ts.inodes, id)
-		if !ok {
-			return attrReply{err: vfs.ErrNotExist}
+	for {
+		ts := s.peer(id)
+		r := peerCall(p, s, ts, 96, 192, ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) attrReply {
+			row, ok := mdb.DirtyGet(p, ts.inodes, id)
+			if !ok {
+				return attrReply{err: ts.missErr(id, vfs.ErrNotExist)}
+			}
+			ts.grantAttr(p, sess, id, "")
+			return attrReply{attr: row.attr()}
+		})
+		if r.err != ErrWrongEpoch {
+			return r
 		}
-		ts.grantAttr(p, sess, id, "")
-		return attrReply{attr: row.attr()}
-	})
+	}
 }
 
-// createRemoteDir creates a directory whose inode the shard map places
-// on ts: prepare (allocate + insert the row there), then commit the
+// createRemote creates an object whose inode row another shard ts
+// allocates and owns: a directory the shard map's DirTarget places
+// elsewhere (the common case), or — during a live shrink — a file or
+// symlink whose coordinator shard's allocator has been drained. Prepare
+// (allocate + insert the row there, plus the mapping for a regular
+// file, which must stay co-located with its inode), then commit the
 // dentry and parent update locally, aborting the prepared row if the
 // local validation fails.
-func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, mode uint32, ts *Service) (vfs.Attr, string, error) {
+func (s *Service) createRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string, ts *Service) (vfs.Attr, string, error) {
 	r := call(p, s, sess, rpc.OpCreate, 256, 192, func(p *sim.Proc) createReply {
 		// The new inode row is freshly allocated — no other mutation can
 		// reference it before the dentry commit below — so the footprint
@@ -66,10 +78,13 @@ func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, paren
 		// names overlapping while still excluding an rmdir of parent).
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
+		var out createReply
+		if out.err = s.claim(parent); out.err != nil {
+			return out
+		}
 		// Phase 0: local validation (read-only), so the common error
 		// returns — EEXIST from mkdir-p retries above all — never pay
 		// the remote prepare/abort round trips or burn an id.
-		var out createReply
 		valid := false
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
@@ -85,19 +100,35 @@ func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, paren
 		if !valid {
 			return out
 		}
-		// Phase 1: the owning shard prepares the directory's inode row.
-		row := peerCall(p, s, ts, 160, 160, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) inodeRow {
-			var row inodeRow
+		// Phase 1: the owning shard prepares the inode row (and, for a
+		// regular file, composes and records the mapping next to it).
+		type prepared struct {
+			row   inodeRow
+			upath string
+		}
+		pr := peerCall(p, s, ts, 160, 160, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) prepared {
+			var pre prepared
 			ts.DB.Transaction(p, func(tx *mdb.Tx) {
 				id := ts.allocID()
-				row = inodeRow{
-					ID: id, Type: vfs.TypeDir, Mode: mode, UID: ctx.UID, GID: ctx.GID,
-					Nlink: 2, Mtime: p.Now(), Ctime: p.Now(),
+				pre.row = inodeRow{
+					ID: id, Type: t, Mode: mode, UID: ctx.UID, GID: ctx.GID,
+					Nlink: 1, Mtime: p.Now(), Ctime: p.Now(), Target: target,
 				}
-				mdb.Put(tx, ts.inodes, id, row)
+				switch t {
+				case vfs.TypeDir:
+					pre.row.Nlink = 2
+				case vfs.TypeSymlink:
+					pre.row.Size = int64(len(target))
+				}
+				mdb.Put(tx, ts.inodes, id, pre.row)
+				if t == vfs.TypeRegular && bucket != "" {
+					pre.upath = fmt.Sprintf("%s/f%016x", bucket, uint64(id))
+					mdb.Put(tx, ts.mappings, id, pre.upath)
+				}
 			})
-			return row
+			return pre
 		})
+		row := pr.row
 		// Phase 2: commit the dentry and parent bookkeeping. The
 		// re-validation only matters for mutations that raced phase 0 —
 		// impossible while the row locks are held, reachable again under
@@ -113,19 +144,29 @@ func (s *Service) createRemoteDir(p *sim.Proc, sess *Session, ctx vfs.Ctx, paren
 				out.err = vfs.ErrExist
 				return
 			}
-			din.Nlink++
+			if t == vfs.TypeDir {
+				din.Nlink++
+			}
 			din.Mtime = p.Now()
-			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: row.ID, Type: vfs.TypeDir})
+			mdb.Put(tx, s.dentries, key, dentryRow{Parent: parent, Name: name, Child: row.ID, Type: t})
 			mdb.Put(tx, s.inodes, parent, din)
 			out.attr = row.attr()
+			out.upath = pr.upath
 		})
 		if out.err != nil {
-			// Abort: reclaim the prepared inode (the id itself is burnt).
-			s.peerDeleteInode(p, nil, ts, row.ID)
+			// Abort: reclaim the prepared inode (the id itself is burnt)
+			// and, for a regular file, the mapping prepared next to it.
+			s.peerDeleteInode(p, nil, ts, row.ID, pr.upath != "")
+			out.upath = ""
 			return out
 		}
 		s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
 		s.grantDentry(p, sess, parent, name, row.ID)
+		if t == vfs.TypeRegular {
+			// Mirror the local create's grant; the lease lives at the
+			// row's owner, which is the shard that will recall it.
+			ts.grantAttr(p, sess, row.ID, pr.upath)
+		}
 		return out
 	})
 	return r.attr, r.upath, r.err
@@ -142,6 +183,11 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 		var de dentryRow
 		for {
 			out = removeReply{}
+			// Claimed inside the loop: extend's release-and-reacquire
+			// window below can race a migration of the parent's group.
+			if out.err = s.claim(parent); out.err != nil {
+				return out
+			}
 			valid := false
 			s.DB.Transaction(p, func(tx *mdb.Tx) {
 				if _, err := s.dirRow(tx, ctx, parent, true); err != nil {
@@ -196,7 +242,7 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 				}
 			})
 			s.revokeLeases(p, sess, dentLease(parent, name), attrLease(parent))
-			s.peerDeleteInode(p, sess, ts, id)
+			s.peerDeleteInode(p, sess, ts, id, false)
 			out.isDir = true
 			return out
 		}
@@ -254,12 +300,20 @@ func (s *Service) peerDirEmpty(p *sim.Proc, ts *Service, id vfs.Ino) bool {
 }
 
 // peerDeleteInode reclaims an inode row at its owning shard (commit
-// step; the row's dentry is already gone). The owner recalls any
-// attribute leases on the retired row; sess may be nil when reclaiming
-// a prepared row that no client ever saw.
-func (s *Service) peerDeleteInode(p *sim.Proc, sess *Session, ts *Service, id vfs.Ino) {
+// step; the row's dentry is already gone), plus — only when withMapping
+// is set, so the directory-reclaim callers charge exactly what they
+// always did — the mapping prepared next to a regular file's row
+// (createRemote's abort). The owner recalls any attribute leases on
+// the retired row; sess may be nil when reclaiming a prepared row that
+// no client ever saw.
+func (s *Service) peerDeleteInode(p *sim.Proc, sess *Session, ts *Service, id vfs.Ino, withMapping bool) {
 	peerCall(p, s, ts, 96, 64, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
-		ts.DB.Transaction(p, func(tx *mdb.Tx) { mdb.Delete(tx, ts.inodes, id) })
+		ts.DB.Transaction(p, func(tx *mdb.Tx) {
+			mdb.Delete(tx, ts.inodes, id)
+			if withMapping {
+				mdb.Delete(tx, ts.mappings, id)
+			}
+		})
 		ts.revokeLeases(p, sess, attrLease(id))
 		return struct{}{}
 	})
@@ -299,7 +353,6 @@ func (s *Service) peerUnlink(p *sim.Proc, sess *Session, id vfs.Ino) removeReply
 func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (string, vfs.Ino, error) {
 	r := call(p, s, sess, rpc.OpRename, 224, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
-		D := s.peer(dstDir)
 		srcKey := dentryKey{Parent: srcDir, Name: srcName}
 		dstKey := dentryKey{Parent: dstDir, Name: dstName}
 		// Static footprint: both dentries being swapped (Exclusive) and
@@ -322,8 +375,17 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		}
 		var srcDe dentryRow
 		var dv dstView
+		var D *Service
 		for {
 			out = removeReply{}
+			// Claimed — and the destination's owner resolved — inside
+			// the loop: extend's release-and-reacquire window below can
+			// race a migration of either directory's group. Once the
+			// Shared locks are (re)held neither group can move.
+			if out.err = s.claim(srcDir); out.err != nil {
+				return out
+			}
+			D = s.peer(dstDir)
 			// ---- read/validate phase (no mutations), under the locks ----
 			var sdErr error
 			srcOK := false
@@ -474,7 +536,7 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		// directory) or one link of a replaced file/symlink.
 		if existing != 0 {
 			if replacedDir {
-				s.peerDeleteInode(p, sess, s.peer(existing), existing)
+				s.peerDeleteInode(p, sess, s.peer(existing), existing, false)
 			} else {
 				rep := s.peerUnlink(p, sess, existing)
 				out.upath, out.removed = rep.upath, rep.removed
@@ -499,6 +561,9 @@ func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 		// invalidate the validation between the phases).
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)), lock.S(s.inoKey(id)))
 		defer txn.release(p)
+		if out.err = s.claim(parent); out.err != nil {
+			return out
+		}
 		key := dentryKey{Parent: parent, Name: name}
 		exists := false
 		valid := false
@@ -580,6 +645,9 @@ func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 func (s *Service) readdirSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) ([]vfs.DirEntry, []vfs.Attr, error) {
 	r := callDyn(p, s, sess, rpc.OpReaddir, 96, s.cfg.ServiceCPUPerOp, func(p *sim.Proc) readdirReply {
 		var out readdirReply
+		if err := s.claim(dir); err != nil {
+			return readdirReply{err: err}
+		}
 		remote := make(map[int][]int) // shard id -> entry indexes
 		s.DB.Transaction(p, func(tx *mdb.Tx) {
 			if _, err := s.dirRow(tx, ctx, dir, false); err != nil {
@@ -600,7 +668,7 @@ func (s *Service) readdirSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vf
 					row, _ := mdb.Get(tx, s.inodes, de.Child)
 					out.attrs[i] = row.attr()
 				} else {
-					sh := s.cluster.Map.Of(de.Child)
+					sh := s.cluster.Of(de.Child)
 					remote[sh] = append(remote[sh], i)
 				}
 			}
@@ -615,31 +683,51 @@ func (s *Service) readdirSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vf
 			s.grantDentry(p, sess, dir, e.Name, e.Ino)
 			s.grantAttr(p, sess, e.Ino, "")
 		}
-		shardIDs := make([]int, 0, len(remote))
-		for sh := range remote {
-			shardIDs = append(shardIDs, sh)
-		}
-		sort.Ints(shardIDs)
-		for _, sh := range shardIDs {
-			idxs := remote[sh]
-			ts := s.cluster.shards[sh]
-			attrs := peerCall(p, s, ts, int64(96+16*len(idxs)), int64(32+160*len(idxs)),
-				ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) []vfs.Attr {
-					res := make([]vfs.Attr, len(idxs))
-					for j, i := range idxs {
-						if row, ok := mdb.DirtyGet(p, ts.inodes, out.entries[i].Ino); ok {
-							res[j] = row.attr()
-							ts.grantAttr(p, sess, out.entries[i].Ino, "")
+		// Entries whose row migrated between the listing and its shard's
+		// batched read come back marked moved and are re-resolved at the
+		// current owner on the next round (server-side redirect chasing,
+		// like peerGetattr): a live row is never reported attribute-less
+		// just because it changed shards mid-listing.
+		for len(remote) > 0 {
+			shardIDs := make([]int, 0, len(remote))
+			for sh := range remote {
+				shardIDs = append(shardIDs, sh)
+			}
+			sort.Ints(shardIDs)
+			next := make(map[int][]int)
+			for _, sh := range shardIDs {
+				idxs := remote[sh]
+				ts := s.cluster.shards[sh]
+				type batchReply struct {
+					attrs []vfs.Attr
+					moved []int
+				}
+				br := peerCall(p, s, ts, int64(96+16*len(idxs)), int64(32+160*len(idxs)),
+					ts.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) batchReply {
+						res := batchReply{attrs: make([]vfs.Attr, len(idxs))}
+						for j, i := range idxs {
+							ino := out.entries[i].Ino
+							if row, ok := mdb.DirtyGet(p, ts.inodes, ino); ok {
+								res.attrs[j] = row.attr()
+								ts.grantAttr(p, sess, ino, "")
+							} else if !ts.owns(ino) {
+								res.moved = append(res.moved, i)
+							}
 						}
+						return res
+					})
+				for j, i := range idxs {
+					out.attrs[i] = br.attrs[j]
+					if br.attrs[j].Ino != 0 {
+						s.grantDentry(p, sess, dir, out.entries[i].Name, out.entries[i].Ino)
 					}
-					return res
-				})
-			for j, i := range idxs {
-				out.attrs[i] = attrs[j]
-				if attrs[j].Ino != 0 {
-					s.grantDentry(p, sess, dir, out.entries[i].Name, out.entries[i].Ino)
+				}
+				for _, i := range br.moved {
+					owner := s.cluster.Of(out.entries[i].Ino)
+					next[owner] = append(next[owner], i)
 				}
 			}
+			remote = next
 		}
 		return out
 	}, func(r readdirReply) int64 { return 96 + int64(len(r.entries))*160 })

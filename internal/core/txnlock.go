@@ -2,6 +2,7 @@ package core
 
 import (
 	"cofs/internal/lock"
+	"cofs/internal/reshard"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
 )
@@ -49,11 +50,22 @@ const (
 	lockKindDentry
 )
 
+// lockShard is the RowKey.Shard component of a row's lock key. It is
+// the deploy-time strided placement, frozen forever: the component only
+// namespaces the canonical acquisition order, and an order component
+// that tracked the live (epoch-versioned) map would let two
+// transactions spanning a migration sort the same rows differently —
+// exactly what reintroduces deadlock. Ownership questions go to
+// MDSCluster.Of; this is ordering only.
+func (c *MDSCluster) lockShard(id vfs.Ino) int {
+	return reshard.Owner(uint64(id), c.lockShards)
+}
+
 // inoKey names id's inode row in the canonical lock order.
 func (s *Service) inoKey(id vfs.Ino) lock.RowKey {
 	k := lock.RowKey{Kind: lockKindInode, ID: uint64(id)}
 	if s.cluster != nil {
-		k.Shard = s.cluster.Map.Of(id)
+		k.Shard = s.cluster.lockShard(id)
 	}
 	return k
 }
@@ -63,7 +75,7 @@ func (s *Service) inoKey(id vfs.Ino) lock.RowKey {
 func (s *Service) dentKey(parent vfs.Ino, name string) lock.RowKey {
 	k := lock.RowKey{Kind: lockKindDentry, ID: uint64(parent), Name: name}
 	if s.cluster != nil {
-		k.Shard = s.cluster.Map.Of(parent)
+		k.Shard = s.cluster.lockShard(parent)
 	}
 	return k
 }
@@ -75,6 +87,24 @@ func (s *Service) dentKey(parent vfs.Ino, name string) lock.RowKey {
 type rowTxn struct {
 	s    *Service
 	held []lock.Req
+}
+
+// staleProtocol reports whether an operation body dispatched down a
+// single-shard fast path is executing on a plane that has since grown
+// (the first instants of a Reshard from one shard): its mutation would
+// run outside the row-lock discipline a live migration serializes
+// against, so the body must bounce it with ErrWrongEpoch — the retry
+// re-enters the method and takes the locked sharded path. The check
+// runs inside the mutation's serialized table transaction, so it
+// happens-before or happens-after a migration batch's transactions,
+// never between them. Always false on a plane that never reshards, and
+// on DisableTxnLocks planes (which refuse to reshard).
+func (s *Service) staleProtocol(t *rowTxn) bool {
+	if t == nil && s.sharded() && s.cluster.rowLocks != nil {
+		s.cluster.rstats.Redirects++
+		return true
+	}
+	return false
 }
 
 // lockRows opens a lock-ordered transaction over the requested rows,

@@ -248,6 +248,17 @@ type Tx struct {
 // are exclusive with other transactions; on return, mutations of
 // disc-copies tables are forced to the log (group commit). Mirrors
 // mnesia:transaction.
+// Freeze acquires the database's transaction mutex, blocking until any
+// in-flight transaction commits and keeping new ones from starting
+// until Thaw. Between the two, table state is transaction-consistent —
+// the resharder's plan scan runs under a whole-plane freeze so a row
+// mid-commit (allocated, not yet applied) cannot slip past it. Dirty
+// reads are unaffected, like always.
+func (db *DB) Freeze(p *sim.Proc) { db.txMu.Lock(p) }
+
+// Thaw releases a Freeze.
+func (db *DB) Thaw(p *sim.Proc) { db.txMu.Unlock(p) }
+
 func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 	db.Transactions++
 	db.txMu.Lock(p)

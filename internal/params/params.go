@@ -205,6 +205,19 @@ type COFSParams struct {
 	// nothing in either mode, so uncontended workloads are
 	// bit-identical across both settings and DisableTxnLocks.
 	ExclusiveRowLocks bool
+	// ReshardBatchRows bounds how many groups (inode ids, with their
+	// dentries and mappings) one resharding batch migrates while
+	// holding their row locks: the unit of the dip a live reshard
+	// inflicts on concurrent traffic (see internal/reshard and
+	// docs/resharding.md). 0 selects the default (64).
+	ReshardBatchRows int
+	// DisableReshardEpochs reverts client routing to the static shard
+	// map: sessions route by the authoritative map directly instead of
+	// their fetched epoch version, and MDSCluster.Reshard refuses to
+	// run. Debugging and regression knob only: the never-resharded
+	// cost baseline (TestReshardDormantCostIdentical) diffs against it
+	// to pin that the dormant epoch machinery charges nothing.
+	DisableReshardEpochs bool
 	// RPCBatch enables request batching on the client→shard (and
 	// shard→shard) RPC channels: concurrent requests to the same shard
 	// coalesce into one wire round trip while the previous one is in
@@ -265,7 +278,8 @@ func Default() Config {
 			MaxEntriesPerDir: 512,
 			AttrCacheTimeout: 0, // disabled, as in the paper's prototype
 			AttrCacheEntries: 4096,
-			AttrLease:        0,     // coherent lease cache off (paper prototype)
+			AttrLease:        0, // coherent lease cache off (paper prototype)
+			ReshardBatchRows: 64,
 			RPCBatch:         false, // one RPC per op (paper prototype)
 		},
 	}

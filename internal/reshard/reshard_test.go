@@ -1,0 +1,209 @@
+package reshard
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// liveIDs is a convenient population: 1..n.
+func liveIDs(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// TestEpochMapUnmovedRowsAgree: for any migration and any prefix of its
+// plan committed, the current map agrees with the old placement on
+// every unmoved row at or below the split, and with the new placement
+// on every moved row and every newborn — the exact ownership contract
+// the data plane routes by.
+func TestEpochMapUnmovedRowsAgree(t *testing.T) {
+	f := func(oldN, newN uint8, split uint16, cut uint8) bool {
+		old, new := int(oldN%8)+1, int(newN%8)+1
+		splitID := uint64(split%512) + 1
+		ids := liveIDs(int(splitID) + 64) // includes newborns above the split
+		c := NewCoordinator(old)
+		moves := PlanMoves(old, new, splitID, ids)
+		if _, err := c.Begin(new, splitID); err != nil {
+			return false
+		}
+		// Commit an arbitrary prefix of the plan.
+		k := 0
+		if len(moves) > 0 {
+			k = int(cut) % (len(moves) + 1)
+		}
+		committed := make(map[uint64]bool)
+		for _, mv := range moves[:k] {
+			c.Commit([]uint64{mv.Group})
+			committed[mv.Group] = true
+		}
+		m := c.Current()
+		for _, id := range ids {
+			want := Owner(id, old)
+			if id > splitID || committed[id] {
+				want = Owner(id, new)
+			}
+			if m.Of(id) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanMovesExactlyChangedOwners: the plan is exactly the set of
+// live groups at or below the split whose owner changes — nothing
+// newborn, nothing stable, nothing duplicated, and every move's From/To
+// match the placements.
+func TestPlanMovesExactlyChangedOwners(t *testing.T) {
+	f := func(oldN, newN uint8, split uint16) bool {
+		old, new := int(oldN%8)+1, int(newN%8)+1
+		splitID := uint64(split%512) + 1
+		ids := liveIDs(int(splitID) + 64)
+		moves := PlanMoves(old, new, splitID, ids)
+		planned := make(map[uint64]Move, len(moves))
+		var last uint64
+		for _, mv := range moves {
+			if mv.Group <= last {
+				return false // unsorted or duplicated
+			}
+			last = mv.Group
+			planned[mv.Group] = mv
+		}
+		for _, id := range ids {
+			mv, inPlan := planned[id]
+			shouldMove := id <= splitID && Owner(id, old) != Owner(id, new)
+			if inPlan != shouldMove {
+				return false
+			}
+			if inPlan && (mv.From != Owner(id, old) || mv.To != Owner(id, new)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochVersionsImmutable: a version held by a laggard client keeps
+// routing as the plane did at its epoch, however many batches commit
+// after it — the property that makes the redirect protocol sound.
+func TestEpochVersionsImmutable(t *testing.T) {
+	c := NewCoordinator(2)
+	ids := liveIDs(256)
+	moves := PlanMoves(2, 4, 256, ids)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	if _, err := c.Begin(4, 256); err != nil {
+		t.Fatal(err)
+	}
+	stale := c.Current() // epoch at Begin: nothing moved yet
+	for _, mv := range moves {
+		c.Commit([]uint64{mv.Group})
+	}
+	for _, id := range ids {
+		if got, want := stale.Of(id), Owner(id, 2); got != want {
+			t.Fatalf("stale version moved with the migration: id %d owned by %d, want %d", id, got, want)
+		}
+	}
+	cur := c.Finish()
+	for _, id := range ids {
+		if got, want := cur.Of(id), Owner(id, 4); got != want {
+			t.Fatalf("settled version wrong: id %d owned by %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestRefetchAfterRedirectLands: whenever a stale version misroutes a
+// group (the shard it names no longer owns it), the coordinator's
+// current version routes it to its true owner — one refetch always
+// lands, there is no redirect loop.
+func TestRefetchAfterRedirectLands(t *testing.T) {
+	f := func(split uint16, cut uint8) bool {
+		splitID := uint64(split%512) + 1
+		ids := liveIDs(int(splitID) + 32)
+		c := NewCoordinator(3)
+		moves := PlanMoves(3, 5, splitID, ids)
+		if _, err := c.Begin(5, splitID); err != nil {
+			return false
+		}
+		stale := c.Current()
+		k := 0
+		if len(moves) > 0 {
+			k = int(cut) % (len(moves) + 1)
+		}
+		truth := make(map[uint64]int) // authoritative owner
+		for _, id := range ids {
+			truth[id] = stale.Of(id)
+		}
+		for _, mv := range moves[:k] {
+			c.Commit([]uint64{mv.Group})
+			truth[mv.Group] = mv.To
+		}
+		cur := c.Current()
+		for _, id := range ids {
+			if stale.Of(id) != truth[id] {
+				// Misrouted: the refetched (current) version must land.
+				if cur.Of(id) != truth[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorSerializes: a second Begin mid-migration is refused,
+// and Finish settles at the target.
+func TestCoordinatorSerializes(t *testing.T) {
+	c := NewCoordinator(2)
+	if _, err := c.Begin(4, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(8, 200); err != ErrBusy {
+		t.Fatalf("second Begin mid-migration: %v, want ErrBusy", err)
+	}
+	m := c.Finish()
+	if m.Migrating() || m.Target() != 4 || m.Old != 4 {
+		t.Fatalf("settled map wrong: %+v", m)
+	}
+	if _, err := c.Begin(2, 300); err != nil {
+		t.Fatalf("Begin after Finish: %v", err)
+	}
+}
+
+// TestBatchesBounded: batching covers the plan exactly, in order, with
+// no batch above the bound.
+func TestBatchesBounded(t *testing.T) {
+	moves := PlanMoves(2, 4, 1000, liveIDs(1000))
+	for _, size := range []int{1, 7, 64, 5000} {
+		n := 0
+		var last uint64
+		for _, b := range Batches(moves, size) {
+			if len(b) == 0 || len(b) > size {
+				t.Fatalf("batch size %d out of bounds (limit %d)", len(b), size)
+			}
+			for _, mv := range b {
+				if mv.Group <= last {
+					t.Fatal("batches out of order")
+				}
+				last = mv.Group
+				n++
+			}
+		}
+		if n != len(moves) {
+			t.Fatalf("batches cover %d of %d moves", n, len(moves))
+		}
+	}
+}

@@ -53,6 +53,12 @@ const (
 	OpStatFS
 	// OpPeer is a shard-to-shard message of the two-phase protocol.
 	OpPeer
+	// OpMapFetch fetches the current shard-map version after an
+	// ErrWrongEpoch redirect (online resharding, docs/resharding.md).
+	OpMapFetch
+	// OpReshard is a coordinator-to-shard message of the row-migration
+	// protocol (batch copy, delete, lease recall).
+	OpReshard
 )
 
 // MaxBatch bounds how many queued requests one carrier flies in a

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -180,6 +181,25 @@ func (c *Counters) String() string {
 		fmt.Fprintf(&b, "%-*s %12d\n", w, n, c.vals[n])
 	}
 	return b.String()
+}
+
+// Fprint writes the counters as aligned "name value" lines sorted by
+// counter name, each line prefixed with indent. This is the one
+// canonical rendering every tool prints (cofsctl, mdtest, metarates),
+// so counter reports line up and diff across tools regardless of the
+// order the layers registered them in.
+func (c *Counters) Fprint(w io.Writer, indent string) {
+	names := c.Names()
+	sort.Strings(names)
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "%s%-*s %12d\n", indent, width, n, c.vals[n])
+	}
 }
 
 // MBps converts bytes moved in elapsed virtual time to MB/s (1 MB = 2^20).
