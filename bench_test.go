@@ -519,6 +519,86 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 			}
 		})
 	}
+	// The crash variant prices the recovery path instead of the storm:
+	// the same 2048-row plane reshards 2→4 with no concurrent load,
+	// dies at a mid-migration step with the flush windows open, and the
+	// metric is the virtual wall time of Recover — replay plus the
+	// reconcile-and-resume of the interrupted migration
+	// (docs/resharding.md, "Shard lifecycle & crash consistency").
+	b.Run("crash-recover-2to4", func(b *testing.B) {
+		var recoverMs float64
+		var d *core.Deployment
+		for i := 0; i < b.N; i++ {
+			cfg := params.Default()
+			cfg.COFS.MetadataShards = 2
+			cfg.COFS.AttrLease = 30 * time.Second
+			tb := cluster.New(int64(i+1), 4, cfg)
+			d = core.Deploy(tb, nil)
+			// Metarates phases unlink what they create, so the plane is
+			// populated directly: the same 2048 rows, left in place for
+			// the migration to move.
+			tb.Env.Spawn("populate", func(p *sim.Proc) {
+				ctx := cluster.Ctx(0, 1)
+				if err := d.Mounts[0].MkdirAll(p, ctx, "/shared", 0777); err != nil {
+					panic(err)
+				}
+			})
+			tb.Run()
+			for n := 0; n < 4; n++ {
+				node := n
+				tb.Env.Spawn(fmt.Sprintf("populate-%d", node), func(p *sim.Proc) {
+					m := d.Mounts[node]
+					ctx := cluster.Ctx(node, 1)
+					for j := 0; j < 512; j++ {
+						f, err := m.Create(p, ctx, fmt.Sprintf("/shared/r%d-f%04d", node, j), 0644)
+						if err != nil {
+							panic(err)
+						}
+						f.Close(p)
+					}
+				})
+			}
+			tb.Run()
+			d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+				return seq == 5
+			})
+			var reshardErr error
+			var recovered time.Duration
+			tb.Env.Spawn("reshard-crash", func(p *sim.Proc) {
+				if err := d.Service.Reshard(p, 4); err != core.ErrReshardInterrupted {
+					reshardErr = fmt.Errorf("reshard returned %v, want interrupt", err)
+					return
+				}
+				d.Service.Crash()
+				start := tb.Env.Now()
+				d.Service.Recover(p)
+				recovered = tb.Env.Now() - start
+				d.Service.AdoptIDCounter()
+			})
+			tb.Run()
+			if reshardErr != nil {
+				b.Fatal(reshardErr)
+			}
+			if err := d.Service.CheckInvariants(); err != nil {
+				b.Fatalf("invariants after recovery: %v", err)
+			}
+			recoverMs = float64(recovered) / float64(time.Millisecond)
+		}
+		b.ReportMetric(recoverMs, "vms/recovery")
+		rec := bench.Record{
+			Name:     "reshard-under-load/crash-recover-2to4",
+			Shards:   2,
+			VmsPerOp: recoverMs,
+			Extra: map[string]float64{
+				"recovery_vms":  recoverMs,
+				"target_shards": 4,
+			},
+		}
+		rec.SetCounters(d.Counters())
+		if err := bench.WriteRecord(rec); err != nil {
+			b.Logf("bench record: %v", err)
+		}
+	})
 }
 
 // BenchmarkFailover measures a full standby promotion: replicated

@@ -10,7 +10,9 @@
 //
 // The reshard verb migrates the live plane to -reshard-to shards after
 // the demo workload, runs a second workload over the migrated rows and
-// reports the movement counters (docs/resharding.md).
+// reports the movement counters (docs/resharding.md). With -crash-at N
+// it instead kills the plane at migration step N, recovers it, and
+// reports the virtual recovery time.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	exclLocks := flag.Bool("excl-locks", false, "revert the row-lock table to exclusive-only locks (no shared read-dependency grants)")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	reshardTo := flag.Int("reshard-to", 2, "reshard: target shard count")
+	crashAt := flag.Int("crash-at", -1, "reshard: crash the plane at migration step N and recover (-1 runs to completion)")
 	flag.Parse()
 	what := "all"
 	if flag.NArg() > 0 {
@@ -127,28 +130,55 @@ func main() {
 	if what == "reshard" {
 		fmt.Printf("== online reshard: %d -> %d shards ==\n", d.Service.ServingShards(), *reshardTo)
 		fmt.Printf("  rows per shard before: %v\n", d.Service.ShardCounts())
-		tb.Env.Spawn("reshard", func(p *sim.Proc) {
-			if err := d.Service.Reshard(p, *reshardTo); err != nil {
-				panic(fmt.Sprintf("reshard: %v", err))
-			}
-		})
-		// A second workload runs concurrently with the migration, so the
-		// movement happens under live traffic, redirects included.
-		for n := 0; n < *nodes; n++ {
-			node := n
-			tb.Env.Spawn("load2", func(p *sim.Proc) {
-				m := d.Mounts[node]
-				ctx := cluster.Ctx(node, 1)
-				for i := 0; i < *files; i++ {
-					name := fmt.Sprintf("/work/g-%02d-%04d", node, i)
-					f, err := m.Create(p, ctx, name, 0644)
-					if err != nil {
-						panic(err)
-					}
-					f.Close(p)
-					m.Stat(p, ctx, fmt.Sprintf("/work/f-%02d-%04d", node, i))
+		if *crashAt >= 0 {
+			// Crash injection: kill the plane at migration step N with
+			// the flush windows open, then recover it — the operator's
+			// view of the crash-replay contract (docs/resharding.md,
+			// "Shard lifecycle & crash consistency"). No concurrent
+			// load: every client would just stall against a dead plane.
+			d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+				return seq == *crashAt
+			})
+			tb.Env.Spawn("reshard-crash", func(p *sim.Proc) {
+				err := d.Service.Reshard(p, *reshardTo)
+				if err == nil {
+					fmt.Printf("  migration finished before step %d; nothing to crash\n", *crashAt)
+					return
+				}
+				if err != core.ErrReshardInterrupted {
+					panic(fmt.Sprintf("reshard: %v", err))
+				}
+				fmt.Printf("  crashed at migration step %d\n", *crashAt)
+				start := tb.Env.Now()
+				d.Service.Crash()
+				d.Service.Recover(p)
+				d.Service.AdoptIDCounter()
+				fmt.Printf("  recovered and resettled in %v (virtual)\n", tb.Env.Now()-start)
+			})
+		} else {
+			tb.Env.Spawn("reshard", func(p *sim.Proc) {
+				if err := d.Service.Reshard(p, *reshardTo); err != nil {
+					panic(fmt.Sprintf("reshard: %v", err))
 				}
 			})
+			// A second workload runs concurrently with the migration, so the
+			// movement happens under live traffic, redirects included.
+			for n := 0; n < *nodes; n++ {
+				node := n
+				tb.Env.Spawn("load2", func(p *sim.Proc) {
+					m := d.Mounts[node]
+					ctx := cluster.Ctx(node, 1)
+					for i := 0; i < *files; i++ {
+						name := fmt.Sprintf("/work/g-%02d-%04d", node, i)
+						f, err := m.Create(p, ctx, name, 0644)
+						if err != nil {
+							panic(err)
+						}
+						f.Close(p)
+						m.Stat(p, ctx, fmt.Sprintf("/work/f-%02d-%04d", node, i))
+					}
+				})
+			}
 		}
 		tb.Run()
 		if err := d.Service.CheckInvariants(); err != nil {
@@ -157,8 +187,8 @@ func main() {
 		}
 		fmt.Printf("  rows per shard after:  %v\n", d.Service.ShardCounts())
 		rs := d.Service.ReshardStats()
-		fmt.Printf("  epochs=%d groups-moved=%d rows-moved=%d bytes=%d redirects=%d refetches=%d lease-recalls=%d\n",
-			rs.Epochs, rs.GroupsMoved, rs.RowsMoved, rs.BytesMoved, rs.Redirects, rs.Refetches, rs.Recalls)
+		fmt.Printf("  epochs=%d groups-moved=%d rows-moved=%d bytes=%d redirects=%d refetches=%d lease-recalls=%d wal-handoff=%d retired=%d\n",
+			rs.Epochs, rs.GroupsMoved, rs.RowsMoved, rs.BytesMoved, rs.Redirects, rs.Refetches, rs.Recalls, rs.HandoffRecords, rs.Retired)
 		fmt.Println("== per-layer counters ==")
 		d.Counters().Fprint(os.Stdout, "  ")
 	}

@@ -115,5 +115,7 @@ func (d *Deployment) Counters() *stats.Counters {
 	c.Add("mds.reshard-redirects", rs.Redirects)
 	c.Add("mds.reshard-refetches", rs.Refetches)
 	c.Add("mds.reshard-lease-recalls", rs.Recalls)
+	c.Add("mds.reshard-wal-handoff", rs.HandoffRecords)
+	c.Add("mds.reshard-retired", rs.Retired)
 	return c
 }

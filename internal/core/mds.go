@@ -136,6 +136,20 @@ type MDSCluster struct {
 	// replaced at failover, keeping the per-layer report cumulative
 	// like the client-side counters.
 	priorPeer rpc.ConnStats
+	// hostPrefix names hosts growTo provisions, matching the
+	// AddServiceHosts convention of the plane's deploy ("cofs-mds" for
+	// primaries, "cofs-mds-standby" for standby planes).
+	hostPrefix string
+	// standbys are the hot-standby planes attached to this primary
+	// (replication.go): a reshard grows and retires them in lockstep so
+	// the standby shape always tracks the current epoch.
+	standbys []*Standby
+	// onReshardStep/reshardSeq drive the crash-injection step hook
+	// (OnReshardStep); recovering suppresses it while recoverReshard
+	// replays an interrupted migration.
+	onReshardStep func(seq int, at ReshardPoint) bool
+	reshardSeq    int
+	recovering    bool
 }
 
 // NewMDSCluster creates one metadata shard per host. The hosts must be
@@ -149,6 +163,7 @@ func NewMDSCluster(net *netsim.Net, hosts []*netsim.Host, cfg params.Config) *MD
 		full:       cfg,
 		net:        net,
 		lockShards: len(hosts),
+		hostPrefix: "cofs-mds",
 	}
 	if c.lockShards < 1 {
 		c.lockShards = 1
@@ -213,10 +228,18 @@ func (c *MDSCluster) ReshardStats() reshard.Stats { return c.rstats }
 // routed runs op against the shard the session's map version assigns
 // ino, refetching the map and retrying on a redirect. op returns the
 // operation's error so routed can spot the redirect; results travel in
-// the caller's closure.
+// the caller's closure. A session whose map version predates a shrink's
+// retirement can name a shard that no longer exists — its channel was
+// dropped with the shard — which is the same race as a redirect, paid
+// the same way: refetch and re-route.
 func (c *MDSCluster) routed(p *sim.Proc, sess *Session, ino vfs.Ino, op func(s *Service) error) {
 	for {
-		if op(c.shards[sess.mapView(c).Of(uint64(ino))]) != ErrWrongEpoch {
+		si := sess.mapView(c).Of(uint64(ino))
+		if si >= len(c.shards) || si >= len(sess.conns) {
+			sess.refetchMap(p, c)
+			continue
+		}
+		if op(c.shards[si]) != ErrWrongEpoch {
 			return
 		}
 		sess.refetchMap(p, c)
@@ -365,10 +388,19 @@ func (c *MDSCluster) Crash() {
 	}
 }
 
-// Recover replays every shard's flushed WAL.
+// Recover replays every shard's flushed WAL. When the crash caught a
+// migration mid-flight, the coordinator's epoch log still names every
+// committed move, and the WAL-handoff protocol guarantees a durable
+// copy of every group at the shard the log assigns it; recovery
+// reconciles the replayed leftovers of half-applied batches and resumes
+// the migration to completion (recoverReshard), so Crash/Recover is
+// well-defined at any instant of a grow or shrink.
 func (c *MDSCluster) Recover(p *sim.Proc) {
 	for _, s := range c.shards {
 		s.DB.Recover(p)
+	}
+	if c.Maps.Current().Migrating() {
+		c.recoverReshard(p)
 	}
 }
 
@@ -432,11 +464,16 @@ func (c *MDSCluster) PeerTransportStats() rpc.ConnStats {
 	return out
 }
 
-// WALLen reports the total log length across shards (cofsctl).
+// WALLen reports the plane's owned log length (cofsctl): each shard's
+// WAL net of migration bookkeeping, so a handed-off record counts
+// exactly once at every instant of a reshard — staged imports belong to
+// the source until their epoch installs, then to the target and no
+// longer to the source (mdb.OwnedWALLen). Identical to the raw sum on
+// a plane that never resharded.
 func (c *MDSCluster) WALLen() int {
 	n := 0
 	for _, s := range c.shards {
-		n += s.DB.WALLen()
+		n += s.DB.OwnedWALLen()
 	}
 	return n
 }

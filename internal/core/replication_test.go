@@ -189,3 +189,152 @@ func TestFailoverIDCounterNoCollision(t *testing.T) {
 	})
 	tb.Run()
 }
+
+// standbyCrashRig is crashRig plus an attached standby plane. The
+// probe and the sweep below must deploy identically — the standby's
+// shipping traffic is part of the schedule the probe measures.
+func standbyCrashRig(t *testing.T, seed int64, shards int, delay time.Duration) (*cluster.Testbed, *core.Deployment, *core.Standby) {
+	t.Helper()
+	tb, d := crashRig(t, seed, shards)
+	sb := core.DeployStandby(tb, d, delay)
+	tb.Run()
+	return tb, d, sb
+}
+
+// TestPromoteMidMigration kills the primary plane at every step point
+// of a grow and a shrink and promotes the standby there: the promoted
+// plane must serve the identical namespace, finish the move the dead
+// primaries started (the spawned recovery drains on the next run), and
+// end settled at the target shape — including retiring its own drained
+// shards on the shrink.
+func TestPromoteMidMigration(t *testing.T) {
+	cases := []struct {
+		name        string
+		from, to    int
+		dirs, files int
+	}{
+		{"grow-2to4", 2, 4, 8, 24},
+		{"shrink-4to2", 4, 2, 16, 48},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seed := 7500 + int64(tc.from*10+tc.to)
+			// Probe: learn every step point of this migration with the
+			// standby attached.
+			var points []core.ReshardPoint
+			{
+				tb, d, _ := standbyCrashRig(t, seed, tc.from, time.Millisecond)
+				buildTree(t, tb, d, tc.dirs, tc.files)
+				d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+					points = append(points, at)
+					return false
+				})
+				step(tb, "probe-reshard", func(p *sim.Proc) {
+					if err := d.Service.Reshard(p, tc.to); err != nil {
+						t.Fatalf("probe reshard: %v", err)
+					}
+				})
+			}
+			if len(points) == 0 {
+				t.Fatal("probe migration fired no step points")
+			}
+			for k := range points {
+				k := k
+				t.Run(fmt.Sprintf("at-%02d-%s", k, points[k]), func(t *testing.T) {
+					tb, d, sb := standbyCrashRig(t, seed, tc.from, time.Millisecond)
+					paths := buildTree(t, tb, d, tc.dirs, tc.files)
+					d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+						return seq == k
+					})
+					step(tb, "reshard-interrupt", func(p *sim.Proc) {
+						if err := d.Service.Reshard(p, tc.to); err != core.ErrReshardInterrupted {
+							t.Errorf("reshard returned %v, want ErrReshardInterrupted", err)
+						}
+					})
+					// The step drained the shipping pipeline, so the
+					// standby holds everything the primaries committed.
+					if lag := sb.Lag(); lag != 0 {
+						t.Fatalf("lag after drain = %d, want 0", lag)
+					}
+					d.Service.Crash()
+					if lost := sb.Promote(d); lost != 0 {
+						t.Fatalf("promote lost %d records after a drained pipeline", lost)
+					}
+					// Drain the promoted plane's spawned mid-reshard
+					// recovery, then hold it to the full contract.
+					tb.Run()
+					assertRecovered(t, tb, d, paths, tc.to)
+					if tc.to < tc.from {
+						names := hostNames(tb)
+						for i := tc.to; i < tc.from; i++ {
+							if names[fmt.Sprintf("cofs-mds-standby%d", i)] {
+								t.Errorf("retired standby host cofs-mds-standby%d still on the testbed", i)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPromoteRollsForwardUnshippedImport pins the one recovery case
+// where the surviving copy is NOT at the row group's owner: the epoch
+// installed (the shared coordinator outlives the primaries) but the
+// batch's import never shipped to the standby before the primaries
+// died. The promoted plane must roll the group forward from the old
+// owner's replica — deleting it as a stray would lose the rows.
+func TestPromoteRollsForwardUnshippedImport(t *testing.T) {
+	// A long shipping delay so nothing of the migration has shipped when
+	// the plane dies; the tree itself is drained (tb.Run in buildTree
+	// runs the pumps dry) before the reshard begins.
+	tb, d, sb := standbyCrashRig(t, 7600, 2, 50*time.Millisecond)
+	paths := buildTree(t, tb, d, 8, 24)
+	installedAt := -1
+	{
+		// Probe on a twin rig so this rig's schedule stays untouched.
+		var points []core.ReshardPoint
+		tbp, dp, _ := standbyCrashRig(t, 7600, 2, 50*time.Millisecond)
+		buildTree(t, tbp, dp, 8, 24)
+		dp.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+			points = append(points, at)
+			return false
+		})
+		step(tbp, "probe-reshard", func(p *sim.Proc) {
+			if err := dp.Service.Reshard(p, 4); err != nil {
+				t.Fatalf("probe reshard: %v", err)
+			}
+		})
+		for seq, at := range points {
+			if at == core.ReshardInstalled {
+				installedAt = seq
+				break
+			}
+		}
+	}
+	if installedAt < 0 {
+		t.Fatal("probe migration never installed an epoch")
+	}
+	d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+		return seq == installedAt
+	})
+	var lost int
+	step(tb, "reshard-die-promote", func(p *sim.Proc) {
+		if err := d.Service.Reshard(p, 4); err != core.ErrReshardInterrupted {
+			t.Errorf("reshard returned %v, want ErrReshardInterrupted", err)
+			return
+		}
+		// Die and promote without yielding: the batch's import is
+		// committed at the primary and the epoch is installed, but no
+		// ship pump has fired — the standby's new owner shard has never
+		// seen the group.
+		d.Service.Crash()
+		lost = sb.Promote(d)
+	})
+	if lost == 0 {
+		t.Fatal("no unshipped window — the roll-forward path was not exercised")
+	}
+	tb.Run()
+	assertRecovered(t, tb, d, paths, 4)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,8 +19,9 @@ import (
 // a new shard count while it keeps serving:
 //
 //  1. Grow the plane if needed: new shards on new hosts, the peer mesh
-//     and every session's channels extended. Nothing routes to the new
-//     shards until the map says so.
+//     and every session's channels extended, attached standby planes
+//     grown in lockstep. Nothing routes to the new shards until the map
+//     says so.
 //  2. Publish the first migration epoch (reshard.Coordinator.Begin):
 //     allocators switch to the target placement above the newborn
 //     boundary, so everything created from here on is born where it
@@ -29,17 +31,67 @@ import (
 //     whose owner changes — in bounded batches. Each batch takes its
 //     groups' Exclusive row locks through the ordinary lock table, so
 //     it serializes against in-flight transactions with no new
-//     deadlock argument (the canonical order is shared); copies the
-//     rows over the coordinator's RPC channels with full transfer and
-//     CPU costs; installs the epoch that flips ownership; deletes the
-//     source rows; and recalls every client lease the source still
-//     holds on them — positive, negative and attribute leases alike —
-//     at that commit instant, reusing the lease table's recall path.
+//     deadlock argument (the canonical order is shared); ships the rows
+//     together with their WAL checkpoint cursor over the coordinator's
+//     RPC channels, and the target forces the cursor to its own log
+//     before acknowledging; installs the epoch that flips ownership;
+//     deletes the source rows; and recalls every client lease the
+//     source still holds on them. Because the delete happens only after
+//     the durability ack and the epoch install, a crash at any instant
+//     leaves at least one durable copy of every group, findable from
+//     the coordinator's epoch log (recoverReshard).
 //  4. Settle (Finish): the map is pure strided placement at the target
-//     count, indistinguishable from a fresh deploy's.
+//     count, indistinguishable from a fresh deploy's. A shrink then
+//     retires the drained shards entirely — sessions drop their
+//     channels, standby shipping stops, hosts are released
+//     (retireDrained).
 //
 // Requests racing a move are redirected (ErrWrongEpoch) and retry off a
 // refetched map; see service.go's claim/missErr and session.go.
+
+// ErrReshardInterrupted is returned by Reshard when the installed step
+// hook (OnReshardStep) aborted the migration: the map is left
+// mid-flight, exactly as a coordinator crash would leave it, for
+// Crash/Recover or Standby.Promote to pick up.
+var ErrReshardInterrupted = errors.New("core: reshard interrupted by step hook")
+
+// ReshardPoint names one observable instant of the migration loop, for
+// crash-injection tests and cofsctl's -crash-at flag.
+type ReshardPoint string
+
+// The migration loop's observable instants, in per-batch order. Every
+// batch opens with one batch-start point; each (source, target) sweep
+// inside it then passes imported (the target acknowledged the durable
+// WAL handoff; the epoch is not yet installed), installed (ownership
+// flipped; the source rows still exist) and deleted (the source rows
+// are gone — the sweep's, and eventually the batch's, boundary).
+const (
+	ReshardBatchStart ReshardPoint = "batch-start"
+	ReshardImported   ReshardPoint = "imported"
+	ReshardInstalled  ReshardPoint = "installed"
+	ReshardDeleted    ReshardPoint = "deleted"
+)
+
+// OnReshardStep installs a hook called with a monotonically increasing
+// sequence number at every ReshardPoint of subsequent migrations.
+// Returning true aborts the migration with ErrReshardInterrupted —
+// locks released, map left mid-flight — which is how the crash sweep
+// tests stop the coordinator at a chosen instant before crashing the
+// plane. Mid-reshard recovery ignores the hook. nil uninstalls.
+func (c *MDSCluster) OnReshardStep(fn func(seq int, at ReshardPoint) bool) {
+	c.onReshardStep = fn
+	c.reshardSeq = 0
+}
+
+// stepAbort fires the step hook at one migration point.
+func (c *MDSCluster) stepAbort(at ReshardPoint) bool {
+	if c.onReshardStep == nil || c.recovering {
+		return false
+	}
+	seq := c.reshardSeq
+	c.reshardSeq++
+	return c.onReshardStep(seq, at)
+}
 
 // Reshard migrates the metadata plane to n shards while it keeps
 // serving, blocking the calling process for the duration of the
@@ -106,13 +158,7 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 	// allocator switch above, this scan and Begin below all run under
 	// the freeze without a yield, so no allocation or commit can slip
 	// between the plan and the epoch that starts executing it.
-	var groups []uint64
-	for _, s := range c.shards {
-		s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
-			groups = append(groups, uint64(id))
-		})
-	}
-	moves := reshard.PlanMoves(cur.New, n, uint64(split), groups)
+	moves := reshard.PlanMoves(cur.New, n, uint64(split), c.liveGroups())
 	if _, err := c.Maps.Begin(n, uint64(split)); err != nil {
 		for i := len(c.shards) - 1; i >= 0; i-- {
 			c.shards[i].DB.Thaw(p)
@@ -124,14 +170,46 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 		c.shards[i].DB.Thaw(p)
 	}
 
+	if err := c.runMigration(p, moves); err != nil {
+		return err
+	}
+	return c.settleReshard(p)
+}
+
+// liveGroups collects every inode id on the plane (each stands for its
+// row group), without timing charges: callers charge the scan where it
+// belongs (Reshard scans under the freeze, recovery after the replay).
+func (c *MDSCluster) liveGroups() []uint64 {
+	var groups []uint64
+	for _, s := range c.shards {
+		s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
+			groups = append(groups, uint64(id))
+		})
+	}
+	return groups
+}
+
+// runMigration executes a batched plan. Shared by Reshard and
+// mid-reshard recovery; only a step-hook abort can make it fail.
+func (c *MDSCluster) runMigration(p *sim.Proc, moves []reshard.Move) error {
 	batch := c.cfg.ReshardBatchRows
 	if batch <= 0 {
 		batch = 64
 	}
 	for _, b := range reshard.Batches(moves, batch) {
-		c.moveBatch(p, b)
+		if c.stepAbort(ReshardBatchStart) {
+			return ErrReshardInterrupted
+		}
+		if err := c.moveBatch(p, b); err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
+// settleReshard installs the settled map and completes the lifecycle:
+// drained shards are checked empty and then retired.
+func (c *MDSCluster) settleReshard(p *sim.Proc) error {
 	c.Maps.Finish()
 	c.rstats.Epochs++
 	c.rstats.Reshards++
@@ -140,6 +218,7 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 	// tables must be empty (newborns were never born there, and every
 	// old group moved off). A leftover row would be unreachable — fail
 	// loudly rather than lose it.
+	n := c.Maps.Current().Target()
 	for i := n; i < len(c.shards); i++ {
 		s := c.shards[i]
 		if s.inodes.Len() != 0 || s.dentries.Len() != 0 || s.mappings.Len() != 0 {
@@ -147,17 +226,19 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 				i, s.inodes.Len(), s.dentries.Len(), s.mappings.Len())
 		}
 	}
+	c.retireDrained(p)
 	return nil
 }
 
 // growTo extends the plane to n serving shards: new shards on new
 // hosts (named like AddServiceHosts names them), the peer mesh
 // completed, the row-lock table created if the plane was unsharded,
-// and every connected session dialed to the new shards. Runs without a
-// yield; nothing routes at the new shards until an epoch says so.
+// every connected session dialed to the new shards, and every attached
+// standby plane grown shard-for-shard. Runs without a yield; nothing
+// routes at the new shards until an epoch says so.
 func (c *MDSCluster) growTo(n int) {
 	for i := len(c.shards); i < n; i++ {
-		host := c.net.AddHost(fmt.Sprintf("cofs-mds%d", i), c.cfg.ServiceWorkers, 0)
+		host := c.net.AddHost(fmt.Sprintf("%s%d", c.hostPrefix, i), c.cfg.ServiceWorkers, 0)
 		c.shards = append(c.shards, newShard(c.net, host, c.full, c, i))
 	}
 	if len(c.shards) > 1 && c.rowLocks == nil && !c.cfg.DisableTxnLocks {
@@ -179,6 +260,9 @@ func (c *MDSCluster) growTo(n int) {
 			sess.conns = append(sess.conns, rpc.Dial(c.net, sess.host, c.shards[i].host, c.cfg.RPCBatch))
 		}
 	}
+	for _, sb := range c.standbys {
+		sb.grow(c)
+	}
 }
 
 // ensureReshardRig provisions the coordinator's own small host (the
@@ -193,6 +277,62 @@ func (c *MDSCluster) ensureReshardRig() {
 	}
 }
 
+// retireDrained completes a shrink after the map settles: the drained
+// shards — empty, unrouted, owning nothing — leave the plane entirely.
+// Sessions drop their channels to them (folding the channel counters
+// into the session's cumulative prior, the same convention failover
+// re-dials use), surviving shards drop their peer channels, attached
+// standby planes drain and stop their shipping, and the hosts are
+// released back to the testbed. A no-op unless shards were drained.
+func (c *MDSCluster) retireDrained(p *sim.Proc) {
+	n := c.Maps.Current().Target()
+	if n < 1 || n >= len(c.shards) {
+		return
+	}
+	for _, sess := range c.sessions {
+		if len(sess.conns) <= n {
+			continue
+		}
+		for _, conn := range sess.conns[n:] {
+			sess.prior.Add(conn.Stats)
+		}
+		sess.conns = sess.conns[:n]
+	}
+	for i, s := range c.shards {
+		if i < n {
+			for j := n; j < len(s.peers); j++ {
+				if s.peers[j] != nil {
+					c.priorPeer.Add(s.peers[j].Stats)
+				}
+			}
+			if len(s.peers) > n {
+				s.peers = s.peers[:n]
+			}
+		} else {
+			for _, pc := range s.peers {
+				if pc != nil {
+					c.priorPeer.Add(pc.Stats)
+				}
+			}
+			s.peers = nil
+		}
+	}
+	if len(c.reshardConns) > n {
+		for _, rc := range c.reshardConns[n:] {
+			c.priorPeer.Add(rc.Stats)
+		}
+		c.reshardConns = c.reshardConns[:n]
+	}
+	for _, sb := range c.standbys {
+		sb.retire(p, n)
+	}
+	for i := n; i < len(c.shards); i++ {
+		c.net.ReleaseHost(c.shards[i].host)
+		c.rstats.Retired++
+	}
+	c.shards = c.shards[:n]
+}
+
 // movedRows is one (source, target) sweep's row freight.
 type movedRows struct {
 	inodes   []inodeRow
@@ -204,13 +344,18 @@ type movedRows struct {
 	bytes int64
 }
 
+// handoffFrame is the wire framing of the WAL cursor riding a migration
+// transfer: a fixed header plus a per-record frame (table tag, op and
+// key) on top of the row payloads already counted in the freight.
+func handoffFrame(h *mdb.Handoff) int64 { return 32 + 16*int64(h.Len()) }
+
 // moveBatch migrates one batch of groups. The batch's Exclusive row
 // locks are held across the whole copy→install→delete→recall span, so
 // every transaction footprint touching these rows — including the
 // discovered-row extensions of removes and renames — is either
 // entirely before the move (its effects are copied) or entirely after
 // (it is routed, or redirected, to the target shard).
-func (c *MDSCluster) moveBatch(p *sim.Proc, batch []reshard.Move) {
+func (c *MDSCluster) moveBatch(p *sim.Proc, batch []reshard.Move) error {
 	reqs := make([]lock.Req, 0, len(batch))
 	for _, mv := range batch {
 		reqs = append(reqs, lock.X(c.shards[0].inoKey(vfs.Ino(mv.Group))))
@@ -241,87 +386,129 @@ func (c *MDSCluster) moveBatch(p *sim.Proc, batch []reshard.Move) {
 		return order[i].to < order[j].to
 	})
 	for _, k := range order {
-		c.movePair(p, k.from, k.to, sweeps[k])
+		if err := c.movePair(p, k.from, k.to, sweeps[k]); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// readGroups reads the given groups' rows inside one source
+// transaction, returning the freight (for transfer sizing and the
+// delete list) and the WAL checkpoint cursor to ship with it.
+func readGroups(p *sim.Proc, from *Service, ids []vfs.Ino) (movedRows, *mdb.Handoff) {
+	var freight movedRows
+	handoff := &mdb.Handoff{}
+	from.DB.Transaction(p, func(tx *mdb.Tx) {
+		for _, id := range ids {
+			if row, ok := mdb.Get(tx, from.inodes, id); ok {
+				freight.inodes = append(freight.inodes, row)
+				mdb.HandoffPut(handoff, from.inodes, id, row)
+				freight.bytes += 160
+			}
+			if upath, ok := mdb.Get(tx, from.mappings, id); ok {
+				freight.mappings = append(freight.mappings, struct {
+					id    vfs.Ino
+					upath string
+				}{id, upath})
+				mdb.HandoffPut(handoff, from.mappings, id, upath)
+				freight.bytes += 32 + int64(len(upath))
+			}
+			keys := mdb.IndexKeys(tx, from.dentries, "parent", parentIndexKey(id))
+			sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+			for _, k := range keys {
+				if de, ok := mdb.Get(tx, from.dentries, k); ok {
+					freight.dents = append(freight.dents, de)
+					mdb.HandoffPut(handoff, from.dentries, k, de)
+					freight.bytes += 64 + int64(len(k.Name))
+				}
+			}
+		}
+	})
+	return freight, handoff
+}
+
+// shipHandoff transfers one sweep's rows and WAL cursor from source to
+// target over the peer channel and blocks until the target's durable
+// acknowledgement: the reply only travels after ImportHandoff has
+// forced the cursor records to the target's own log. Mirrors peerCall's
+// non-blocking-server discipline (the source's scheduler thread is
+// released for the flight).
+func (c *MDSCluster) shipHandoff(p *sim.Proc, from, to *Service, freight movedRows, handoff *mdb.Handoff) {
+	from.Stats.PeerCalls++
+	from.host.CPU.Release(p)
+	from.peers[to.shardID].Call(p, rpc.Request{
+		Op: rpc.OpHandoff, ReqBytes: freight.bytes + handoffFrame(handoff), CPU: to.cfg.ServiceCPUPerOp,
+		Run: func(p *sim.Proc) {
+			to.DB.ImportHandoff(p, handoff)
+		},
+		RespBytes: rpc.Fixed(64),
+	})
+	from.host.CPU.Acquire(p)
+	c.rstats.HandoffRecords += int64(handoff.Len())
+}
+
+// deleteGroups removes the freight's rows from the source in one
+// durable transaction (the migration's source-side delete, and
+// recovery's stray-copy cleanup).
+func deleteGroups(p *sim.Proc, from *Service, freight movedRows) {
+	from.DB.Transaction(p, func(tx *mdb.Tx) {
+		for _, row := range freight.inodes {
+			mdb.Delete(tx, from.inodes, row.ID)
+		}
+		for _, m := range freight.mappings {
+			mdb.Delete(tx, from.mappings, m.id)
+		}
+		for _, de := range freight.dents {
+			mdb.Delete(tx, from.dentries, dentryKey{Parent: de.Parent, Name: de.Name})
+		}
+	})
 }
 
 // movePair migrates the given groups from one shard to another: a
 // coordinator RPC to the source whose body reads the rows, ships them
-// to the target over the peer channel (one transfer sized by the
-// freight), installs the ownership epoch, deletes the source rows and
-// recalls the source's client leases on them. The copy and the delete
-// are separate source transactions; the gap between them is safe
-// because the groups' X locks (held by moveBatch) exclude every writer
-// and the epoch is installed before the delete, so a reader racing the
-// gap either sees the intact source rows (bit-equal to the target's,
-// nothing can write) or a miss it diagnoses as a move (missErr).
-func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) {
+// — together with their WAL checkpoint cursor — to the target, waits
+// for the target's durable acknowledgement, installs the ownership
+// epoch, deletes the source rows and recalls the source's client
+// leases on them. The copy and the delete are separate source
+// transactions; the gap between them is safe because the groups' X
+// locks (held by moveBatch) exclude every writer and the epoch is
+// installed before the delete, so a reader racing the gap either sees
+// the intact source rows (bit-equal to the target's, nothing can
+// write) or a miss it diagnoses as a move (missErr). And a crash in
+// the gap — or anywhere else — is safe because the delete only ever
+// runs after the target's copy is forced durable and the epoch log
+// points at it.
+func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) error {
 	from, to := c.shards[src], c.shards[dst]
 	groups := make([]uint64, len(ids))
 	for i, id := range ids {
 		groups[i] = uint64(id)
 	}
+	var interrupted bool
 	c.reshardConns[src].Call(p, rpc.Request{
 		Op: rpc.OpReshard, ReqBytes: 64 + int64(8*len(ids)), CPU: from.cfg.ServiceCPUPerOp,
 		Run: func(p *sim.Proc) {
-			var freight movedRows
-			from.DB.Transaction(p, func(tx *mdb.Tx) {
-				for _, id := range ids {
-					if row, ok := mdb.Get(tx, from.inodes, id); ok {
-						freight.inodes = append(freight.inodes, row)
-						freight.bytes += 160
-					}
-					if upath, ok := mdb.Get(tx, from.mappings, id); ok {
-						freight.mappings = append(freight.mappings, struct {
-							id    vfs.Ino
-							upath string
-						}{id, upath})
-						freight.bytes += 32 + int64(len(upath))
-					}
-					keys := mdb.IndexKeys(tx, from.dentries, "parent", parentIndexKey(id))
-					sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
-					for _, k := range keys {
-						if de, ok := mdb.Get(tx, from.dentries, k); ok {
-							freight.dents = append(freight.dents, de)
-							freight.bytes += 64 + int64(len(k.Name))
-						}
-					}
-				}
-			})
-			// Ship and install at the target (durably: the rows ride the
-			// target's WAL like native commits).
-			peerCall(p, from, to, freight.bytes, 64, to.cfg.ServiceCPUPerOp, func(p *sim.Proc) struct{} {
-				to.DB.Transaction(p, func(tx *mdb.Tx) {
-					for _, row := range freight.inodes {
-						mdb.Put(tx, to.inodes, row.ID, row)
-					}
-					for _, m := range freight.mappings {
-						mdb.Put(tx, to.mappings, m.id, m.upath)
-					}
-					for _, de := range freight.dents {
-						mdb.Put(tx, to.dentries, dentryKey{Parent: de.Parent, Name: de.Name}, de)
-					}
-				})
-				return struct{}{}
-			})
+			freight, handoff := readGroups(p, from, ids)
+			c.shipHandoff(p, from, to, freight, handoff)
+			if interrupted = c.stepAbort(ReshardImported); interrupted {
+				return
+			}
 			// Flip ownership before the source rows die: from here on a
 			// reader's miss at the source means "moved", never "gone".
+			// The target's staged records become its owned history; the
+			// source's history of these rows stops counting as owned.
 			c.Maps.Commit(groups)
+			to.DB.SealHandoff(handoff.Len())
+			from.DB.RetireHandoff(handoff.Len())
 			c.rstats.Epochs++
 			c.rstats.GroupsMoved += int64(len(groups))
 			c.rstats.RowsMoved += int64(len(freight.inodes) + len(freight.dents) + len(freight.mappings))
 			c.rstats.BytesMoved += freight.bytes
-			from.DB.Transaction(p, func(tx *mdb.Tx) {
-				for _, row := range freight.inodes {
-					mdb.Delete(tx, from.inodes, row.ID)
-				}
-				for _, m := range freight.mappings {
-					mdb.Delete(tx, from.mappings, m.id)
-				}
-				for _, de := range freight.dents {
-					mdb.Delete(tx, from.dentries, dentryKey{Parent: de.Parent, Name: de.Name})
-				}
-			})
+			if interrupted = c.stepAbort(ReshardInstalled); interrupted {
+				return
+			}
+			deleteGroups(p, from, freight)
 			// Recall every client lease the source still holds on the
 			// moved groups — attribute, positive and negative dentry
 			// leases alike (a stale negative would otherwise hide a name
@@ -329,6 +516,152 @@ func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) {
 			before := from.Stats.Revocations
 			from.recallGroupLeases(p, ids)
 			c.rstats.Recalls += from.Stats.Revocations - before
+			interrupted = c.stepAbort(ReshardDeleted)
+		},
+		RespBytes: rpc.Fixed(64),
+	})
+	if interrupted {
+		return ErrReshardInterrupted
+	}
+	return nil
+}
+
+// recoverReshard finishes a migration that a crash (Recover) or a
+// failover (Standby.Promote) caught mid-flight. The coordinator's
+// epoch log — the in-memory Coordinator, standing for the
+// coordinator's own durable log — says exactly which groups committed;
+// the handoff protocol guarantees a durable copy of every group exists
+// at the shard the log assigns it, except for one promoted-standby
+// window handled below. Recovery is therefore two idempotent passes:
+//
+//  1. Reconcile. For every group present somewhere on the plane, the
+//     current epoch names its owner. A copy on any other shard is a
+//     replayed leftover of a half-applied batch — an import whose
+//     epoch never installed, or a source delete the flush window
+//     swallowed — and is deleted, durably. The one exception arises
+//     only on a promoted standby: the epoch installed but the import
+//     had not shipped when the primaries died, so the owner lacks the
+//     group while the old owner still has it (the delete ships after
+//     the import, so it cannot have applied either). The move is
+//     rolled forward instead: copy to the owner with the same durable
+//     handoff, then delete the stray.
+//  2. Resume. Re-plan the remaining moves from the live groups —
+//     filtering out groups the epoch log already committed — and run
+//     the ordinary migration loop to completion, then settle and
+//     retire exactly as an uninterrupted Reshard would.
+//
+// Both passes replay idempotently: re-imported batches overwrite equal
+// rows, re-deleted strays are already gone, and the moved log refuses
+// nothing because committed groups are filtered out of the plan.
+func (c *MDSCluster) recoverReshard(p *sim.Proc) {
+	cur := c.Maps.Current()
+	if !cur.Migrating() {
+		return
+	}
+	c.resharding = true
+	c.recovering = true
+	defer func() { c.resharding = false; c.recovering = false }()
+	c.ensureReshardRig()
+
+	// Where does each group's inode row actually live? (A group's
+	// mapping and dentries always travel with its inode row — every
+	// transaction that touches them is atomic and flush/ship boundaries
+	// are transaction-aligned.)
+	holders := make(map[uint64][]int)
+	for si, s := range c.shards {
+		si := si
+		s.inodes.Each(func(id vfs.Ino, _ inodeRow) {
+			holders[uint64(id)] = append(holders[uint64(id)], si)
+		})
+	}
+	gids := make([]uint64, 0, len(holders))
+	for g := range holders {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+
+	strays := make(map[int][]vfs.Ino) // shard -> stray groups to delete
+	for _, g := range gids {
+		owner := cur.Of(g)
+		ownerHas := false
+		for _, si := range holders[g] {
+			if si == owner {
+				ownerHas = true
+			}
+		}
+		for _, si := range holders[g] {
+			if si == owner {
+				continue
+			}
+			if !ownerHas {
+				// Promoted-standby roll-forward: the surviving copy is
+				// unique (copies only ever exist at a group's old and
+				// new owner, and the owner lacks it), so move it home
+				// before deleting anything.
+				c.rollForward(p, si, owner, []vfs.Ino{vfs.Ino(g)})
+			} else {
+				strays[si] = append(strays[si], vfs.Ino(g))
+			}
+		}
+	}
+	shardOrder := make([]int, 0, len(strays))
+	for si := range strays {
+		shardOrder = append(shardOrder, si)
+	}
+	sort.Ints(shardOrder)
+	for _, si := range shardOrder {
+		c.dropStrays(p, si, strays[si])
+	}
+
+	// Resume the plan from the epoch log: every remaining live group
+	// whose owner changes and whose move has not committed.
+	moves := reshard.PlanMoves(cur.Old, cur.New, cur.SplitID, c.liveGroups())
+	pending := moves[:0]
+	for _, mv := range moves {
+		if !cur.Moved(mv.Group) {
+			pending = append(pending, mv)
+		}
+	}
+	if err := c.runMigration(p, pending); err != nil {
+		// The hook is ignored while recovering; nothing else fails.
+		panic(fmt.Sprintf("core: resumed migration failed: %v", err))
+	}
+	if err := c.settleReshard(p); err != nil {
+		panic(fmt.Sprintf("core: resumed migration failed to settle: %v", err))
+	}
+}
+
+// rollForward replays one interrupted move in the forward direction
+// during recovery: durable handoff to the owner the epoch log already
+// appointed, then delete at the surviving source. No epoch installs —
+// the groups' move already committed.
+func (c *MDSCluster) rollForward(p *sim.Proc, src, dst int, ids []vfs.Ino) {
+	from, to := c.shards[src], c.shards[dst]
+	c.reshardConns[src].Call(p, rpc.Request{
+		Op: rpc.OpReshard, ReqBytes: 64 + int64(8*len(ids)), CPU: from.cfg.ServiceCPUPerOp,
+		Run: func(p *sim.Proc) {
+			freight, handoff := readGroups(p, from, ids)
+			c.shipHandoff(p, from, to, freight, handoff)
+			to.DB.SealHandoff(handoff.Len())
+			from.DB.RetireHandoff(handoff.Len())
+			c.rstats.RowsMoved += int64(len(freight.inodes) + len(freight.dents) + len(freight.mappings))
+			c.rstats.BytesMoved += freight.bytes
+			deleteGroups(p, from, freight)
+		},
+		RespBytes: rpc.Fixed(64),
+	})
+}
+
+// dropStrays deletes replayed leftover copies of groups the epoch log
+// owns elsewhere — the durable copy at the owner is authoritative, the
+// stray is a half-applied batch's residue.
+func (c *MDSCluster) dropStrays(p *sim.Proc, src int, ids []vfs.Ino) {
+	from := c.shards[src]
+	c.reshardConns[src].Call(p, rpc.Request{
+		Op: rpc.OpReshard, ReqBytes: 64 + int64(8*len(ids)), CPU: from.cfg.ServiceCPUPerOp,
+		Run: func(p *sim.Proc) {
+			freight, _ := readGroups(p, from, ids)
+			deleteGroups(p, from, freight)
 		},
 		RespBytes: rpc.Fixed(64),
 	})

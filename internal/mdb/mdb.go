@@ -80,6 +80,13 @@ type DB struct {
 	// replicas receive committed WAL records (see replica.go).
 	replicas []*Replica
 
+	// staged counts WAL records imported by a live row migration but
+	// not yet sealed by an epoch install; handedOff counts records
+	// whose rows a migration moved to another shard (see handoff.go).
+	// Both are bookkeeping over wal, reset when Checkpoint rewrites it.
+	staged    int
+	handedOff int
+
 	Commits      int64
 	Transactions int64
 	DirtyOps     int64
@@ -452,6 +459,10 @@ func (db *DB) Checkpoint(p *sim.Proc) {
 	}
 	db.wal = snapshot
 	db.walFlushed = len(db.wal)
+	// The snapshot holds exactly the rows the tables do: staged imports
+	// are folded in as ordinary records and handed-off rows are gone, so
+	// the migration bookkeeping starts over.
+	db.staged, db.handedOff = 0, 0
 	db.notifyCheckpoint()
 }
 

@@ -50,6 +50,18 @@ func Replicate(env *sim.Env, src, dst *DB, delay time.Duration) *Replica {
 // promoting the standby.
 func (r *Replica) Stop() { r.stopped = true }
 
+// Flush ships everything pending synchronously, charging the apply to
+// the calling process. Shard retirement uses it: a drained primary's
+// final delete commits must reach the standby before shipping stops,
+// or a later promotion would resurrect the migrated rows on a shard
+// the settled map no longer routes to.
+func (r *Replica) Flush(p *sim.Proc) {
+	if r.stopped {
+		return
+	}
+	r.ship(p)
+}
+
 // Lag reports how many WAL records the standby is behind.
 func (r *Replica) Lag() int {
 	if n := len(r.src.wal) - r.shipped; n > 0 {

@@ -209,3 +209,16 @@ func (n *Net) RTT(a, b *Host) time.Duration {
 
 // Hosts returns all hosts in creation order.
 func (n *Net) Hosts() []*Host { return n.hosts }
+
+// ReleaseHost returns a host to the testbed: it no longer appears in
+// Hosts(). The Host object and its NIC stay valid, so references held
+// by in-flight transfers drain normally; releasing is the lifecycle
+// bookkeeping of shard retirement, not a teardown.
+func (n *Net) ReleaseHost(h *Host) {
+	for i, x := range n.hosts {
+		if x == h {
+			n.hosts = append(n.hosts[:i], n.hosts[i+1:]...)
+			return
+		}
+	}
+}

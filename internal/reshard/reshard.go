@@ -97,6 +97,19 @@ func (m *Map) Migrating() bool { return m.moved != nil }
 // nothing created during a migration ever needs to move.
 func (m *Map) Target() int { return m.New }
 
+// Moved reports whether group id's migration committed at or below this
+// epoch. Always false on a settled map (the moved log is dropped at
+// Finish). Mid-reshard recovery filters its replanned moves by it: a
+// group the epoch log already committed is durably at its target and
+// must not move twice.
+func (m *Map) Moved(id uint64) bool {
+	if m.moved == nil {
+		return false
+	}
+	e, ok := m.moved.at[id]
+	return ok && e <= m.Epoch
+}
+
 // Of returns the shard owning group id at this epoch.
 func (m *Map) Of(id uint64) int {
 	if m.moved == nil || id > m.SplitID {
@@ -254,4 +267,12 @@ type Stats struct {
 	// Recalls counts client lease recalls issued at batch commits (the
 	// recall storms the lease table absorbs during a migration).
 	Recalls int64
+	// HandoffRecords counts WAL cursor records shipped with migration
+	// batches and acknowledged durable by their targets (the
+	// mds.reshard-wal-handoff counter).
+	HandoffRecords int64
+	// Retired counts drained shards fully retired after a shrink
+	// settled — sessions disconnected, replicas stopped, host released
+	// (the mds.reshard-retired counter).
+	Retired int64
 }

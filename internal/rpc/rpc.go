@@ -59,6 +59,11 @@ const (
 	// OpReshard is a coordinator-to-shard message of the row-migration
 	// protocol (batch copy, delete, lease recall).
 	OpReshard
+	// OpHandoff is the source-to-target migration transfer: the moved
+	// rows plus their WAL checkpoint cursor, acknowledged only after
+	// the target has forced the cursor records to its own log
+	// (docs/resharding.md, "Shard lifecycle & crash consistency").
+	OpHandoff
 )
 
 // MaxBatch bounds how many queued requests one carrier flies in a
