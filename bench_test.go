@@ -346,15 +346,20 @@ func BenchmarkShardScaling(b *testing.B) {
 		shards := shards
 		b.Run(fmt.Sprintf("mdtest-create-%dshards", shards), func(b *testing.B) {
 			var res *bench.MDTestResult
+			var mt bench.Meter
 			for i := 0; i < b.N; i++ {
+				mt.Start()
 				res = run(int64(i+1), shards)
+				mt.Stop()
 			}
 			reportMs(b, res.MeanMs("file-create"))
-			if err := bench.WriteRecord(bench.Record{
+			rec := bench.Record{
 				Name: fmt.Sprintf("shard-scaling/create-%dshards", shards), Shards: shards,
 				VmsPerOp: res.MeanMs("file-create"),
 				Extra:    map[string]float64{"vms_per_op_stat": res.MeanMs("file-stat")},
-			}); err != nil {
+			}
+			mt.Fill(&rec, res.TotalOps())
+			if err := bench.WriteRecord(rec); err != nil {
 				b.Logf("bench record: %v", err)
 			}
 		})
@@ -367,6 +372,55 @@ func BenchmarkShardScaling(b *testing.B) {
 			}
 			reportMs(b, res.MeanMs("file-stat"))
 		})
+	}
+}
+
+// BenchmarkMillionFileStorm is the scale gate the allocation-lean
+// kernel work exists for: 1024 ranks (64 nodes x 16 procs) each
+// creating and statting 1024 files in a private 4-leaf tree —
+// 1,048,576 files over 8 metadata shards, the mdtest configuration of
+// BenchmarkShardScaling blown up 128x. The removal phases are dropped
+// (MDTestConfig.Phases) to fit the CI bench budget; the create and
+// stat storms are where the harness cost lives. The emitted
+// BENCH_million-file-storm.json carries wall seconds and allocs/op —
+// the figures the bench gate holds the harness to — alongside the
+// usual deterministic vms/op.
+func BenchmarkMillionFileStorm(b *testing.B) {
+	run := func(seed int64) *bench.MDTestResult {
+		cfg := params.Default()
+		cfg.COFS.MetadataShards = 8
+		cfg.COFS.DirFanout = 4096
+		cfg.COFS.RandomSubdirs = 1
+		cfg.PFS.Servers = 64
+		tb := cluster.New(seed, 64, cfg)
+		d := core.Deploy(tb, nil)
+		t := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+		return bench.MDTest(t, bench.MDTestConfig{
+			Nodes: 64, ProcsPerNode: 16, Depth: 1, Branch: 4, FilesPerRank: 1024,
+			Shared: false,
+			Phases: []string{"tree-create", "file-create", "file-stat"},
+		})
+	}
+	var res *bench.MDTestResult
+	var mt bench.Meter
+	for i := 0; i < b.N; i++ {
+		mt.Start()
+		res = run(int64(i + 1))
+		mt.Stop()
+	}
+	reportMs(b, res.MeanMs("file-create"))
+	b.ReportMetric(res.MeanMs("file-stat"), "vms/op-stat")
+	rec := bench.Record{
+		Name: "million-file-storm", Shards: 8,
+		VmsPerOp: res.MeanMs("file-create"),
+		Extra: map[string]float64{
+			"vms_per_op_stat": res.MeanMs("file-stat"),
+			"files":           float64(res.PhaseOps["file-create"]),
+		},
+	}
+	mt.Fill(&rec, res.TotalOps())
+	if err := bench.WriteRecord(rec); err != nil {
+		b.Logf("bench record: %v", err)
 	}
 }
 
@@ -423,19 +477,25 @@ func BenchmarkMetadataCache(b *testing.B) {
 			shards, mode := shards, mode
 			b.Run(fmt.Sprintf("%s-%dshards", mode, shards), func(b *testing.B) {
 				var ms float64
+				var ops int
+				var mt bench.Meter
 				for i := 0; i < b.N; i++ {
 					cfg := params.Default()
 					cfg.COFS.MetadataShards = shards
 					if mode == "lease" {
 						cfg.COFS.AttrLease = 30 * time.Second
 					}
-					ms, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
+					mt.Start()
+					ms, ops, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
+					mt.Stop()
 				}
 				reportMs(b, ms)
-				if err := bench.WriteRecord(bench.Record{
+				rec := bench.Record{
 					Name: fmt.Sprintf("metadata-cache/%s-%dshards", mode, shards), Shards: shards,
 					VmsPerOp: ms,
-				}); err != nil {
+				}
+				mt.Fill(&rec, ops)
+				if err := bench.WriteRecord(rec); err != nil {
 					b.Logf("bench record: %v", err)
 				}
 			})
@@ -492,9 +552,12 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var res *bench.MetaratesResult
 			var d *core.Deployment
+			var mt bench.Meter
 			for i := 0; i < b.N; i++ {
 				var err error
+				mt.Start()
 				res, d, err = run(int64(i+1), tc.shards, tc.target)
+				mt.Stop()
 				if err != nil {
 					b.Fatalf("mid-storm reshard: %v", err)
 				}
@@ -513,6 +576,7 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 			if tc.target > 0 {
 				rec.Extra["target_shards"] = float64(tc.target)
 			}
+			mt.Fill(&rec, res.TotalOps())
 			rec.SetCounters(d.Counters())
 			if err := bench.WriteRecord(rec); err != nil {
 				b.Logf("bench record: %v", err)
@@ -526,9 +590,14 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 	// reconcile-and-resume of the interrupted migration
 	// (docs/resharding.md, "Shard lifecycle & crash consistency").
 	b.Run("crash-recover-2to4", func(b *testing.B) {
+		// The host-cost normalizer: the rows the interrupted migration
+		// and its recovery re-home (4 nodes x 512 files).
+		const rows = 4 * 512
 		var recoverMs float64
 		var d *core.Deployment
+		var mt bench.Meter
 		for i := 0; i < b.N; i++ {
+			mt.Start()
 			cfg := params.Default()
 			cfg.COFS.MetadataShards = 2
 			cfg.COFS.AttrLease = 30 * time.Second
@@ -583,6 +652,7 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 				b.Fatalf("invariants after recovery: %v", err)
 			}
 			recoverMs = float64(recovered) / float64(time.Millisecond)
+			mt.Stop()
 		}
 		b.ReportMetric(recoverMs, "vms/recovery")
 		rec := bench.Record{
@@ -594,6 +664,7 @@ func BenchmarkReshardUnderLoad(b *testing.B) {
 				"target_shards": 4,
 			},
 		}
+		mt.Fill(&rec, rows)
 		rec.SetCounters(d.Counters())
 		if err := bench.WriteRecord(rec); err != nil {
 			b.Logf("bench record: %v", err)

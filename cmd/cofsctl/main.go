@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"cofs/internal/bench"
 	"cofs/internal/cluster"
 	"cofs/internal/core"
 	"cofs/internal/params"
@@ -40,7 +41,10 @@ func main() {
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	reshardTo := flag.Int("reshard-to", 2, "reshard: target shard count")
 	crashAt := flag.Int("crash-at", -1, "reshard: crash the plane at migration step N and recover (-1 runs to completion)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a host allocation profile to this file")
 	flag.Parse()
+	defer bench.MustProfile(*cpuprofile, *memprofile)()
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)

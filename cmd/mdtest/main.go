@@ -38,8 +38,12 @@ func main() {
 		exclLocks = flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
 		reshardAt = flag.String("reshard-at", "", "cofs: reshard mid-run, when this phase starts (e.g. file-create)")
 		reshardTo = flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a host allocation profile to this file")
 	)
 	flag.Parse()
+	defer bench.MustProfile(*cpuprofile, *memprofile)()
 
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = *shards

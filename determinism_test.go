@@ -1,0 +1,113 @@
+package cofs_test
+
+// The same-seed determinism battery: the repo's contract is that every
+// virtual-time figure is a pure function of the seed and configuration
+// — bit-identical across runs, Go versions and host load — because the
+// kernel wakes exactly one runnable process at a time and orders events
+// by (instant, issue sequence). The allocation-lean kernel rewrite
+// (internal/sim: typed event heap, pooled wake channels, the Sleep(0)
+// fast path) must not perturb that ordering; internal/sim's golden
+// order test pins the kernel's event sequence directly, and this
+// battery pins the end-to-end consequence: two identical mdtest storms
+// over a sharded metadata plane — including one that reshards the
+// plane mid-run, the most schedule-sensitive path the repo has —
+// produce identical latencies, identical final virtual clocks and
+// identical per-layer counters.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cofs/internal/bench"
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+)
+
+// stormFingerprint runs one mdtest storm — 32 ranks (8 nodes x 4
+// procs), private 4-leaf trees, 64 files per rank, coherent lease
+// cache on — and renders everything observable about it into a string:
+// the final virtual clock, per-phase op counts and mean latencies
+// (hex-formatted, so float equality is bitwise), and every deployment
+// counter. With reshard set the plane starts at 2 shards and reshards
+// to 4 while the stat phase runs.
+func stormFingerprint(t *testing.T, seed int64, reshard bool) string {
+	t.Helper()
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = 4
+	if reshard {
+		cfg.COFS.MetadataShards = 2
+	}
+	cfg.COFS.AttrLease = 30 * time.Second
+	tb := cluster.New(seed, 8, cfg)
+	d := core.Deploy(tb, nil)
+	tgt := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
+	mcfg := bench.MDTestConfig{
+		Nodes: 8, ProcsPerNode: 4, Depth: 1, Branch: 4, FilesPerRank: 64,
+		Shared: false, StatShift: true,
+	}
+	var reshardErr error
+	if reshard {
+		mcfg.PhaseHook = func(p *sim.Proc, phase string) {
+			if phase == "file-stat" && reshardErr == nil {
+				reshardErr = d.Service.Reshard(p, 4)
+			}
+		}
+	}
+	res := bench.MDTest(tgt, mcfg)
+	if reshardErr != nil {
+		t.Fatalf("mid-storm reshard: %v", reshardErr)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "virtual-now %d\n", tb.Env.Now())
+	for _, ph := range bench.MDTestPhases {
+		fmt.Fprintf(&sb, "%s ops %d mean %x vms\n", ph, res.PhaseOps[ph], res.MeanMs(ph))
+	}
+	c := d.Counters()
+	for _, name := range c.Names() {
+		fmt.Fprintf(&sb, "%s %d\n", name, c.Get(name))
+	}
+	return sb.String()
+}
+
+// TestSameSeedDeterminism runs each storm twice with the same seed and
+// requires byte-identical fingerprints. A diff here means the kernel's
+// event ordering (or something scheduled on it) became sensitive to
+// host-side state — exactly the regression the allocation work must
+// never introduce.
+func TestSameSeedDeterminism(t *testing.T) {
+	cases := []struct {
+		name    string
+		reshard bool
+	}{
+		{"storm-4shards", false},
+		{"storm-2to4-midreshard", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			first := stormFingerprint(t, 42, tc.reshard)
+			second := stormFingerprint(t, 42, tc.reshard)
+			if first == second {
+				return
+			}
+			a := strings.Split(first, "\n")
+			b := strings.Split(second, "\n")
+			for i := 0; i < len(a) || i < len(b); i++ {
+				var la, lb string
+				if i < len(a) {
+					la = a[i]
+				}
+				if i < len(b) {
+					lb = b[i]
+				}
+				if la != lb {
+					t.Errorf("fingerprint line %d differs:\n  run 1: %s\n  run 2: %s", i+1, la, lb)
+				}
+			}
+		})
+	}
+}

@@ -48,6 +48,26 @@ type MDTestConfig struct {
 	// all `-reshard-at`, which reshards the metadata plane while the
 	// phase runs — ride it.
 	PhaseHook func(p *sim.Proc, phase string)
+	// Phases, when non-empty, selects which of MDTestPhases run; the
+	// rest are skipped entirely (no spawns, no barrier, no hook).
+	// Skipping a phase a later one depends on — file-stat without
+	// file-create — is the caller's own foot to shoot. The large-scale
+	// batteries use it to drop the removal phases and fit a wall-clock
+	// budget.
+	Phases []string
+}
+
+// runPhase reports whether the Phases filter selects name.
+func (c *MDTestConfig) runPhase(name string) bool {
+	if len(c.Phases) == 0 {
+		return true
+	}
+	for _, ph := range c.Phases {
+		if ph == name {
+			return true
+		}
+	}
+	return false
 }
 
 // MDTestPhases lists the measured phases in execution order.
@@ -70,6 +90,15 @@ func (r *MDTestResult) Rate(phase string) float64 {
 		return 0
 	}
 	return float64(r.PhaseOps[phase]) / d.Seconds()
+}
+
+// TotalOps sums the operations of every executed phase.
+func (r *MDTestResult) TotalOps() int {
+	n := 0
+	for _, ops := range r.PhaseOps {
+		n += ops
+	}
+	return n
 }
 
 // MeanMs returns the mean operation latency of a phase in milliseconds.
@@ -171,6 +200,9 @@ func MDTest(t Target, cfg MDTestConfig) *MDTestResult {
 	})
 
 	phase := func(name string, ranks int, fn func(p *sim.Proc, m *vfs.Mount, ctx vfs.Ctx, rank int) int) {
+		if !cfg.runPhase(name) {
+			return
+		}
 		start := t.Env.Now()
 		if cfg.PhaseHook != nil {
 			t.Env.Spawn("hook."+name, func(p *sim.Proc) { cfg.PhaseHook(p, name) })

@@ -69,6 +69,15 @@ type MetaratesResult struct {
 	PhaseTime map[string]time.Duration
 }
 
+// TotalOps sums the measured operations over all op phases.
+func (r *MetaratesResult) TotalOps() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.N()
+	}
+	return n
+}
+
 // MeanMs returns the mean latency of op in milliseconds.
 func (r *MetaratesResult) MeanMs(op string) float64 {
 	s, ok := r.PerOp[op]

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"cofs/internal/stats"
 )
@@ -24,12 +26,61 @@ type Record struct {
 	// VmsPerOp is the paper's headline metric: virtual milliseconds per
 	// operation.
 	VmsPerOp float64 `json:"vms_per_op,omitempty"`
+	// WallSeconds is the host (real) time one run of the benchmark took
+	// — the harness-cost axis, as opposed to the simulated VmsPerOp.
+	// Zero when not measured. Unlike every virtual-time field it is NOT
+	// deterministic; the bench gate compares it with tolerance only.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// AllocsPerOp is host heap allocations per simulated operation over
+	// the same run (runtime.MemStats.Mallocs delta divided by Ops).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Ops is the simulated-operation count WallSeconds and AllocsPerOp
+	// are normalized over.
+	Ops int64 `json:"ops,omitempty"`
 	// Extra holds named secondary metrics (dip ratios, recovery times,
 	// MB/s...).
 	Extra map[string]float64 `json:"extra,omitempty"`
 	// Counters snapshots the deployment's per-layer observability
 	// counters at the end of the run.
 	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Meter measures the host-side cost of a simulation run: wall-clock
+// seconds and heap allocations (runtime.MemStats.Mallocs deltas).
+// Benchmark loops meter every iteration with Start/Stop and keep the
+// last interval — mirroring how they keep the last iteration's
+// simulation result — then Fill the record they write.
+type Meter struct {
+	t0       time.Time
+	mallocs0 uint64
+	wall     float64
+	allocs   uint64
+}
+
+// Start opens a measurement interval.
+func (m *Meter) Start() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.mallocs0 = ms.Mallocs
+	m.t0 = time.Now()
+}
+
+// Stop closes the interval opened by the last Start.
+func (m *Meter) Stop() {
+	m.wall = time.Since(m.t0).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.allocs = ms.Mallocs - m.mallocs0
+}
+
+// Fill writes the last Start/Stop interval into r, normalizing
+// allocations over ops simulated operations.
+func (m *Meter) Fill(r *Record, ops int) {
+	r.WallSeconds = m.wall
+	r.Ops = int64(ops)
+	if ops > 0 {
+		r.AllocsPerOp = float64(m.allocs) / float64(ops)
+	}
 }
 
 // SetCounters fills Record.Counters from a deployment counter set.

@@ -118,6 +118,10 @@ type MDSCluster struct {
 	// reverts to the unlocked protocol for regression replays. Growing
 	// an unsharded plane creates it (Reshard).
 	rowLocks *lock.RowLocks
+	// txnFree recycles rowTxn footprints (struct plus req buffer): every
+	// sharded mutation opens one, and a storm opens millions
+	// (txnlock.go).
+	txnFree []*rowTxn
 	// reshardHost is the coordinator's own small host, created lazily at
 	// the first Reshard, with one channel per shard for migration
 	// traffic.

@@ -442,7 +442,7 @@ func (c *MDSCluster) shipHandoff(p *sim.Proc, from, to *Service, freight movedRo
 		Run: func(p *sim.Proc) {
 			to.DB.ImportHandoff(p, handoff)
 		},
-		RespBytes: rpc.Fixed(64),
+		RespFixed: 64,
 	})
 	from.host.CPU.Acquire(p)
 	c.rstats.HandoffRecords += int64(handoff.Len())
@@ -518,7 +518,7 @@ func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) error {
 			c.rstats.Recalls += from.Stats.Revocations - before
 			interrupted = c.stepAbort(ReshardDeleted)
 		},
-		RespBytes: rpc.Fixed(64),
+		RespFixed: 64,
 	})
 	if interrupted {
 		return ErrReshardInterrupted
@@ -648,7 +648,7 @@ func (c *MDSCluster) rollForward(p *sim.Proc, src, dst int, ids []vfs.Ino) {
 			c.rstats.BytesMoved += freight.bytes
 			deleteGroups(p, from, freight)
 		},
-		RespBytes: rpc.Fixed(64),
+		RespFixed: 64,
 	})
 }
 
@@ -663,6 +663,6 @@ func (c *MDSCluster) dropStrays(p *sim.Proc, src int, ids []vfs.Ino) {
 			freight, _ := readGroups(p, from, ids)
 			deleteGroups(p, from, freight)
 		},
-		RespBytes: rpc.Fixed(64),
+		RespFixed: 64,
 	})
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"cofs/internal/disk"
@@ -63,7 +64,7 @@ type dentryRow struct {
 }
 
 // parentIndexKey renders the index bucket for a directory.
-func parentIndexKey(dir vfs.Ino) string { return fmt.Sprintf("%d", uint64(dir)) }
+func parentIndexKey(dir vfs.Ino) string { return strconv.FormatUint(uint64(dir), 10) }
 
 // ServiceStats aggregates service-side counters.
 type ServiceStats struct {
@@ -247,7 +248,13 @@ func callRead[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req, res
 }
 
 func callCPU[T any](p *sim.Proc, s *Service, sess *Session, op rpc.Op, req, resp int64, cpu time.Duration, fn func(p *sim.Proc) T) T {
-	return callDyn(p, s, sess, op, req, cpu, fn, func(T) int64 { return resp })
+	s.Stats.Requests++
+	var out T
+	sess.conns[s.shardID].Call(p, rpc.Request{
+		Op: op, ReqBytes: req, CPU: cpu, RespFixed: resp,
+		Run: func(p *sim.Proc) { out = fn(p) },
+	})
+	return out
 }
 
 // callDyn is callCPU with the response size computed from the handler's
@@ -279,9 +286,8 @@ func peerCall[T any](p *sim.Proc, from, to *Service, req, resp int64, cpu time.D
 	from.host.CPU.Release(p)
 	var out T
 	from.peers[to.shardID].Call(p, rpc.Request{
-		Op: rpc.OpPeer, ReqBytes: req, CPU: cpu,
-		Run:       func(p *sim.Proc) { out = fn(p) },
-		RespBytes: rpc.Fixed(resp),
+		Op: rpc.OpPeer, ReqBytes: req, CPU: cpu, RespFixed: resp,
+		Run: func(p *sim.Proc) { out = fn(p) },
 	})
 	from.host.CPU.Acquire(p)
 	return out

@@ -87,6 +87,10 @@ func (s *Service) dentKey(parent vfs.Ino, name string) lock.RowKey {
 type rowTxn struct {
 	s    *Service
 	held []lock.Req
+	// buf is the footprint's reusable backing array; held aliases it
+	// unless an extend outgrew it. Owned by the cluster's txnFree pool
+	// across transactions.
+	buf []lock.Req
 }
 
 // staleProtocol reports whether an operation body dispatched down a
@@ -117,9 +121,22 @@ func (s *Service) lockRows(p *sim.Proc, reqs ...lock.Req) *rowTxn {
 	if !s.sharded() || s.cluster.rowLocks == nil {
 		return nil
 	}
-	held := lock.SortReqs(reqs)
-	s.acquireRows(p, held)
-	return &rowTxn{s: s, held: held}
+	c := s.cluster
+	var t *rowTxn
+	if n := len(c.txnFree); n > 0 {
+		t = c.txnFree[n-1]
+		c.txnFree[n-1] = nil
+		c.txnFree = c.txnFree[:n-1]
+	} else {
+		t = &rowTxn{}
+	}
+	t.s = s
+	// Copying into the pooled buffer keeps the caller's variadic slice
+	// from escaping; every mutation's footprint then sorts and dedups in
+	// place in reused memory.
+	t.held = lock.SortReqs(append(t.buf[:0], reqs...))
+	s.acquireRows(p, t.held)
+	return t
 }
 
 // acquireRows locks reqs under the worker-thread discipline above.
@@ -222,12 +239,21 @@ func (t *rowTxn) setHoldMode(key lock.RowKey, m lock.Mode) {
 	}
 }
 
-// release drops every held row lock. Commit and abort paths release
-// identically; call sites defer it when the transaction opens.
+// release drops every held row lock and returns the footprint to the
+// cluster's pool. Commit and abort paths release identically; call
+// sites defer it when the transaction opens. Each rowTxn is released
+// exactly once (the nil-held guard makes a second call a no-op without
+// touching the pool).
 func (t *rowTxn) release(p *sim.Proc) {
 	if t == nil || t.held == nil {
 		return
 	}
-	t.s.cluster.rowLocks.Release(p, t.held)
+	c := t.s.cluster
+	c.rowLocks.Release(p, t.held)
+	// Keep whichever backing array the footprint ended up in — an extend
+	// may have grown it — for the next transaction.
+	t.buf = t.held[:0]
 	t.held = nil
+	t.s = nil
+	c.txnFree = append(c.txnFree, t)
 }

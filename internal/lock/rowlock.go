@@ -2,7 +2,7 @@ package lock
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"cofs/internal/sim"
@@ -87,7 +87,18 @@ func X(k RowKey) Req { return Req{Key: k, Mode: ModeExclusive} }
 // duplicates, a duplicated key keeping its strongest requested mode.
 // Acquire requires its input in this form.
 func SortReqs(reqs []Req) []Req {
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Key.Less(reqs[j].Key) })
+	// Duplicate keys may land in either relative order under this
+	// unstable sort; the merge below collapses them to the strongest
+	// mode either way, so the result is deterministic.
+	slices.SortFunc(reqs, func(a, b Req) int {
+		if a.Key.Less(b.Key) {
+			return -1
+		}
+		if b.Key.Less(a.Key) {
+			return 1
+		}
+		return 0
+	})
 	out := reqs[:0]
 	for i, r := range reqs {
 		if i > 0 && r.Key == out[len(out)-1].Key {
@@ -127,10 +138,13 @@ type waiter struct {
 }
 
 // rowState is the live lock state of one row: at most one Exclusive
-// holder, or any number of Shared holders, plus the FIFO queue.
+// holder, or any number of Shared holders, plus the FIFO queue. The
+// sharer set is a small slice (typically one or two holders), and idle
+// rowStates are recycled through the table's free list rather than
+// re-materialized per transaction.
 type rowState struct {
 	excl    *sim.Proc
-	sharers map[*sim.Proc]struct{}
+	sharers []*sim.Proc
 	queue   []waiter
 }
 
@@ -144,6 +158,31 @@ func (st *rowState) compatible(mode Mode) bool {
 	return mode == ModeShared || len(st.sharers) == 0
 }
 
+// holdsShared reports whether p is among the row's Shared holders.
+func (st *rowState) holdsShared(p *sim.Proc) bool {
+	for _, s := range st.sharers {
+		if s == p {
+			return true
+		}
+	}
+	return false
+}
+
+// dropSharer removes p from the sharer set, reporting whether it held.
+// Swap-removal is fine: nothing observes sharer order.
+func (st *rowState) dropSharer(p *sim.Proc) bool {
+	for i, s := range st.sharers {
+		if s == p {
+			last := len(st.sharers) - 1
+			st.sharers[i] = st.sharers[last]
+			st.sharers[last] = nil
+			st.sharers = st.sharers[:last]
+			return true
+		}
+	}
+	return false
+}
+
 // RowLocks is a table of mode-aware FIFO row locks keyed by RowKey.
 // Rows are materialized on first acquisition and garbage-collected when
 // the last holder releases with nobody queued, so the table's size is
@@ -151,6 +190,9 @@ func (st *rowState) compatible(mode Mode) bool {
 type RowLocks struct {
 	env  *sim.Env
 	rows map[RowKey]*rowState
+	// free recycles garbage-collected rowStates; a storm re-locks the
+	// same hot rows constantly and should not re-allocate state each time.
+	free []*rowState
 
 	// ExclusiveOnly reverts the table to PR 3's exclusive-only locks:
 	// every acquisition, Shared requests included, takes its row
@@ -202,7 +244,13 @@ func (t *RowLocks) Acquire(p *sim.Proc, reqs []Req, onWait func()) bool {
 		mode := t.mode(r.Mode)
 		st, ok := t.rows[r.Key]
 		if !ok {
-			st = &rowState{sharers: make(map[*sim.Proc]struct{})}
+			if n := len(t.free); n > 0 {
+				st = t.free[n-1]
+				t.free[n-1] = nil
+				t.free = t.free[:n-1]
+			} else {
+				st = &rowState{}
+			}
 			t.rows[r.Key] = st
 		}
 		t.Stats.Acquires++
@@ -237,7 +285,7 @@ func (st *rowState) grant(p *sim.Proc, mode Mode) {
 	if mode == ModeExclusive {
 		st.excl = p
 	} else {
-		st.sharers[p] = struct{}{}
+		st.sharers = append(st.sharers, p)
 	}
 }
 
@@ -264,13 +312,13 @@ func (t *RowLocks) TryUpgrade(p *sim.Proc, key RowKey) bool {
 	if st.excl == p {
 		return true
 	}
-	if _, held := st.sharers[p]; !held {
+	if !st.holdsShared(p) {
 		panic(fmt.Sprintf("lock: upgrade of row %v not held by %q", key, p.Name()))
 	}
 	if len(st.sharers) > 1 {
 		return false
 	}
-	delete(st.sharers, p)
+	st.dropSharer(p)
 	st.excl = p
 	t.Stats.Upgrades++
 	return true
@@ -296,14 +344,13 @@ func (t *RowLocks) Release(p *sim.Proc, reqs []Req) {
 		}
 		if st.excl == p {
 			st.excl = nil
-		} else if _, held := st.sharers[p]; held {
-			delete(st.sharers, p)
-		} else {
+		} else if !st.dropSharer(p) {
 			panic(fmt.Sprintf("lock: release of row %v not held by %q", k, p.Name()))
 		}
 		t.wakeQueue(k, st)
 		if st.excl == nil && len(st.sharers) == 0 && len(st.queue) == 0 {
 			delete(t.rows, k)
+			t.free = append(t.free, st)
 		}
 	}
 }
@@ -319,7 +366,12 @@ func (t *RowLocks) wakeQueue(k RowKey, st *rowState) {
 		if !st.compatible(w.mode) {
 			return
 		}
-		st.queue = st.queue[1:]
+		// Copy-down pop keeps the queue's backing array, so a recycled
+		// rowState re-parks waiters without reallocating.
+		n := len(st.queue) - 1
+		copy(st.queue, st.queue[1:])
+		st.queue[n] = waiter{}
+		st.queue = st.queue[:n]
 		st.grant(w.p, w.mode)
 		if t.OnGrant != nil {
 			t.OnGrant(w.p, k, w.mode)

@@ -2,14 +2,20 @@
 // statistics, used for the simulated client and server buffer caches.
 package lru
 
-import "container/list"
-
 // Cache is a fixed-capacity least-recently-used cache. Not safe for
 // concurrent use; simulation code is single-threaded.
+//
+// Entries live in a slab of nodes linked by index, not in a
+// container/list of heap-allocated elements: once the slab has grown to
+// capacity, Put/Get/Remove churn allocates nothing, which matters for
+// the dcache sitting on every simulated FUSE walk.
 type Cache[K comparable, V any] struct {
 	capacity int
-	ll       *list.List
-	items    map[K]*list.Element
+	nodes    []node[K, V]
+	items    map[K]int32
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
+	free     []int32
 
 	Hits      int64
 	Misses    int64
@@ -20,9 +26,10 @@ type Cache[K comparable, V any] struct {
 	OnEvict func(K, V)
 }
 
-type entry[K comparable, V any] struct {
-	key K
-	val V
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next int32
 }
 
 // New returns a cache holding at most capacity entries (capacity >= 1).
@@ -32,17 +39,52 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 	}
 	return &Cache[K, V]{
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[K]*list.Element),
+		items:    make(map[K]int32),
+		head:     -1,
+		tail:     -1,
 	}
+}
+
+func (c *Cache[K, V]) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *Cache[K, V]) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = -1, c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+func (c *Cache[K, V]) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // Get returns the value for key, marking it most recently used.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
+	if i, ok := c.items[key]; ok {
 		c.Hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*entry[K, V]).val, true
+		c.moveToFront(i)
+		return c.nodes[i].val, true
 	}
 	c.Misses++
 	var zero V
@@ -51,8 +93,8 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 
 // Peek returns the value without updating recency or statistics.
 func (c *Cache[K, V]) Peek(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
-		return el.Value.(*entry[K, V]).val, true
+	if i, ok := c.items[key]; ok {
+		return c.nodes[i].val, true
 	}
 	var zero V
 	return zero, false
@@ -67,61 +109,101 @@ func (c *Cache[K, V]) Contains(key K) bool {
 // Put inserts or updates key, marking it most recently used. It evicts the
 // least recently used entry if the cache is over capacity.
 func (c *Cache[K, V]) Put(key K, val V) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*entry[K, V]).val = val
+	if i, ok := c.items[key]; ok {
+		c.moveToFront(i)
+		c.nodes[i].val = val
 		return
 	}
-	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
-	c.items[key] = el
-	if c.ll.Len() > c.capacity {
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.nodes = append(c.nodes, node[K, V]{})
+		i = int32(len(c.nodes) - 1)
+	}
+	c.nodes[i].key = key
+	c.nodes[i].val = val
+	c.items[key] = i
+	c.pushFront(i)
+	if len(c.items) > c.capacity {
 		c.evictOldest()
 	}
 }
 
 // Remove deletes key if present, without calling OnEvict.
 func (c *Cache[K, V]) Remove(key K) bool {
-	el, ok := c.items[key]
+	i, ok := c.items[key]
 	if !ok {
 		return false
 	}
-	c.ll.Remove(el)
+	c.unlink(i)
 	delete(c.items, key)
+	c.release(i)
 	return true
 }
 
+// RemoveFunc deletes every entry whose key satisfies pred, without
+// calling OnEvict, and reports how many were removed. It walks the
+// recency list in place — no key-slice snapshot — so bulk invalidation
+// (a revoked token covering many cached blocks) costs no allocation
+// regardless of cache size.
+func (c *Cache[K, V]) RemoveFunc(pred func(K) bool) int {
+	removed := 0
+	for i := c.head; i >= 0; {
+		next := c.nodes[i].next
+		if pred(c.nodes[i].key) {
+			c.unlink(i)
+			delete(c.items, c.nodes[i].key)
+			c.release(i)
+			removed++
+		}
+		i = next
+	}
+	return removed
+}
+
+// release returns slot i to the free list, dropping key/value references.
+func (c *Cache[K, V]) release(i int32) {
+	c.nodes[i] = node[K, V]{}
+	c.free = append(c.free, i)
+}
+
 // Len returns the number of cached entries.
-func (c *Cache[K, V]) Len() int { return c.ll.Len() }
+func (c *Cache[K, V]) Len() int { return len(c.items) }
 
 // Capacity returns the configured capacity.
 func (c *Cache[K, V]) Capacity() int { return c.capacity }
 
 // Clear drops every entry without calling OnEvict.
 func (c *Cache[K, V]) Clear() {
-	c.ll.Init()
 	clear(c.items)
+	c.nodes = c.nodes[:0]
+	c.free = c.free[:0]
+	c.head, c.tail = -1, -1
 }
 
 // Keys returns the cached keys from most to least recently used.
 func (c *Cache[K, V]) Keys() []K {
-	keys := make([]K, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		keys = append(keys, el.Value.(*entry[K, V]).key)
+	keys := make([]K, 0, len(c.items))
+	for i := c.head; i >= 0; i = c.nodes[i].next {
+		keys = append(keys, c.nodes[i].key)
 	}
 	return keys
 }
 
 func (c *Cache[K, V]) evictOldest() {
-	el := c.ll.Back()
-	if el == nil {
+	i := c.tail
+	if i < 0 {
 		return
 	}
-	ent := el.Value.(*entry[K, V])
-	c.ll.Remove(el)
-	delete(c.items, ent.key)
+	key, val := c.nodes[i].key, c.nodes[i].val
+	c.unlink(i)
+	delete(c.items, key)
+	c.release(i)
 	c.Evictions++
 	if c.OnEvict != nil {
-		c.OnEvict(ent.key, ent.val)
+		c.OnEvict(key, val)
 	}
 }
 

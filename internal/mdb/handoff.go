@@ -56,14 +56,14 @@ func (db *DB) ImportHandoff(p *sim.Proc, h *Handoff) {
 		}
 		db.tables[rec.table].applyWAL(rec)
 	}
-	db.wal = append(db.wal, h.recs...)
+	db.wal.pushAll(h.recs)
 	db.staged += h.Len()
 	db.txMu.Unlock(p)
 	db.Commits++
 	db.LogFlushes++
-	db.disk.Write(p, 0, int64(len(db.wal)-db.walFlushed)*64)
+	db.disk.Write(p, 0, int64(db.wal.len()-db.walFlushed)*64)
 	db.disk.Sync(p)
-	db.walFlushed = len(db.wal)
+	db.walFlushed = db.wal.len()
 	db.notifyCommit()
 }
 
@@ -96,7 +96,7 @@ func (db *DB) RetireHandoff(n int) {
 // not — between the import ack and the source delete both logs hold
 // the rows' history.
 func (db *DB) OwnedWALLen() int {
-	n := len(db.wal) - db.staged - db.handedOff
+	n := db.wal.len() - db.staged - db.handedOff
 	if n < 0 {
 		// A crash truncated unflushed records the counters had already
 		// accounted for; the counters re-zero at the next Checkpoint.

@@ -66,7 +66,7 @@ type DB struct {
 	// forced to disk (group commit can leave a committed-but-unflushed
 	// window only during a crash *inside* Commit, which the simulation
 	// does not model — Commit returns only after the force).
-	wal        []walRec
+	wal        walLog
 	walFlushed int
 
 	// flushInterval > 0 selects Mnesia-style asynchronous log flushing:
@@ -79,6 +79,13 @@ type DB struct {
 
 	// replicas receive committed WAL records (see replica.go).
 	replicas []*Replica
+
+	// scratch is the one reusable transaction handle: txMu serializes
+	// transactions and they cannot nest, so at most one is live at a
+	// time. scratchLog keeps the write-set buffer's capacity between
+	// transactions.
+	scratch    Tx
+	scratchLog []walRec
 
 	// staged counts WAL records imported by a live row migration but
 	// not yet sealed by an epoch install; handedOff counts records
@@ -118,12 +125,12 @@ func NewAsync(env *sim.Env, d *disk.Disk, opTime, interval time.Duration) *DB {
 // records exist. The flusher writes the tail sequentially, syncs, and
 // re-arms itself if more records arrived meanwhile.
 func (db *DB) maybeScheduleFlush() {
-	if db.flushScheduled || db.walFlushed == len(db.wal) {
+	if db.flushScheduled || db.walFlushed == db.wal.len() {
 		return
 	}
 	db.flushScheduled = true
 	db.env.SpawnAfter("mdb.logflush", db.flushInterval, func(p *sim.Proc) {
-		target := len(db.wal)
+		target := db.wal.len()
 		db.LogFlushes++
 		db.disk.Write(p, 0, int64(target-db.walFlushed)*64)
 		db.disk.Sync(p)
@@ -269,15 +276,25 @@ func (db *DB) Thaw(p *sim.Proc) { db.txMu.Unlock(p) }
 func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 	db.Transactions++
 	db.txMu.Lock(p)
-	tx := &Tx{db: db, p: p}
+	tx := &db.scratch
+	tx.db, tx.p = db, p
+	tx.log = db.scratchLog[:0]
+	tx.durable = false
+	tx.ops = 0
 	fn(tx)
 	// Apply the write set.
 	for _, rec := range tx.log {
 		db.tables[rec.table].applyWAL(rec)
 	}
-	db.wal = append(db.wal, tx.log...)
+	db.wal.pushAll(tx.log)
+	// Capture before Unlock: once this proc next blocks (the disk
+	// commit below), a queued transaction may take over the scratch
+	// handle. The buffer hand-back also zeroes nothing — records were
+	// just copied into wal, which now keeps them alive anyway.
+	durable := tx.durable
+	db.scratchLog = tx.log[:0]
 	db.txMu.Unlock(p)
-	if tx.durable {
+	if durable {
 		db.Commits++
 		if db.flushInterval > 0 {
 			db.maybeScheduleFlush()
@@ -285,7 +302,7 @@ func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 			return
 		}
 		db.disk.Commit(p)
-		db.walFlushed = len(db.wal)
+		db.walFlushed = db.wal.len()
 		db.notifyCommit()
 	}
 }
@@ -358,10 +375,35 @@ func IndexKeys[K comparable, V any](tx *Tx, t *Table[K, V], indexName, bucket st
 	for k := range ix.buckets[bucket] {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	sortFormatted(keys)
 	return keys
+}
+
+// sortFormatted sorts keys by their fmt.Sprint rendering — the store's
+// deterministic order — formatting each key once up front instead of
+// twice per comparison. Distinct keys render distinctly for every key
+// type the store uses, so the resulting order is unique.
+func sortFormatted[K comparable](keys []K) {
+	if len(keys) < 2 {
+		return
+	}
+	s := formattedSorter[K]{keys: keys, strs: make([]string, len(keys))}
+	for i, k := range keys {
+		s.strs[i] = fmt.Sprint(k)
+	}
+	sort.Sort(&s)
+}
+
+type formattedSorter[K comparable] struct {
+	keys []K
+	strs []string
+}
+
+func (s *formattedSorter[K]) Len() int           { return len(s.keys) }
+func (s *formattedSorter[K]) Less(i, j int) bool { return s.strs[i] < s.strs[j] }
+func (s *formattedSorter[K]) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.strs[i], s.strs[j] = s.strs[j], s.strs[i]
 }
 
 // Select returns all values matching pred, in deterministic order.
@@ -371,9 +413,7 @@ func Select[K comparable, V any](tx *Tx, t *Table[K, V], pred func(K, V) bool) [
 	for k := range t.data {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	sortFormatted(keys)
 	var out []V
 	for _, k := range keys {
 		if pred(k, t.data[k]) {
@@ -405,7 +445,7 @@ func (db *DB) Crash() {
 	for _, t := range db.tables {
 		t.clear()
 	}
-	db.wal = db.wal[:db.walFlushed]
+	db.wal.truncate(db.walFlushed)
 	for _, r := range db.replicas {
 		r.resync = true
 		r.pump()
@@ -418,14 +458,14 @@ func (db *DB) Crash() {
 func (db *DB) Recover(p *sim.Proc) {
 	if db.disk != nil {
 		// One sequential log scan: position once, then stream.
-		db.disk.Read(p, 0, int64(len(db.wal))*64)
+		db.disk.Read(p, 0, int64(db.wal.len())*64)
 	}
-	for _, rec := range db.wal {
+	db.wal.each(0, db.wal.len(), func(rec walRec) {
 		t := db.tables[rec.table]
 		if t.storage() == DiscCopies {
 			t.applyWAL(rec)
 		}
-	}
+	})
 }
 
 // Checkpoint dumps disc-copies tables and truncates the WAL, charging a
@@ -457,8 +497,8 @@ func (db *DB) Checkpoint(p *sim.Proc) {
 		}
 		snapshot = append(snapshot, t.snapshotWAL()...)
 	}
-	db.wal = snapshot
-	db.walFlushed = len(db.wal)
+	db.wal.reset(snapshot)
+	db.walFlushed = db.wal.len()
 	// The snapshot holds exactly the rows the tables do: staged imports
 	// are folded in as ordinary records and handed-off rows are gone, so
 	// the migration bookkeeping starts over.
@@ -472,9 +512,7 @@ func (t *Table[K, V]) snapshotWAL() []walRec {
 	for k := range t.data {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	sortFormatted(keys)
 	out := make([]walRec, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, walRec{table: t.tblName, op: walPut, key: k, val: t.data[k]})
@@ -483,7 +521,7 @@ func (t *Table[K, V]) snapshotWAL() []walRec {
 }
 
 // WALLen reports the current log length (for tests and cofsctl).
-func (db *DB) WALLen() int { return len(db.wal) }
+func (db *DB) WALLen() int { return db.wal.len() }
 
 // KV pairs a key with its value for SelectKeys results.
 type KV[K comparable, V any] struct {
@@ -498,9 +536,7 @@ func SelectKeys[K comparable, V any](tx *Tx, t *Table[K, V], pred func(K, V) boo
 	for k := range t.data {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	sortFormatted(keys)
 	var out []KV[K, V]
 	for _, k := range keys {
 		if pred(k, t.data[k]) {
@@ -516,8 +552,8 @@ func SelectKeys[K comparable, V any](tx *Tx, t *Table[K, V], pred func(K, V) boo
 func (t *Table[K, V]) Bootstrap(key K, val V) {
 	t.put(key, val)
 	rec := walRec{table: t.tblName, op: walPut, key: key, val: val}
-	t.db.wal = append(t.db.wal, rec)
-	t.db.walFlushed = len(t.db.wal)
+	t.db.wal.push(rec)
+	t.db.walFlushed = t.db.wal.len()
 }
 
 // Peek reads a row without timing charges (inspection/invariant checks).
@@ -533,9 +569,7 @@ func (t *Table[K, V]) Each(fn func(K, V)) {
 	for k := range t.data {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	sortFormatted(keys)
 	for _, k := range keys {
 		fn(k, t.data[k])
 	}

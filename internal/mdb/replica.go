@@ -64,7 +64,7 @@ func (r *Replica) Flush(p *sim.Proc) {
 
 // Lag reports how many WAL records the standby is behind.
 func (r *Replica) Lag() int {
-	if n := len(r.src.wal) - r.shipped; n > 0 {
+	if n := r.src.wal.len() - r.shipped; n > 0 {
 		return n
 	}
 	return 0
@@ -75,7 +75,7 @@ func (r *Replica) pump() {
 	if r.stopped || r.inflight {
 		return
 	}
-	if !r.resync && r.shipped >= len(r.src.wal) {
+	if !r.resync && r.shipped >= r.src.wal.len() {
 		return
 	}
 	r.inflight = true
@@ -99,15 +99,19 @@ func (r *Replica) ship(p *sim.Proc) {
 		for _, t := range r.dst.tables {
 			t.clear()
 		}
-		r.dst.wal = nil
+		r.dst.wal.reset(nil)
 		r.shipped = 0
 		r.resync = false
 	}
-	target := len(r.src.wal)
+	target := r.src.wal.len()
 	if r.shipped >= target {
 		return
 	}
-	batch := r.src.wal[r.shipped:target]
+	// Copy the batch out before the apply loop yields: a primary crash
+	// during the sleeps below truncates (and zeroes) the source log, and
+	// this round must still ship the records it set out to ship.
+	batch := make([]walRec, 0, target-r.shipped)
+	r.src.wal.each(r.shipped, target, func(rec walRec) { batch = append(batch, rec) })
 	for _, rec := range batch {
 		if t, ok := r.dst.tables[rec.table]; ok {
 			t.applyWAL(rec)
@@ -117,11 +121,11 @@ func (r *Replica) ship(p *sim.Proc) {
 		}
 	}
 	// The standby logs what it applied so its own recovery works.
-	r.dst.wal = append(r.dst.wal, batch...)
+	r.dst.wal.pushAll(batch)
 	if r.dst.disk != nil {
 		r.dst.disk.Write(p, 0, int64(len(batch))*64)
 	}
-	r.dst.walFlushed = len(r.dst.wal)
+	r.dst.walFlushed = r.dst.wal.len()
 	r.shipped = target
 	r.Ships++
 	r.Records += int64(len(batch))

@@ -8,7 +8,7 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"cofs/internal/params"
@@ -46,14 +46,33 @@ type Net struct {
 	// uplinks[a][b] is the trunk chain between switch a and switch b
 	// (nil or empty when directly connected / same switch).
 	uplinks map[[2]int][]*Link
+	// routes memoizes route computations per directed host pair; every
+	// Transfer/RTT used to rebuild and re-sort the link slice. Keyed by
+	// host pointers, not IDs: ReleaseHost makes IDs reusable. Cleared
+	// wholesale whenever topology changes (AddHost/Connect/ReleaseHost).
+	routes map[[2]*Host]routeInfo
 
 	Messages int64
 	Bytes    int64
 }
 
+// routeInfo is a cached route: the shared links in global acquisition
+// order (by link ID, the order Transfer locks them in), the hop count
+// for latency, and the bottleneck bandwidth.
+type routeInfo struct {
+	ordered []*Link
+	hops    int
+	minBW   float64
+}
+
 // New creates an empty network.
 func New(env *sim.Env, p params.NetworkParams) *Net {
-	return &Net{env: env, p: p, uplinks: make(map[[2]int][]*Link)}
+	return &Net{
+		env:     env,
+		p:       p,
+		uplinks: make(map[[2]int][]*Link),
+		routes:  make(map[[2]*Host]routeInfo),
+	}
 }
 
 // Env returns the simulation environment.
@@ -78,6 +97,7 @@ func (n *Net) AddHost(name string, cores, switchID int) *Host {
 		switchID: switchID,
 	}
 	n.hosts = append(n.hosts, h)
+	clear(n.routes)
 	return h
 }
 
@@ -94,6 +114,7 @@ func (n *Net) Connect(switchA, switchB, hops int) {
 		chain = append(chain, n.newLink(fmt.Sprintf("trunk:%d-%d.%d", switchA, switchB, i), n.p.UplinkBandwidth))
 	}
 	n.uplinks[key] = chain
+	clear(n.routes)
 }
 
 func switchKey(a, b int) [2]int {
@@ -103,14 +124,19 @@ func switchKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// route returns the shared links a transfer from a to b must cross, plus
-// the hop count for latency.
-func (n *Net) route(a, b *Host) (links []*Link, hops int) {
+// route returns the memoized route from a to b: links pre-sorted into
+// acquisition order, hop count, and bottleneck bandwidth. The first call
+// per host pair computes and caches; topology changes clear the cache.
+func (n *Net) route(a, b *Host) routeInfo {
 	if a == b {
-		return nil, 0
+		return routeInfo{}
 	}
-	links = []*Link{a.nic, b.nic}
-	hops = 2 // host->switch, switch->host
+	key := [2]*Host{a, b}
+	if ri, ok := n.routes[key]; ok {
+		return ri
+	}
+	links := []*Link{a.nic, b.nic}
+	hops := 2 // host->switch, switch->host
 	if a.switchID != b.switchID {
 		chain, ok := n.uplinks[switchKey(a.switchID, b.switchID)]
 		if !ok {
@@ -119,7 +145,18 @@ func (n *Net) route(a, b *Host) (links []*Link, hops int) {
 		links = append(links, chain...)
 		hops += len(chain)
 	}
-	return links, hops
+	// Global link-ID order keeps concurrent transfers deadlock-free;
+	// sorting once here is what lets Transfer skip its per-call copy+sort.
+	slices.SortFunc(links, func(x, y *Link) int { return x.ID - y.ID })
+	minBW := links[0].Bandwidth
+	for _, l := range links {
+		if l.Bandwidth < minBW {
+			minBW = l.Bandwidth
+		}
+	}
+	ri := routeInfo{ordered: links, hops: hops, minBW: minBW}
+	n.routes[key] = ri
+	return ri
 }
 
 // Transfer moves bytes from a to b, charging propagation latency per hop
@@ -134,30 +171,21 @@ func (n *Net) Transfer(p *sim.Proc, a, b *Host, bytes int64) {
 		// Loopback: no network involvement.
 		return
 	}
-	links, hops := n.route(a, b)
+	ri := n.route(a, b)
 	size := bytes + n.p.RPCOverheadBytes
-	minBW := links[0].Bandwidth
-	for _, l := range links {
-		if l.Bandwidth < minBW {
-			minBW = l.Bandwidth
-		}
-	}
-	tx := time.Duration(float64(size) / minBW * float64(time.Second))
+	tx := time.Duration(float64(size) / ri.minBW * float64(time.Second))
 
-	ordered := make([]*Link, len(links))
-	copy(ordered, links)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-	for _, l := range ordered {
+	for _, l := range ri.ordered {
 		l.res.Acquire(p)
 	}
 	// Links are occupied for the serialization time only; propagation
 	// and switching latency is charged after they are released, so a
 	// small message does not block a NIC for its wire latency.
 	p.Sleep(tx)
-	for i := len(ordered) - 1; i >= 0; i-- {
-		ordered[i].res.Release(p)
+	for i := len(ri.ordered) - 1; i >= 0; i-- {
+		ri.ordered[i].res.Release(p)
 	}
-	p.Sleep(time.Duration(hops) * n.p.HopLatency)
+	p.Sleep(time.Duration(ri.hops) * n.p.HopLatency)
 }
 
 // Call performs a synchronous RPC from client to server: request
@@ -201,8 +229,7 @@ func (n *Net) RTT(a, b *Host) time.Duration {
 	if a == b {
 		return 0
 	}
-	_, hops := n.route(a, b)
-	oneWay := time.Duration(hops)*n.p.HopLatency +
+	oneWay := time.Duration(n.route(a, b).hops)*n.p.HopLatency +
 		time.Duration(float64(n.p.RPCOverheadBytes)/n.p.EdgeBandwidth*float64(time.Second))
 	return 2 * oneWay
 }
@@ -218,6 +245,7 @@ func (n *Net) ReleaseHost(h *Host) {
 	for i, x := range n.hosts {
 		if x == h {
 			n.hosts = append(n.hosts[:i], n.hosts[i+1:]...)
+			clear(n.routes)
 			return
 		}
 	}

@@ -260,3 +260,46 @@ func TestCallDynChargesResponseBySize(t *testing.T) {
 		t.Errorf("payload cost %v, want within 2x of %v", got, want)
 	}
 }
+
+// TestRouteCacheInvalidation pins the memoized-route contract: repeated
+// transfers reuse one cached entry per directed host pair, and any
+// topology mutation (AddHost / Connect / ReleaseHost) drops the cache so
+// stale routes cannot survive a change.
+func TestRouteCacheInvalidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	a := n.AddHost("a", 2, 0)
+	b := n.AddHost("b", 2, 3)
+	n.Connect(0, 3, 1)
+	env.Spawn("x", func(p *sim.Proc) {
+		n.Transfer(p, a, b, 0)
+		n.Transfer(p, a, b, 0)
+	})
+	env.MustRun()
+	if len(n.routes) != 1 {
+		t.Fatalf("route cache has %d entries after repeated a->b transfers, want 1", len(n.routes))
+	}
+	before := n.RTT(a, b) // also a->b: still the one entry
+	if len(n.routes) != 1 {
+		t.Fatalf("RTT added a cache entry: %d", len(n.routes))
+	}
+
+	c := n.AddHost("c", 2, 0)
+	if len(n.routes) != 0 {
+		t.Fatal("AddHost did not invalidate the route cache")
+	}
+	if got := n.RTT(a, b); got != before {
+		t.Fatalf("recomputed RTT %v, want %v", got, before)
+	}
+
+	n.Connect(0, 7, 2)
+	if len(n.routes) != 0 {
+		t.Fatal("Connect did not invalidate the route cache")
+	}
+
+	n.RTT(a, c)
+	n.ReleaseHost(c)
+	if len(n.routes) != 0 {
+		t.Fatal("ReleaseHost did not invalidate the route cache")
+	}
+}

@@ -137,17 +137,9 @@ func (c *Client) dropBlocks(r lock.Resource) {
 	case KindInode:
 		// Drop every cached inode packed into the revoked block.
 		per := uint64(c.srv.cfg.PFS.InodesPerBlock)
-		for _, ino := range c.inoCache.Keys() {
-			if uint64(ino)/per == r.ID {
-				c.inoCache.Remove(ino)
-			}
-		}
+		c.inoCache.RemoveFunc(func(ino vfs.Ino) bool { return uint64(ino)/per == r.ID })
 	case KindDir:
-		for _, key := range c.dirBlocks.Keys() {
-			if uint64(key.dir) == r.ID {
-				c.dirBlocks.Remove(key)
-			}
-		}
+		c.dirBlocks.RemoveFunc(func(key dirBlockKey) bool { return uint64(key.dir) == r.ID })
 	}
 }
 
@@ -181,12 +173,8 @@ func (c *Client) Relinquish(p *sim.Proc) {
 	// Drop local caches and the token table, then release holdership at
 	// the manager in one bulk RPC (this also covers tokens the LRU had
 	// already forgotten but the manager still recorded).
-	for _, ino := range c.inoCache.Keys() {
-		c.inoCache.Remove(ino)
-	}
-	for _, key := range c.dirBlocks.Keys() {
-		c.dirBlocks.Remove(key)
-	}
+	c.inoCache.Clear()
+	c.dirBlocks.Clear()
 	c.tokens.Clear()
 	c.srv.Tokens.ReleaseAll(p, c)
 }

@@ -192,9 +192,5 @@ func (c *Client) dropStripes(ino vfs.Ino) {
 			delete(c.dirtyStripes, st)
 		}
 	}
-	for _, st := range c.pagepool.Keys() {
-		if st.Ino == uint64(ino) {
-			c.pagepool.Remove(st)
-		}
-	}
+	c.pagepool.RemoveFunc(func(st blockstore.Stripe) bool { return st.Ino == uint64(ino) })
 }

@@ -73,18 +73,31 @@ const MaxBatch = 64
 
 // Request is one typed message on a Conn. ReqBytes is the request
 // payload size; CPU is the server-side dispatch cost charged before the
-// body runs; Run executes the operation body under the server's CPU;
-// RespBytes is evaluated after Run (directory listings and other
-// replies whose size depends on served data).
+// body runs; Run executes the operation body under the server's CPU.
+// The reply size is RespFixed, or — for directory listings and other
+// replies whose size depends on served data — the result of RespBytes,
+// evaluated after Run (and taking precedence when non-nil). Static-size
+// replies should set RespFixed: a RespBytes closure is an allocation on
+// every call.
 type Request struct {
 	Op        Op
 	ReqBytes  int64
 	CPU       time.Duration
 	Run       func(p *sim.Proc)
+	RespFixed int64
 	RespBytes func() int64
 }
 
-// Fixed is a RespBytes helper for replies of static size.
+// respSize returns the reply's wire size; call only after Run.
+func (r *Request) respSize() int64 {
+	if r.RespBytes != nil {
+		return r.RespBytes()
+	}
+	return r.RespFixed
+}
+
+// Fixed is a RespBytes helper for replies of static size. Prefer setting
+// RespFixed directly; Fixed survives for call sites built before it.
 func Fixed(n int64) func() int64 { return func() int64 { return n } }
 
 // ConnStats counts transport-level events on one Conn.
@@ -150,13 +163,14 @@ func (c *Conn) Remote() *netsim.Host { return c.remote }
 // is enabled).
 func (c *Conn) Call(p *sim.Proc, r Request) {
 	c.Stats.Calls++
-	pd := &pending{req: r}
 	if !c.batch {
-		c.fly(p, []*pending{pd})
+		// Unbatched calls are the default path and fly alone: no pending
+		// record, no batch slice — just the wire round trip.
+		c.flyOne(p, &r)
 		return
 	}
 	if c.busy {
-		pd.wg = sim.NewWaitGroup(c.net.Env())
+		pd := &pending{req: r, wg: sim.NewWaitGroup(c.net.Env())}
 		pd.wg.Add(1)
 		c.queue = append(c.queue, pd)
 		pd.wg.Wait(p)
@@ -169,8 +183,24 @@ func (c *Conn) Call(p *sim.Proc, r Request) {
 		return
 	}
 	c.busy = true
-	c.fly(p, []*pending{pd})
-	c.land(p, []*pending{pd})
+	c.flyOne(p, &r)
+	c.land(p, nil)
+}
+
+// flyOne is fly for a single request, with no batch bookkeeping. The
+// cost sequence is identical: request transfer, CPU dispatch + body,
+// reply size taken while the CPU is still held, response transfer.
+func (c *Conn) flyOne(p *sim.Proc, r *Request) {
+	c.Stats.Wire++
+	c.net.Transfer(p, c.local, c.remote, r.ReqBytes)
+	c.remote.CPU.Acquire(p)
+	if r.CPU > 0 {
+		p.Sleep(r.CPU)
+	}
+	r.Run(p)
+	resp := r.respSize()
+	c.remote.CPU.Release(p)
+	c.net.Transfer(p, c.remote, c.local, resp)
 }
 
 // fly performs one wire round trip for a batch: one request transfer,
@@ -193,7 +223,7 @@ func (c *Conn) fly(p *sim.Proc, batch []*pending) {
 			p.Sleep(pd.req.CPU)
 		}
 		pd.req.Run(p)
-		resp += pd.req.RespBytes()
+		resp += pd.req.respSize()
 	}
 	c.remote.CPU.Release(p)
 	c.net.Transfer(p, c.remote, c.local, resp)

@@ -1,0 +1,52 @@
+package sim
+
+// fifo is a FIFO queue on a ring buffer. Unlike the append/reslice idiom
+// (`q = q[1:]`), popping keeps the backing array, so a queue that churns
+// in steady state — a contended mutex, an RPC carrier queue — allocates
+// only while growing to its high-water mark and never again after.
+type fifo[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (f *fifo[T]) len() int { return f.n }
+
+func (f *fifo[T]) push(v T) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = v
+	f.n++
+}
+
+// pop removes and returns the oldest element. The vacated slot is zeroed
+// so popped pointers do not linger past the queue's high-water mark.
+func (f *fifo[T]) pop() T {
+	if f.n == 0 {
+		panic("sim: pop of empty fifo")
+	}
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return v
+}
+
+// peek returns the oldest element without removing it.
+func (f *fifo[T]) peek() T {
+	if f.n == 0 {
+		panic("sim: peek of empty fifo")
+	}
+	return f.buf[f.head]
+}
+
+// grow doubles the ring (power-of-two sizes keep the index mask cheap).
+func (f *fifo[T]) grow() {
+	nb := make([]T, max(8, 2*len(f.buf)))
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf, f.head = nb, 0
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// orderWorkload runs a fixed mixed workload — sleeps (including
+// zero-length ones), spawn churn, After timer cascades, contended
+// mutexes, resources, queues, conds, waitgroups, and RNG draws — and
+// returns a log line per observable scheduling decision. The workload
+// deliberately creates same-instant ties everywhere so the kernel's
+// tie-breaking (event sequence order) is fully exercised.
+func orderWorkload() []string {
+	env := NewEnv(12345)
+	var log []string
+	step := func(p *Proc, what string) {
+		log = append(log, fmt.Sprintf("%d %s %s", env.Now(), p.Name(), what))
+	}
+
+	mu := NewMutex(env, "m")
+	res := NewResource(env, "r", 2)
+	q := NewQueue(env)
+	cond := NewCond(env)
+	wg := NewWaitGroup(env)
+
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			rng := env.RNG(fmt.Sprintf("w%d", i))
+			for j := 0; j < 6; j++ {
+				p.Sleep(time.Duration(i%3) * time.Millisecond)
+				mu.Lock(p)
+				step(p, fmt.Sprintf("locked%d", j))
+				p.Sleep(time.Duration(rng.Intn(3)) * 100 * time.Microsecond)
+				mu.Unlock(p)
+				res.Use(p, time.Duration(1+j%2)*50*time.Microsecond)
+				step(p, fmt.Sprintf("used%d", j))
+				if i%2 == 0 {
+					q.Put(i*10 + j)
+				} else {
+					step(p, fmt.Sprintf("got%d", q.Get(p).(int)))
+				}
+				p.Sleep(0) // exercise the zero-sleep path under ties
+			}
+		})
+	}
+	// Timer cascade: After chains re-arming at the same instant as
+	// proc wakeups.
+	var rearm func(n int)
+	rearm = func(n int) {
+		if n == 0 {
+			return
+		}
+		env.After(500*time.Microsecond, func() {
+			log = append(log, fmt.Sprintf("%d timer %d", env.Now(), n))
+			cond.Broadcast()
+			rearm(n - 1)
+		})
+	}
+	rearm(10)
+	for i := 0; i < 3; i++ {
+		env.SpawnAfter(fmt.Sprintf("waiter%d", i), time.Duration(i)*200*time.Microsecond, func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				cond.Wait(p)
+				step(p, fmt.Sprintf("signaled%d", j))
+			}
+		})
+	}
+	env.Spawn("drain", func(p *Proc) {
+		wg.Wait(p)
+		step(p, "drained")
+		for q.Len() > 0 {
+			step(p, fmt.Sprintf("leftover%d", q.Get(p).(int)))
+		}
+	})
+	env.MustRun()
+	log = append(log, fmt.Sprintf("end %d", env.Now()))
+	return log
+}
+
+func orderHash(log []string) uint64 {
+	h := fnv.New64a()
+	for _, line := range log {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// TestKernelEventOrderGolden pins the kernel's exact event ordering.
+// The golden hash was captured from the pre-optimization
+// container/heap-based kernel; the allocation-lean kernel must order
+// every event identically — virtual-time results across the repo are
+// bit-identical only if this holds. If this test fails, the kernel's
+// scheduling semantics changed: that is a correctness regression, not
+// a number to re-pin casually.
+func TestKernelEventOrderGolden(t *testing.T) {
+	log := orderWorkload()
+	const wantLen = 141
+	const wantHash = uint64(0x25ea8792b00f1e20)
+	if len(log) != wantLen || orderHash(log) != wantHash {
+		for _, line := range log {
+			t.Log(line)
+		}
+		t.Fatalf("event order diverged: %d lines, hash %#x (want %d lines, hash %#x)",
+			len(log), orderHash(log), wantLen, wantHash)
+	}
+}
+
+// TestKernelEventOrderStable pins run-to-run identity of the same
+// workload inside one process (fresh Env each time).
+func TestKernelEventOrderStable(t *testing.T) {
+	first := orderWorkload()
+	for i := 0; i < 3; i++ {
+		got := orderWorkload()
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d lines, want %d", i, len(got), len(first))
+		}
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("run %d line %d: %q, want %q", i, j, got[j], first[j])
+			}
+		}
+	}
+}

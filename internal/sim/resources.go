@@ -11,7 +11,7 @@ type Mutex struct {
 	env   *Env
 	name  string
 	owner *Proc
-	queue []*Proc
+	queue fifo[*Proc]
 	// contention statistics
 	Acquires  int64
 	Contended int64
@@ -27,13 +27,13 @@ func NewMutex(env *Env, name string) *Mutex {
 // strictly FIFO.
 func (m *Mutex) Lock(p *Proc) {
 	m.Acquires++
-	if m.owner == nil && len(m.queue) == 0 {
+	if m.owner == nil && m.queue.len() == 0 {
 		m.owner = p
 		return
 	}
 	m.Contended++
 	start := m.env.now
-	m.queue = append(m.queue, p)
+	m.queue.push(p)
 	p.park()
 	m.WaitTotal += m.env.now - start
 	if m.owner != p {
@@ -46,12 +46,11 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic(fmt.Sprintf("sim: mutex %q unlocked by non-owner %q", m.name, p.name))
 	}
-	if len(m.queue) == 0 {
+	if m.queue.len() == 0 {
 		m.owner = nil
 		return
 	}
-	next := m.queue[0]
-	m.queue = m.queue[1:]
+	next := m.queue.pop()
 	m.owner = next
 	m.env.unpark(next)
 }
@@ -60,7 +59,7 @@ func (m *Mutex) Unlock(p *Proc) {
 func (m *Mutex) Locked() bool { return m.owner != nil }
 
 // QueueLen returns the number of waiting processes.
-func (m *Mutex) QueueLen() int { return len(m.queue) }
+func (m *Mutex) QueueLen() int { return m.queue.len() }
 
 // Resource is a counting resource with capacity slots (e.g. server worker
 // threads, a disk with one head, a link with N lanes). Acquire blocks when
@@ -70,7 +69,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	queue    []*Proc
+	queue    fifo[*Proc]
 
 	Acquires  int64
 	Contended int64
@@ -90,13 +89,13 @@ func NewResource(env *Env, name string, capacity int) *Resource {
 // Acquire takes one slot, blocking until available.
 func (r *Resource) Acquire(p *Proc) {
 	r.Acquires++
-	if r.inUse < r.capacity && len(r.queue) == 0 {
+	if r.inUse < r.capacity && r.queue.len() == 0 {
 		r.take()
 		return
 	}
 	r.Contended++
 	start := r.env.now
-	r.queue = append(r.queue, p)
+	r.queue.push(p)
 	p.park()
 	r.WaitTotal += r.env.now - start
 	// Slot was transferred to us by Release.
@@ -114,11 +113,9 @@ func (r *Resource) Release(p *Proc) {
 	if r.inUse <= 0 {
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
-	if len(r.queue) > 0 {
+	if r.queue.len() > 0 {
 		// Hand the slot directly to the next waiter; inUse unchanged.
-		next := r.queue[0]
-		r.queue = r.queue[1:]
-		r.env.unpark(next)
+		r.env.unpark(r.queue.pop())
 		return
 	}
 	r.inUse--
@@ -139,14 +136,14 @@ func (r *Resource) Use(p *Proc, hold time.Duration) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of waiting processes.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
 // WaitGroup waits for a collection of processes to finish, mirroring
 // sync.WaitGroup for simulated time.
 type WaitGroup struct {
 	env     *Env
 	count   int
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewWaitGroup returns a WaitGroup with zero count.
@@ -171,15 +168,15 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	if wg.count == 0 {
 		return
 	}
-	wg.waiters = append(wg.waiters, p)
+	wg.waiters.push(p)
 	p.park()
 }
 
 func (wg *WaitGroup) wakeAll() {
-	ws := wg.waiters
-	wg.waiters = nil
-	for _, w := range ws {
-		wg.env.unpark(w)
+	// unpark only schedules, so no waiter can re-enter Wait during the
+	// drain; FIFO wake order is preserved.
+	for wg.waiters.len() > 0 {
+		wg.env.unpark(wg.waiters.pop())
 	}
 }
 
@@ -195,8 +192,8 @@ func (wg *WaitGroup) Go(name string, fn func(p *Proc)) {
 // Queue is an unbounded FIFO channel between simulated processes.
 type Queue struct {
 	env     *Env
-	items   []any
-	waiters []*Proc
+	items   fifo[any]
+	waiters fifo[*Proc]
 }
 
 // NewQueue returns an empty queue.
@@ -204,33 +201,29 @@ func NewQueue(env *Env) *Queue { return &Queue{env: env} }
 
 // Put appends an item and wakes one waiting consumer.
 func (q *Queue) Put(item any) {
-	q.items = append(q.items, item)
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.unpark(w)
+	q.items.push(item)
+	if q.waiters.len() > 0 {
+		q.env.unpark(q.waiters.pop())
 	}
 }
 
 // Get removes and returns the oldest item, blocking p while empty.
 func (q *Queue) Get(p *Proc) any {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
+	for q.items.len() == 0 {
+		q.waiters.push(p)
 		p.park()
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
-	return it
+	return q.items.pop()
 }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.items.len() }
 
 // Cond is a condition variable: processes Wait until another process calls
 // Signal or Broadcast.
 type Cond struct {
 	env     *Env
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewCond returns a condition variable.
@@ -239,25 +232,23 @@ func NewCond(env *Env) *Cond { return &Cond{env: env} }
 // Wait parks p until signaled. As with sync.Cond the caller must re-check
 // its predicate afterwards.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	p.park()
 }
 
 // Signal wakes the longest waiter, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.len() == 0 {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.env.unpark(w)
+	c.env.unpark(c.waiters.pop())
 }
 
 // Broadcast wakes every waiter.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		c.env.unpark(w)
+	// unpark only schedules, so no waiter can re-enter Wait during the
+	// drain; FIFO wake order is preserved.
+	for c.waiters.len() > 0 {
+		c.env.unpark(c.waiters.pop())
 	}
 }

@@ -8,12 +8,21 @@
 // hands control to the process whose next event has the smallest timestamp,
 // breaking ties by event sequence number, so runs are fully deterministic.
 //
+// The kernel is built for million-event runs (docs/simulator.md): the
+// event queue is a typed binary heap that never boxes events through
+// interfaces, kernel-only callback events (After) run inline in the
+// kernel loop without a goroutine handoff, zero-length sleeps that
+// cannot be overtaken return without touching the queue, finished
+// processes donate their wake channels to a free list, and RNG streams
+// are cached handles (Stream) instead of per-call map lookups. None of
+// these shortcuts may change event order: the ordering contract is
+// pinned by TestKernelEventOrderGolden.
+//
 // The kernel is not safe for use from multiple OS threads outside the
 // simulated processes: all interaction must happen through a Proc.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -23,7 +32,7 @@ import (
 // Create one with NewEnv, add root processes with Spawn, then call Run.
 type Env struct {
 	now     time.Duration
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	yield   chan struct{} // signaled by a proc when it parks or exits
 	live    int           // procs spawned and not yet finished
@@ -31,6 +40,11 @@ type Env struct {
 	running bool
 	seed    int64
 	rngs    map[string]*rand.Rand
+
+	// freeWake recycles the wake channels of finished processes, so
+	// spawn-heavy models (per-request processes, timer respawns) stop
+	// allocating a channel per process.
+	freeWake []chan struct{}
 
 	// Trace, when non-nil, receives a line per kernel decision. Used by
 	// tests and cofsctl; nil in normal runs.
@@ -50,10 +64,12 @@ func NewEnv(seed int64) *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
 
-// RNG returns a deterministic random stream identified by name. Streams are
-// independent of each other and of event interleaving, so adding a new
-// consumer does not perturb existing ones.
-func (e *Env) RNG(name string) *rand.Rand {
+// Stream returns a deterministic random stream identified by name.
+// Streams are independent of each other and of event interleaving, so
+// adding a new consumer does not perturb existing ones. The handle is
+// resolved once per name: hot paths should call Stream at setup time
+// and keep the *rand.Rand instead of re-resolving per draw.
+func (e *Env) Stream(name string) *rand.Rand {
 	r, ok := e.rngs[name]
 	if !ok {
 		h := uint64(14695981039346656037)
@@ -67,6 +83,14 @@ func (e *Env) RNG(name string) *rand.Rand {
 	return r
 }
 
+// RNG is the compatibility wrapper around Stream: same stream, resolved
+// per call. Per-event call sites should hold a Stream handle instead.
+func (e *Env) RNG(name string) *rand.Rand { return e.Stream(name) }
+
+// event is one queue entry: wake a proc or run a kernel callback at a
+// virtual instant. Events are stored by value in the queue's backing
+// slice — scheduling allocates nothing once the slice has grown to the
+// run's high-water mark.
 type event struct {
 	at  time.Duration
 	seq uint64
@@ -74,19 +98,74 @@ type event struct {
 	fn  func() // optional callback run in the kernel goroutine
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a typed binary min-heap ordered by (at, seq). The
+// comparator is a total order (seq is unique), so the pop sequence is
+// exactly the pop sequence of any correct heap over the same events —
+// including the container/heap implementation this replaced.
+type eventQueue struct {
+	a []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (e *Env) schedule(ev event)  { ev.seq = e.seq; e.seq++; heap.Push(&e.events, ev) }
+
+func eventLess(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) push(ev event) {
+	q.a = append(q.a, ev)
+	i := len(q.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q.a[i], &q.a[parent]) {
+			break
+		}
+		q.a[i], q.a[parent] = q.a[parent], q.a[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.a[0]
+	n := len(q.a) - 1
+	q.a[0] = q.a[n]
+	q.a[n] = event{} // drop fn/proc references for the GC
+	q.a = q.a[:n]
+	if n > 1 {
+		q.siftDown()
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown() {
+	n := len(q.a)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(&q.a[r], &q.a[l]) {
+			m = r
+		}
+		if !eventLess(&q.a[m], &q.a[i]) {
+			return
+		}
+		q.a[i], q.a[m] = q.a[m], q.a[i]
+		i = m
+	}
+}
+
+func (e *Env) schedule(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
 func (e *Env) scheduleAt(at time.Duration, p *Proc) {
 	e.schedule(event{at: at, p: p})
 }
@@ -123,7 +202,14 @@ func (e *Env) SpawnAfter(name string, delay time.Duration, fn func(p *Proc)) *Pr
 	if delay < 0 {
 		panic("sim: negative spawn delay")
 	}
-	p := &Proc{env: e, wake: make(chan struct{}), name: name}
+	var wake chan struct{}
+	if n := len(e.freeWake); n > 0 {
+		wake = e.freeWake[n-1]
+		e.freeWake = e.freeWake[:n-1]
+	} else {
+		wake = make(chan struct{})
+	}
+	p := &Proc{env: e, wake: wake, name: name}
 	e.live++
 	go func() {
 		<-p.wake
@@ -147,6 +233,14 @@ func (p *Proc) Sleep(d time.Duration) {
 		panic("sim: negative sleep")
 	}
 	e := p.env
+	if d == 0 && (e.events.len() == 0 || e.events.a[0].at > e.now) {
+		// Fast path: the event Sleep(0) would schedule carries the
+		// highest sequence number at the current instant, so it runs
+		// next iff no other event is due now. When none is, parking
+		// and immediately being woken is two goroutine handoffs for
+		// nothing — keep control instead. Event order is unchanged.
+		return
+	}
 	e.scheduleAt(e.now+d, p)
 	p.block()
 }
@@ -185,14 +279,20 @@ func (e *Env) After(delay time.Duration, fn func()) {
 
 // Run executes events until none remain. It returns an error if live
 // processes remain parked with an empty event queue (a model deadlock).
+//
+// Kernel-only fn events — timers, and the cascades they trigger by
+// scheduling further same-instant events — run inline in this loop, so
+// an entire timer/unpark cascade costs heap operations only; goroutine
+// handoffs happen exclusively for proc wakeups, two channel operations
+// each.
 func (e *Env) Run() error {
 	if e.running {
 		return fmt.Errorf("sim: Run reentered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for e.events.len() > 0 {
+		ev := e.events.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
@@ -201,8 +301,16 @@ func (e *Env) Run() error {
 			ev.fn()
 			continue
 		}
-		ev.p.wake <- struct{}{}
+		p := ev.p
+		p.wake <- struct{}{}
 		<-e.yield
+		if p.done {
+			// The proc finished while we waited: its wake channel has
+			// no further senders or receivers, so a future Spawn can
+			// reuse it.
+			e.freeWake = append(e.freeWake, p.wake)
+			p.wake = nil
+		}
 	}
 	if e.live > 0 {
 		return fmt.Errorf("sim: deadlock: %d live process(es) parked with no pending events", e.live)

@@ -1,7 +1,7 @@
 package vfs
 
 import (
-	"strings"
+	"math/rand"
 	"time"
 
 	"cofs/internal/lru"
@@ -20,6 +20,9 @@ type Mount struct {
 	fuse params.FUSEParams
 
 	dcache *lru.Cache[dcacheKey, dcacheEntry]
+	// jitter is the Stream("fuse.jitter") handle, resolved on first use;
+	// cross() draws from it once per request.
+	jitter *rand.Rand
 
 	Ops int64
 }
@@ -55,8 +58,11 @@ func (m *Mount) FS() Filesystem { return m.fs }
 func (m *Mount) cross(p *sim.Proc) {
 	m.Ops++
 	if m.fuse.CrossingTime > 0 {
+		if m.jitter == nil {
+			m.jitter = p.Env().Stream("fuse.jitter")
+		}
 		base := float64(m.fuse.CrossingTime)
-		jitter := 0.8 + 0.4*p.Env().RNG("fuse.jitter").Float64()
+		jitter := 0.8 + 0.4*m.jitter.Float64()
 		p.Sleep(time.Duration(base * jitter))
 	}
 }
@@ -94,8 +100,11 @@ func (m *Mount) dcachePut(p *sim.Proc, key dcacheKey, ino Ino) {
 // harnesses do not create them on directories).
 func (m *Mount) Walk(p *sim.Proc, ctx Ctx, path string) (Ino, error) {
 	dir := m.fs.Root()
-	parts := splitPath(path)
-	for i, name := range parts {
+	for it := pathComponents(path); ; {
+		name, ok := it.next()
+		if !ok {
+			return dir, nil
+		}
 		if len(name) > MaxNameLen {
 			return InvalidIno, ErrNameTooLong
 		}
@@ -111,23 +120,19 @@ func (m *Mount) Walk(p *sim.Proc, ctx Ctx, path string) (Ino, error) {
 		}
 		m.dcachePut(p, key, attr.Ino)
 		dir = attr.Ino
-		_ = i
 	}
-	return dir, nil
 }
 
 // WalkParent resolves the parent directory of path and returns it with
 // the final component.
 func (m *Mount) WalkParent(p *sim.Proc, ctx Ctx, path string) (Ino, string, error) {
-	parts := splitPath(path)
-	if len(parts) == 0 {
+	dirPath, name, ok := splitLast(path)
+	if !ok {
 		return InvalidIno, "", ErrInvalid
 	}
-	name := parts[len(parts)-1]
 	if len(name) > MaxNameLen {
 		return InvalidIno, "", ErrNameTooLong
 	}
-	dirPath := strings.Join(parts[:len(parts)-1], "/")
 	dir, err := m.Walk(p, ctx, dirPath)
 	if err != nil {
 		return InvalidIno, "", err
@@ -135,16 +140,46 @@ func (m *Mount) WalkParent(p *sim.Proc, ctx Ctx, path string) (Ino, string, erro
 	return dir, name, nil
 }
 
-func splitPath(path string) []string {
-	var parts []string
-	for _, c := range strings.Split(path, "/") {
-		switch c {
-		case "", ".":
-		default:
-			parts = append(parts, c)
+// pathIter yields the meaningful components of a path ("" and "."
+// segments are skipped) as substrings — no per-walk slice or string
+// allocations, unlike the strings.Split this replaced.
+type pathIter struct {
+	path string
+	pos  int
+}
+
+func pathComponents(path string) pathIter { return pathIter{path: path} }
+
+func (it *pathIter) next() (string, bool) {
+	for it.pos < len(it.path) {
+		start := it.pos
+		for it.pos < len(it.path) && it.path[it.pos] != '/' {
+			it.pos++
+		}
+		seg := it.path[start:it.pos]
+		it.pos++ // step over the separator
+		if seg != "" && seg != "." {
+			return seg, true
 		}
 	}
-	return parts
+	return "", false
+}
+
+// splitLast splits path into the prefix to walk and its final meaningful
+// component. ok is false when the path has no components (root).
+func splitLast(path string) (dir, name string, ok bool) {
+	end := len(path)
+	for end > 0 {
+		start := end
+		for start > 0 && path[start-1] != '/' {
+			start--
+		}
+		if seg := path[start:end]; seg != "" && seg != "." {
+			return path[:start], seg, true
+		}
+		end = start - 1
+	}
+	return "", "", false
 }
 
 // InvalidatePath drops cached name resolutions along path, forcing the
@@ -155,7 +190,11 @@ func splitPath(path string) []string {
 // the file system so stale entries deeper in the path are still found.
 func (m *Mount) InvalidatePath(p *sim.Proc, ctx Ctx, path string) {
 	dir := m.fs.Root()
-	for _, name := range splitPath(path) {
+	for it := pathComponents(path); ; {
+		name, ok := it.next()
+		if !ok {
+			return
+		}
 		key := dcacheKey{dir: dir, name: name}
 		e, ok := m.dcache.Peek(key)
 		m.dcache.Remove(key)
@@ -189,12 +228,15 @@ func retryStale[T any](m *Mount, p *sim.Proc, ctx Ctx, path string, fn func() (T
 // component is not dentry-cached costs a single request.
 func (m *Mount) Stat(p *sim.Proc, ctx Ctx, path string) (Attr, error) {
 	return retryStale(m, p, ctx, path, func() (Attr, error) {
-		parts := splitPath(path)
-		if len(parts) == 0 {
+		dirPath, name, ok := splitLast(path)
+		if !ok {
 			m.cross(p)
 			return m.fs.Getattr(p, ctx, m.fs.Root())
 		}
-		dir, name, err := m.WalkParent(p, ctx, path)
+		if len(name) > MaxNameLen {
+			return Attr{}, ErrNameTooLong
+		}
+		dir, err := m.Walk(p, ctx, dirPath)
 		if err != nil {
 			return Attr{}, err
 		}
@@ -392,16 +434,17 @@ func (m *Mount) Mkdir(p *sim.Proc, ctx Ctx, path string, mode uint32) error {
 
 // MkdirAll creates path and any missing parents.
 func (m *Mount) MkdirAll(p *sim.Proc, ctx Ctx, path string, mode uint32) error {
-	parts := splitPath(path)
-	cur := ""
-	for _, part := range parts {
-		cur += "/" + part
-		err := m.Mkdir(p, ctx, cur, mode)
+	for it := pathComponents(path); ; {
+		if _, ok := it.next(); !ok {
+			return nil
+		}
+		// it.pos sits just past the component's separator; the prefix up
+		// to here names the directory level to create.
+		err := m.Mkdir(p, ctx, path[:min(it.pos, len(path))], mode)
 		if err != nil && err != ErrExist {
 			return err
 		}
 	}
-	return nil
 }
 
 // Rmdir removes the empty directory at path.
