@@ -19,6 +19,7 @@ import (
 	"cofs/internal/experiments"
 	"cofs/internal/params"
 	"cofs/internal/sim"
+	"cofs/internal/store"
 	"cofs/internal/trace"
 )
 
@@ -500,6 +501,40 @@ func BenchmarkMetadataCache(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkStoreBackends is the gated smoke test of the pluggable
+// store layer (docs/backends.md): the client-cache storm on a
+// single-shard plane, once per registered backend. The mdb row must
+// stay bit-identical to the pre-seam store (the same workload
+// BenchmarkMetadataCache gates); the mdls row pins the log-structured
+// engine's cost envelope so a change to its append/compaction model
+// cannot slip through unmeasured.
+func BenchmarkStoreBackends(b *testing.B) {
+	for _, backend := range store.Names() {
+		backend := backend
+		b.Run(backend+"-smoke", func(b *testing.B) {
+			var ms float64
+			var ops int
+			var mt bench.Meter
+			for i := 0; i < b.N; i++ {
+				cfg := params.Default()
+				cfg.COFS.MetadataStore = backend
+				mt.Start()
+				ms, ops, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
+				mt.Stop()
+			}
+			reportMs(b, ms)
+			rec := bench.Record{
+				Name: "store-backend/" + backend + "-smoke", Shards: 1,
+				VmsPerOp: ms,
+			}
+			mt.Fill(&rec, ops)
+			if err := bench.WriteRecord(rec); err != nil {
+				b.Logf("bench record: %v", err)
+			}
+		})
 	}
 }
 

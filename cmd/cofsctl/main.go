@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cofsctl [-nodes N] [-shards M] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|reshard|all
+//	cofsctl [-nodes N] [-shards M] [-store B] [-files F] [-seed S] [-corrupt] mapping|tables|stats|fsck|reshard|all
 //
 // The reshard verb migrates the live plane to -reshard-to shards after
 // the demo workload, runs a second workload over the migrated rows and
@@ -27,12 +27,28 @@ import (
 	"cofs/internal/core"
 	"cofs/internal/params"
 	"cofs/internal/sim"
+	"cofs/internal/store"
 	"cofs/internal/vfs"
 )
+
+// resolveStore validates a -store flag against the provider registry,
+// so a typo fails fast with the registered names instead of silently
+// deploying the default backend.
+func resolveStore(name string) string {
+	if name == "" {
+		name = store.DefaultName
+	}
+	if _, ok := store.Lookup(name); !ok {
+		fmt.Fprintf(os.Stderr, "unknown -store %q (registered: %s)\n", name, strings.Join(store.Names(), ", "))
+		os.Exit(2)
+	}
+	return name
+}
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of compute nodes")
 	shards := flag.Int("shards", 1, "metadata service shards")
+	storeName := flag.String("store", "", "metadata store backend (default "+store.DefaultName+"; see docs/backends.md)")
 	files := flag.Int("files", 32, "files per node to create in the demo workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	attrLease := flag.Duration("attr-lease", 0, "client cache lease term (0 disables the coherent cache)")
@@ -52,11 +68,12 @@ func main() {
 	switch what {
 	case "mapping", "tables", "stats", "fsck", "reshard", "all":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-shards M] [-files F] [-corrupt] [-reshard-to M2] mapping|tables|stats|fsck|reshard|all")
+		fmt.Fprintln(os.Stderr, "usage: cofsctl [-nodes N] [-shards M] [-store B] [-files F] [-corrupt] [-reshard-to M2] mapping|tables|stats|fsck|reshard|all")
 		os.Exit(2)
 	}
 
 	cfg := params.Default()
+	cfg.COFS.MetadataStore = resolveStore(*storeName)
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
@@ -193,7 +210,7 @@ func main() {
 		rs := d.Service.ReshardStats()
 		fmt.Printf("  epochs=%d groups-moved=%d rows-moved=%d bytes=%d redirects=%d refetches=%d lease-recalls=%d wal-handoff=%d retired=%d\n",
 			rs.Epochs, rs.GroupsMoved, rs.RowsMoved, rs.BytesMoved, rs.Redirects, rs.Refetches, rs.Recalls, rs.HandoffRecords, rs.Retired)
-		fmt.Println("== per-layer counters ==")
+		fmt.Printf("== per-layer counters (store=%s) ==\n", d.Service.StoreName())
 		d.Counters().Fprint(os.Stdout, "  ")
 	}
 	if what == "fsck" || what == "all" {
@@ -243,7 +260,7 @@ func main() {
 				i, fs.Stats.ServiceOps, fs.Stats.UnderCreates, fs.Stats.UnderOpens,
 				fs.Stats.BucketSpills, fs.Stats.WriteBacks)
 		}
-		fmt.Println("== per-layer counters (rpc transport / client cache / leases / reshard) ==")
+		fmt.Printf("== per-layer counters (store=%s; rpc transport / client cache / leases / reshard) ==\n", d.Service.StoreName())
 		d.Counters().Fprint(os.Stdout, "  ")
 		fmt.Printf("  virtual time: %v\n", tb.Env.Now())
 	}

@@ -13,25 +13,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cofs/internal/bench"
 	"cofs/internal/cluster"
 	"cofs/internal/core"
 	"cofs/internal/params"
+	"cofs/internal/store"
 )
 
 func main() {
 	var (
-		fs     = flag.String("fs", "cofs", "stack: gpfs | cofs")
-		nodes  = flag.Int("nodes", 4, "participating compute nodes")
-		procs  = flag.Int("procs", 1, "ranks per node")
-		shards = flag.Int("shards", 1, "cofs metadata service shards")
-		depth  = flag.Int("depth", 2, "tree depth")
-		branch = flag.Int("branch", 4, "tree fanout per level")
-		files  = flag.Int("files", 128, "files per rank")
-		shared = flag.Bool("shared", false, "all ranks share one tree (contended mode)")
-		shift  = flag.Bool("shift", false, "rank r stats rank r+1's files (cross-node attributes)")
-		seed   = flag.Int64("seed", 42, "deterministic seed")
+		fs        = flag.String("fs", "cofs", "stack: gpfs | cofs")
+		nodes     = flag.Int("nodes", 4, "participating compute nodes")
+		procs     = flag.Int("procs", 1, "ranks per node")
+		shards    = flag.Int("shards", 1, "cofs metadata service shards")
+		storeName = flag.String("store", "", "cofs metadata store backend (default "+store.DefaultName+"; see docs/backends.md)")
+		depth     = flag.Int("depth", 2, "tree depth")
+		branch    = flag.Int("branch", 4, "tree fanout per level")
+		files     = flag.Int("files", 128, "files per rank")
+		shared    = flag.Bool("shared", false, "all ranks share one tree (contended mode)")
+		shift     = flag.Bool("shift", false, "rank r stats rank r+1's files (cross-node attributes)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
 
 		attrLease = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 		rpcBatch  = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
@@ -46,6 +49,11 @@ func main() {
 	defer bench.MustProfile(*cpuprofile, *memprofile)()
 
 	cfg := params.Default()
+	if _, ok := store.Lookup(*storeName); !ok && *storeName != "" {
+		fmt.Fprintf(os.Stderr, "mdtest: unknown -store %q (registered: %s)\n", *storeName, strings.Join(store.Names(), ", "))
+		os.Exit(2)
+	}
+	cfg.COFS.MetadataStore = *storeName
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
@@ -92,7 +100,7 @@ func main() {
 			fmt.Printf("\ncofs shards after run: %d (rows per shard: %v)\n",
 				deployment.Service.ServingShards(), deployment.Service.ShardCounts())
 		}
-		fmt.Println("\ncofs per-layer counters:")
+		fmt.Printf("\ncofs per-layer counters (store=%s):\n", deployment.Service.StoreName())
 		deployment.Counters().Fprint(os.Stdout, "  ")
 	}
 }

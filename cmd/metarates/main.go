@@ -20,12 +20,14 @@ import (
 	"cofs/internal/cluster"
 	"cofs/internal/core"
 	"cofs/internal/params"
+	"cofs/internal/store"
 )
 
 func main() {
 	fsKind := flag.String("fs", "gpfs", "file system under test: gpfs or cofs")
 	nodes := flag.Int("nodes", 4, "number of compute nodes")
 	shards := flag.Int("shards", 1, "cofs metadata service shards")
+	storeName := flag.String("store", "", "cofs metadata store backend (default "+store.DefaultName+"; see docs/backends.md)")
 	procs := flag.Int("procs", 1, "processes per node")
 	files := flag.Int("files", 256, "files per process")
 	dir := flag.String("dir", "/shared", "shared directory")
@@ -42,6 +44,11 @@ func main() {
 	defer bench.MustProfile(*cpuprofile, *memprofile)()
 
 	cfg := params.Default()
+	if _, ok := store.Lookup(*storeName); !ok && *storeName != "" {
+		fmt.Fprintf(os.Stderr, "metarates: unknown -store %q (registered: %s)\n", *storeName, strings.Join(store.Names(), ", "))
+		os.Exit(2)
+	}
+	cfg.COFS.MetadataStore = *storeName
 	cfg.COFS.MetadataShards = *shards
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
@@ -102,7 +109,7 @@ func main() {
 			fmt.Printf("cofs shards after run: %d (rows per shard: %v)\n",
 				deployment.Service.ServingShards(), deployment.Service.ShardCounts())
 		}
-		fmt.Println("cofs per-layer counters:")
+		fmt.Printf("cofs per-layer counters (store=%s):\n", deployment.Service.StoreName())
 		deployment.Counters().Fprint(os.Stdout, "  ")
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())

@@ -219,6 +219,10 @@ func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Of(ino)] }
 // ReshardStats returns the plane's resharding counters.
 func (c *MDSCluster) ReshardStats() reshard.Stats { return c.rstats }
 
+// StoreName reports which store backend the plane's shards deploy
+// (tools print it in their counters header).
+func (c *MDSCluster) StoreName() string { return c.shards[0].DB.EngineName() }
+
 // ---- routed operations (the client-facing surface used by FS) ----
 //
 // Every operation travels the calling session's RPC channel to its

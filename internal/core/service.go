@@ -13,7 +13,11 @@ import (
 	"cofs/internal/params"
 	"cofs/internal/rpc"
 	"cofs/internal/sim"
+	"cofs/internal/store"
 	"cofs/internal/vfs"
+
+	// Register the non-default store backends a deployment may name.
+	_ "cofs/internal/mdls"
 )
 
 // RootID is the virtual root directory's file id.
@@ -135,7 +139,13 @@ func newShard(net *netsim.Net, host *netsim.Host, cfg params.Config, c *MDSClust
 		diskName = fmt.Sprintf("cofs-mdb%d", shardID)
 	}
 	d := disk.New(env, diskName, cfg.Disk)
-	db := mdb.NewAsync(env, d, cfg.COFS.DBOpTime, cfg.COFS.LogFlushInterval)
+	db, err := store.Open(cfg.COFS.MetadataStore, env, d, store.Options{
+		OpTime:        cfg.COFS.DBOpTime,
+		FlushInterval: cfg.COFS.LogFlushInterval,
+	})
+	if err != nil {
+		panic(err) // deployment-time misconfiguration: fail fast
+	}
 	base := firstID(shardID, c.lockShards)
 	stride := vfs.Ino(c.lockShards)
 	if stride < 1 {

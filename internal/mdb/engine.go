@@ -1,0 +1,140 @@
+package mdb
+
+import (
+	"time"
+
+	"cofs/internal/disk"
+	"cofs/internal/sim"
+)
+
+// Engine is the durability model behind a DB: the points where the
+// shared table/transaction front-end touches the simulated disk. The
+// typed tables, the transaction protocol, the WAL record stream, the
+// handoff cursors and the replica feed are common to every backend;
+// what an Engine decides is how (and when) committed records become
+// durable, what a recovery scan costs, and how the log is compacted.
+//
+// The default engine (walEngine, below) reproduces the Mnesia-style
+// behaviour the paper's prototype ran: group-committed synchronous
+// forces, or a background dump every flush interval. internal/mdls
+// implements a log-structured alternative. Engines outside this
+// package drive the DB through its exported engine SPI (Disk, WALLen,
+// FlushedRecords, MarkFlushedTo, DurableRows, Freeze/Thaw,
+// Checkpoint).
+type Engine interface {
+	// Name identifies the backend ("mdb", "mdls", ...); tools print it
+	// in the counters header and the provider registry keys on it.
+	Name() string
+	// Commit persists (or schedules persistence of) the log tail after
+	// a durable transaction committed. Called without the transaction
+	// mutex held; the charge lands on the committing process.
+	Commit(p *sim.Proc, db *DB)
+	// Force makes every record currently in the log durable before
+	// returning, regardless of any background flush schedule. The WAL
+	// handoff import acks on it.
+	Force(p *sim.Proc, db *DB)
+	// RecoverScan charges the cost of reading the log back for replay;
+	// the replay itself (applying records to disc-copies tables) is
+	// shared across engines.
+	RecoverScan(p *sim.Proc, db *DB)
+	// CheckpointDump charges the cost of writing a compacted image of
+	// rows live rows; the log rewrite that follows is shared.
+	CheckpointDump(p *sim.Proc, db *DB, rows int64)
+}
+
+// walEngine is the paper's durability model: a write-ahead log on the
+// service node's local ext3-like disk. Synchronous mode rides the
+// disk's group-commit journal; asynchronous mode (flushInterval > 0)
+// returns immediately and a background dump forces the tail every
+// interval. It lives in-package and manipulates DB internals directly,
+// so the default deployment stays bit-identical to the pre-interface
+// store.
+type walEngine struct{}
+
+func (walEngine) Name() string { return "mdb" }
+
+func (walEngine) Commit(p *sim.Proc, db *DB) {
+	if db.flushInterval > 0 {
+		db.maybeScheduleFlush()
+		return
+	}
+	db.disk.Commit(p)
+	db.walFlushed = db.wal.len()
+}
+
+func (walEngine) Force(p *sim.Proc, db *DB) {
+	db.LogFlushes++
+	db.disk.Write(p, 0, int64(db.wal.len()-db.walFlushed)*64)
+	db.disk.Sync(p)
+	db.walFlushed = db.wal.len()
+}
+
+func (walEngine) RecoverScan(p *sim.Proc, db *DB) {
+	if db.disk != nil {
+		// One sequential log scan: position once, then stream.
+		db.disk.Read(p, 0, int64(db.wal.len())*64)
+	}
+}
+
+func (walEngine) CheckpointDump(p *sim.Proc, db *DB, rows int64) {
+	if db.disk != nil {
+		db.disk.Write(p, 1, rows*64)
+		db.disk.Sync(p)
+	}
+}
+
+// NewWithEngine creates a database whose durability model is e rather
+// than the default WAL engine. The provider registry (internal/store)
+// is the usual caller; the engine's charges land wherever the DB would
+// have charged the default engine.
+func NewWithEngine(env *sim.Env, d *disk.Disk, opTime time.Duration, e Engine) *DB {
+	db := New(env, d, opTime)
+	db.engine = e
+	return db
+}
+
+// The exported engine SPI: accessors an out-of-package Engine needs to
+// drive the shared log machinery. In-package code keeps touching the
+// fields directly.
+
+// Engine returns the durability engine behind this database.
+func (db *DB) Engine() Engine { return db.engine }
+
+// EngineName reports the backend name for counter headers and tests.
+func (db *DB) EngineName() string { return db.engine.Name() }
+
+// Disk returns the database's disk model (nil when only RamCopies
+// tables are allowed).
+func (db *DB) Disk() *disk.Disk { return db.disk }
+
+// Env returns the simulation environment the database runs in.
+func (db *DB) Env() *sim.Env { return db.env }
+
+// OpTime returns the CPU charge per table operation.
+func (db *DB) OpTime() time.Duration { return db.opTime }
+
+// FlushedRecords reports how many log records have been forced durable.
+func (db *DB) FlushedRecords() int { return db.walFlushed }
+
+// MarkFlushedTo records that the first n log records are durable.
+// Engines capture the target length before their (yielding) disk
+// writes and mark afterwards, so records committed while the write was
+// in flight are not claimed durable. Never moves the cursor backwards.
+func (db *DB) MarkFlushedTo(n int) {
+	if n > db.walFlushed {
+		db.walFlushed = n
+	}
+}
+
+// DurableRows counts the live rows of all disc-copies tables — the
+// size of a compacted image, which log-structured engines compare to
+// the journal length to decide when to compact.
+func (db *DB) DurableRows() int {
+	rows := 0
+	for _, t := range db.tables {
+		if t.storage() == DiscCopies {
+			rows += t.rows()
+		}
+	}
+	return rows
+}

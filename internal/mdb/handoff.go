@@ -60,10 +60,7 @@ func (db *DB) ImportHandoff(p *sim.Proc, h *Handoff) {
 	db.staged += h.Len()
 	db.txMu.Unlock(p)
 	db.Commits++
-	db.LogFlushes++
-	db.disk.Write(p, 0, int64(db.wal.len()-db.walFlushed)*64)
-	db.disk.Sync(p)
-	db.walFlushed = db.wal.len()
+	db.engine.Force(p, db)
 	db.notifyCommit()
 }
 

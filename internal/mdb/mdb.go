@@ -80,6 +80,10 @@ type DB struct {
 	// replicas receive committed WAL records (see replica.go).
 	replicas []*Replica
 
+	// engine is the durability model behind the shared log machinery
+	// (engine.go); walEngine unless NewWithEngine installed another.
+	engine Engine
+
 	// scratch is the one reusable transaction handle: txMu serializes
 	// transactions and they cannot nest, so at most one is live at a
 	// time. scratchLog keeps the write-set buffer's capacity between
@@ -110,6 +114,7 @@ func New(env *sim.Env, d *disk.Disk, opTime time.Duration) *DB {
 		opTime: opTime,
 		tables: make(map[string]table),
 		txMu:   sim.NewMutex(env, "mdb.tx"),
+		engine: walEngine{},
 	}
 }
 
@@ -296,13 +301,7 @@ func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 	db.txMu.Unlock(p)
 	if durable {
 		db.Commits++
-		if db.flushInterval > 0 {
-			db.maybeScheduleFlush()
-			db.notifyCommit()
-			return
-		}
-		db.disk.Commit(p)
-		db.walFlushed = db.wal.len()
+		db.engine.Commit(p, db)
 		db.notifyCommit()
 	}
 }
@@ -456,10 +455,7 @@ func (db *DB) Crash() {
 // log read to the calling process. Ram-copies tables stay empty (as with
 // Mnesia after a restart).
 func (db *DB) Recover(p *sim.Proc) {
-	if db.disk != nil {
-		// One sequential log scan: position once, then stream.
-		db.disk.Read(p, 0, int64(db.wal.len())*64)
-	}
+	db.engine.RecoverScan(p, db)
 	db.wal.each(0, db.wal.len(), func(rec walRec) {
 		t := db.tables[rec.table]
 		if t.storage() == DiscCopies {
@@ -477,10 +473,7 @@ func (db *DB) Checkpoint(p *sim.Proc) {
 			rows += int64(t.rows())
 		}
 	}
-	if db.disk != nil {
-		db.disk.Write(p, 1, rows*64)
-		db.disk.Sync(p)
-	}
+	db.engine.CheckpointDump(p, db, rows)
 	// Rebuild the WAL as a snapshot prefix: replaying it must still
 	// reconstruct the tables, so dump every durable row. Tables are
 	// visited in name order for determinism.

@@ -218,6 +218,16 @@ type COFSParams struct {
 	// cost baseline (TestReshardDormantCostIdentical) diffs against it
 	// to pin that the dormant epoch machinery charges nothing.
 	DisableReshardEpochs bool
+	// MetadataStore names the per-shard store backend deployed behind
+	// the metadata plane, resolved through the provider registry
+	// (internal/store; docs/backends.md). "" and "mdb" select the
+	// Mnesia-style WAL store the paper's prototype ran — the default
+	// deployment is bit-identical to a build without the registry,
+	// pinned by a cost-identity test the same way DisableTxnLocks and
+	// DisableReshardEpochs are. "mdls" selects the log-structured
+	// checkpoint+journal store. Unknown names fail deployment fast with
+	// the registered list.
+	MetadataStore string
 	// RPCBatch enables request batching on the client→shard (and
 	// shard→shard) RPC channels: concurrent requests to the same shard
 	// coalesce into one wire round trip while the previous one is in

@@ -9,20 +9,32 @@ import (
 	"cofs/internal/vfs/conformance"
 )
 
+// pfsCaps: the GPFS-like file system enforces permissions and has full
+// namespace semantics; it has no WAL-backed metadata plane, so the
+// crash/recover and handoff batteries do not apply.
+var pfsCaps = conformance.Capabilities{
+	Permissions:        true,
+	Hardlinks:          true,
+	RenameOverNonempty: true,
+}
+
 // TestConformance runs the shared POSIX-behaviour battery against the
 // GPFS-like file system on a small testbed (one client node, two file
 // servers — the paper's section II-A configuration scaled down).
 func TestConformance(t *testing.T) {
-	conformance.Run(t, func(t *testing.T) *conformance.System {
-		tb := cluster.New(7, 1, params.Default())
-		return &conformance.System{
-			Env:                 tb.Env,
-			Mount:               tb.Mounts[0],
-			User:                vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
-			Other:               vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
-			Root:                vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
-			EnforcesPermissions: true,
-		}
+	conformance.Run(t, conformance.Provider{
+		Name:         "pfs",
+		Capabilities: pfsCaps,
+		New: func(t *testing.T) *conformance.System {
+			tb := cluster.New(7, 1, params.Default())
+			return &conformance.System{
+				Env:   tb.Env,
+				Mount: tb.Mounts[0],
+				User:  vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+				Other: vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+				Root:  vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+			}
+		},
 	})
 }
 
@@ -30,15 +42,18 @@ func TestConformance(t *testing.T) {
 // not the first node, so every operation crosses the network and the
 // token manager instead of hitting warm local state.
 func TestConformanceSecondNode(t *testing.T) {
-	conformance.Run(t, func(t *testing.T) *conformance.System {
-		tb := cluster.New(11, 2, params.Default())
-		return &conformance.System{
-			Env:                 tb.Env,
-			Mount:               tb.Mounts[1],
-			User:                vfs.Ctx{Node: 1, PID: 1, UID: 1000, GID: 100},
-			Other:               vfs.Ctx{Node: 1, PID: 2, UID: 2000, GID: 200},
-			Root:                vfs.Ctx{Node: 1, PID: 3, UID: 0, GID: 0},
-			EnforcesPermissions: true,
-		}
+	conformance.Run(t, conformance.Provider{
+		Name:         "pfs-node1",
+		Capabilities: pfsCaps,
+		New: func(t *testing.T) *conformance.System {
+			tb := cluster.New(11, 2, params.Default())
+			return &conformance.System{
+				Env:   tb.Env,
+				Mount: tb.Mounts[1],
+				User:  vfs.Ctx{Node: 1, PID: 1, UID: 1000, GID: 100},
+				Other: vfs.Ctx{Node: 1, PID: 2, UID: 2000, GID: 200},
+				Root:  vfs.Ctx{Node: 1, PID: 3, UID: 0, GID: 0},
+			}
+		},
 	})
 }

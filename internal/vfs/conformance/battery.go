@@ -1,0 +1,179 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"cofs/internal/vfs"
+)
+
+// This file holds the capability batteries beyond plain POSIX: the
+// coherence, crash/recover, crash/promote and live-reshard scenarios a
+// production metadata plane must survive. They drive the optional
+// System hooks and skip (reported) when a provider does not declare
+// the capability or a system does not wire the hook.
+
+func init() { cases = append(cases, batteryCases...) }
+
+// settle is how long a case sleeps to let background durability catch
+// up before pulling the plug: comfortably past any store's flush
+// interval and any standby's shipping delay.
+const settle = 2 * time.Second
+
+var batteryCases = []testCase{
+	{name: "NegativeDentryRecalledByRemoteCreate", needs: CapNegativeDentryLeases, wants: wantsSecondMount, fn: func(c *C) {
+		// A missing-name lookup installs a negative dentry under lease;
+		// a create of that name from another node must recall it before
+		// committing, so the first client can never miss the new file.
+		_, err := c.M.Stat(c.P, c.S.User, "/nd")
+		c.wantErr(err, vfs.ErrNotExist, "stat missing name (installs negative dentry)")
+		f, err := c.S.Mount2.Create(c.P, c.S.User2, "/nd", 0644)
+		if c.must(err, "create from second node") {
+			c.must(f.Close(c.P), "close")
+		}
+		attr, err := c.M.Stat(c.P, c.S.User, "/nd")
+		if c.must(err, "stat after remote create (negative dentry must be recalled)") &&
+			attr.Type != vfs.TypeRegular {
+			c.Errorf("type = %v, want regular", attr.Type)
+		}
+		c.must(c.S.Mount2.Unlink(c.P, c.S.User2, "/nd"), "unlink from second node")
+		_, err = c.M.Stat(c.P, c.S.User, "/nd")
+		c.wantErr(err, vfs.ErrNotExist, "stat after remote unlink (positive dentry must be recalled)")
+	}},
+
+	{name: "CrashRecoverDurableNamespace", needs: CapCrashRecover, wants: wantsCrashRecover, fn: func(c *C) {
+		// Everything committed and flushed before a crash must come back
+		// from the durable log: names, sizes, directory contents — and
+		// the recovered system must accept new work without id reuse.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/cr", 0755), "mkdir")
+		for i := 0; i < 4; i++ {
+			c.write(c.S.User, fmt.Sprintf("/cr/f%d", i), 256)
+		}
+		c.P.Sleep(settle)
+		c.S.Crash()
+		c.S.Recover(c.P)
+		for i := 0; i < 4; i++ {
+			if got := c.size(c.S.User, fmt.Sprintf("/cr/f%d", i)); got != 256 {
+				c.Errorf("recovered /cr/f%d size = %d, want 256", i, got)
+			}
+		}
+		ents, err := c.M.Readdir(c.P, c.S.User, "/cr")
+		if c.must(err, "readdir after recovery") && len(ents) != 4 {
+			c.Errorf("recovered dir has %d entries, want 4", len(ents))
+		}
+		after := c.create(c.S.User, "/cr/after", 0644)
+		for i := 0; i < 4; i++ {
+			attr, err := c.M.Stat(c.P, c.S.User, fmt.Sprintf("/cr/f%d", i))
+			if c.must(err, "stat survivor") && attr.Ino == after.Ino {
+				c.Errorf("recovered plane reused live id %d for a new file", after.Ino)
+			}
+		}
+	}},
+
+	{name: "CrashRecoverLosesNothingSettled", needs: CapCrashRecover, wants: wantsCrashRecover, fn: func(c *C) {
+		// Crash/recover twice in a row with mutations between: rename
+		// and unlink history must recover, not just creates.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/d", 0755), "mkdir")
+		c.write(c.S.User, "/d/a", 64)
+		c.write(c.S.User, "/d/b", 64)
+		c.P.Sleep(settle)
+		c.S.Crash()
+		c.S.Recover(c.P)
+		c.must(c.M.Rename(c.P, c.S.User, "/d/a", "/d/a2"), "rename after first recovery")
+		c.must(c.M.Unlink(c.P, c.S.User, "/d/b"), "unlink after first recovery")
+		c.P.Sleep(settle)
+		c.S.Crash()
+		c.S.Recover(c.P)
+		if got := c.size(c.S.User, "/d/a2"); got != 64 {
+			c.Errorf("renamed file after second recovery: size %d, want 64", got)
+		}
+		_, err := c.M.Stat(c.P, c.S.User, "/d/a")
+		c.wantErr(err, vfs.ErrNotExist, "old name after recovered rename")
+		_, err = c.M.Stat(c.P, c.S.User, "/d/b")
+		c.wantErr(err, vfs.ErrNotExist, "unlinked file after recovery")
+	}},
+
+	{name: "CrashPromoteStandby", needs: CapCrashRecover, wants: wantsCrashPromote, fn: func(c *C) {
+		// Kill the primaries and promote the hot standby: the namespace
+		// must survive through the replica feed and the promoted plane
+		// must serve mutations.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/pr", 0755), "mkdir")
+		for i := 0; i < 4; i++ {
+			c.write(c.S.User, fmt.Sprintf("/pr/f%d", i), 128)
+		}
+		c.P.Sleep(settle) // let the standby's replicas drain their lag
+		c.S.Crash()
+		c.S.Promote(c.P)
+		for i := 0; i < 4; i++ {
+			if got := c.size(c.S.User, fmt.Sprintf("/pr/f%d", i)); got != 128 {
+				c.Errorf("promoted /pr/f%d size = %d, want 128", i, got)
+			}
+		}
+		c.create(c.S.User, "/pr/after", 0644)
+		c.must(c.M.Rename(c.P, c.S.User, "/pr/f0", "/pr/g0"), "rename on promoted plane")
+		ents, err := c.M.Readdir(c.P, c.S.User, "/pr")
+		if c.must(err, "readdir on promoted plane") && len(ents) != 5 {
+			c.Errorf("promoted dir has %d entries, want 5", len(ents))
+		}
+	}},
+
+	{name: "ReshardGrowShrinkPreservesNamespace", needs: CapHandoff, wants: wantsReshard, fn: func(c *C) {
+		// Grow the plane, verify every row survived the migration, keep
+		// mutating, shrink back, verify again: the WAL-handoff protocol
+		// must make the whole round trip invisible to clients.
+		for d := 0; d < 4; d++ {
+			c.must(c.M.MkdirAll(c.P, c.S.User, fmt.Sprintf("/rs/d%d", d), 0755), "mkdirall")
+			for f := 0; f < 2; f++ {
+				c.write(c.S.User, fmt.Sprintf("/rs/d%d/f%d", d, f), int64(100+10*d+f))
+			}
+		}
+		base := c.S.shards()
+		c.must(c.S.Reshard(c.P, base*2), "grow reshard")
+		for d := 0; d < 4; d++ {
+			for f := 0; f < 2; f++ {
+				want := int64(100 + 10*d + f)
+				if got := c.size(c.S.User, fmt.Sprintf("/rs/d%d/f%d", d, f)); got != want {
+					c.Errorf("/rs/d%d/f%d after grow: size %d, want %d", d, f, got, want)
+				}
+			}
+		}
+		c.must(c.M.Rename(c.P, c.S.User, "/rs/d0/f0", "/rs/d3/moved"), "rename on grown plane")
+		c.must(c.M.Unlink(c.P, c.S.User, "/rs/d1/f1"), "unlink on grown plane")
+		c.must(c.S.Reshard(c.P, base), "shrink reshard")
+		if got := c.size(c.S.User, "/rs/d3/moved"); got != 100 {
+			c.Errorf("moved file after shrink: size %d, want 100", got)
+		}
+		_, err := c.M.Stat(c.P, c.S.User, "/rs/d1/f1")
+		c.wantErr(err, vfs.ErrNotExist, "unlinked file after shrink")
+		ents, err := c.M.Readdir(c.P, c.S.User, "/rs")
+		if c.must(err, "readdir after round trip") && len(ents) != 4 {
+			c.Errorf("/rs has %d entries after round trip, want 4", len(ents))
+		}
+	}},
+
+	{name: "ReshardThenCrashRecoverReplay", needs: CapHandoff | CapCrashRecover, wants: func(s *System) string {
+		if r := wantsReshard(s); r != "" {
+			return r
+		}
+		return wantsCrashRecover(s)
+	}, fn: func(c *C) {
+		// The handoff contract outlives the migration: rows moved by a
+		// settled reshard must recover from their new owner's log after
+		// a whole-plane crash (the importer forced them durable before
+		// the source deleted its copies).
+		for i := 0; i < 8; i++ {
+			c.write(c.S.User, fmt.Sprintf("/h%d", i), int64(50+i))
+		}
+		c.must(c.S.Reshard(c.P, c.S.shards()*2), "grow reshard")
+		c.P.Sleep(settle)
+		c.S.Crash()
+		c.S.Recover(c.P)
+		for i := 0; i < 8; i++ {
+			want := int64(50 + i)
+			if got := c.size(c.S.User, fmt.Sprintf("/h%d", i)); got != want {
+				c.Errorf("/h%d after reshard+crash+recover: size %d, want %d", i, got, want)
+			}
+		}
+		c.create(c.S.User, "/hnew", 0644)
+	}},
+}

@@ -3,15 +3,26 @@
 //
 // The same battery of subtests runs against the in-memory reference file
 // system (vfs.MemFS), the GPFS-like parallel file system (internal/pfs)
-// and the COFS virtualization layer (internal/core). The paper's
-// prototype is explicitly "POSIX compliant" (section III) and COFS must
-// be indistinguishable from the file system it interposes; this suite is
-// what pins that equivalence down.
+// and the COFS virtualization layer (internal/core) over every store
+// backend. The paper's prototype is explicitly "POSIX compliant"
+// (section III) and COFS must be indistinguishable from the file system
+// it interposes; this suite is what pins that equivalence down.
+//
+// The suite is one call, parameterized over a Provider in the style of
+// jmgilman's fstest: the provider declares what it supports
+// (Capabilities) and the suite auto-skips — with a reported reason,
+// never a silent pass — whatever the provider lacks. Capability
+// batteries beyond plain POSIX (crash/recover, standby promotion, live
+// reshard) run through optional hooks on System.
 //
 // Usage:
 //
 //	func TestConformance(t *testing.T) {
-//		conformance.Run(t, func(t *testing.T) *conformance.System { ... })
+//		conformance.Run(t, conformance.Provider{
+//			Name:         "cofs",
+//			Capabilities: conformance.Capabilities{Permissions: true, Hardlinks: true, ...},
+//			New:          func(t *testing.T) *conformance.System { ... },
+//		})
 //	}
 //
 // Every subtest receives a fresh System, so tests are independent and
@@ -22,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -29,8 +41,94 @@ import (
 	"cofs/internal/vfs"
 )
 
+// Capability is one optional behaviour a provider may declare. Cases
+// that need a capability the provider lacks are skipped with a reason
+// naming it.
+type Capability uint32
+
+// The capability set the battery keys on.
+const (
+	// CapPermissions: the system enforces mode bits and ownership (the
+	// in-memory reference file system does not).
+	CapPermissions Capability = 1 << iota
+	// CapHardlinks: Link is supported (multiple names per object).
+	CapHardlinks
+	// CapRenameOverNonempty: rename onto a non-empty directory is
+	// detected and refused with ENOTEMPTY.
+	CapRenameOverNonempty
+	// CapNegativeDentryLeases: missing-name lookups install coherent
+	// negative dentries that a conflicting remote create recalls.
+	CapNegativeDentryLeases
+	// CapCrashRecover: the system can crash (losing volatile state) and
+	// recover its durable namespace; System.Crash/Recover must be set.
+	CapCrashRecover
+	// CapHandoff: the system can reshard its metadata plane live, with
+	// WAL-handoff durability; System.Reshard must be set.
+	CapHandoff
+)
+
+var capabilityNames = []struct {
+	bit  Capability
+	name string
+}{
+	{CapPermissions, "permissions"},
+	{CapHardlinks, "hardlinks"},
+	{CapRenameOverNonempty, "rename-over-nonempty"},
+	{CapNegativeDentryLeases, "negative-dentry-leases"},
+	{CapCrashRecover, "crash-recover"},
+	{CapHandoff, "handoff"},
+}
+
+// String names the set bits, comma-separated.
+func (c Capability) String() string {
+	var names []string
+	for _, cn := range capabilityNames {
+		if c&cn.bit != 0 {
+			names = append(names, cn.name)
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}
+
+// Capabilities declares what a provider supports, by name rather than
+// bitmask so call sites read like a datasheet.
+type Capabilities struct {
+	Permissions          bool
+	Hardlinks            bool
+	RenameOverNonempty   bool
+	NegativeDentryLeases bool
+	CrashRecover         bool
+	Handoff              bool
+}
+
+func (cs Capabilities) mask() Capability {
+	var m Capability
+	if cs.Permissions {
+		m |= CapPermissions
+	}
+	if cs.Hardlinks {
+		m |= CapHardlinks
+	}
+	if cs.RenameOverNonempty {
+		m |= CapRenameOverNonempty
+	}
+	if cs.NegativeDentryLeases {
+		m |= CapNegativeDentryLeases
+	}
+	if cs.CrashRecover {
+		m |= CapCrashRecover
+	}
+	if cs.Handoff {
+		m |= CapHandoff
+	}
+	return m
+}
+
 // System is one file system under test, fully assembled (simulation
-// environment, mounted client, caller identities).
+// environment, mounted client, caller identities, capability hooks).
 type System struct {
 	// Env drives the simulation; the suite spawns test bodies as
 	// simulated processes and drains the environment after each.
@@ -43,29 +141,69 @@ type System struct {
 	Other vfs.Ctx
 	// Root is a caller with uid 0.
 	Root vfs.Ctx
-	// EnforcesPermissions selects the permission subtests; the
-	// in-memory reference file system does not check modes.
-	EnforcesPermissions bool
 	// Check, if non-nil, runs after each subtest body (with the
 	// simulation drained) to validate implementation invariants.
 	Check func() error
+
+	// Mount2 is a second client on another node, for coherence cases
+	// (negative-dentry recall); User2 is its caller identity. Optional:
+	// cases that need them skip when absent.
+	Mount2 *vfs.Mount
+	User2  vfs.Ctx
+
+	// Shards is the serving shard count (0 reads as 1); the reshard
+	// battery grows/shrinks relative to it.
+	Shards int
+
+	// Crash/Recover implement the CapCrashRecover battery: Crash drops
+	// volatile state (tables, unflushed log tail), Recover replays the
+	// durable log and readies the system for new work (id-counter
+	// adoption included).
+	Crash   func()
+	Recover func(p *sim.Proc)
+	// Promote, if set, switches service to a hot standby instead of
+	// replaying the primary's log (the crash/promote battery).
+	Promote func(p *sim.Proc)
+	// Reshard implements the CapHandoff battery: live-migrate the
+	// metadata plane to n shards.
+	Reshard func(p *sim.Proc, n int) error
 }
 
 // Factory builds a fresh System for one subtest.
 type Factory func(t *testing.T) *System
 
+// Provider is one system under test: how to build it and what it
+// claims to support. The suite verifies everything claimed and skips
+// (reported) everything not.
+type Provider struct {
+	Name         string
+	New          Factory
+	Capabilities Capabilities
+}
+
+// CaseResult is one case's outcome, as returned by Results.
+type CaseResult struct {
+	Name       string
+	Skipped    bool
+	SkipReason string
+	Failures   []string
+}
+
 // C is the per-subtest helper handed to test bodies: it carries the
-// simulated process plus goroutine-safe assertion helpers.
+// simulated process plus assertion helpers. Failures accumulate here
+// (reported after the simulation drains) so the battery can also run
+// in result-collection mode, where a failure must not fail the test.
 type C struct {
-	T *testing.T
 	P *sim.Proc
 	S *System
 	M *vfs.Mount
+
+	failures []string
 }
 
 // Errorf records a test failure (safe from the simulation goroutine).
 func (c *C) Errorf(format string, args ...any) {
-	c.T.Errorf(format, args...)
+	c.failures = append(c.failures, fmt.Sprintf(format, args...))
 }
 
 // must fails the subtest if err is non-nil.
@@ -126,31 +264,111 @@ func (c *C) size(ctx vfs.Ctx, path string) int64 {
 
 type testCase struct {
 	name  string
-	perms bool // requires EnforcesPermissions
+	needs Capability // skipped unless the provider declares them all
+	// wants, if non-nil, inspects the built System for the hooks the
+	// case drives; a non-empty return is a reported skip reason.
+	wants func(s *System) string
 	fn    func(c *C)
 }
 
-// Run executes the conformance battery, building a fresh System for
-// every subtest via mk.
-func Run(t *testing.T, mk Factory) {
+// Run executes the conformance battery as subtests of t, building a
+// fresh System per case via the provider's factory. Cases needing
+// capabilities or hooks the provider lacks are skipped with the reason
+// in the test log — a skip is visible in verbose output and countable,
+// never a silent pass.
+func Run(t *testing.T, pr Provider) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			s := mk(t)
-			if tc.perms && !s.EnforcesPermissions {
-				t.Skip("filesystem does not enforce permissions")
+			res := runCase(t, pr, tc)
+			if res.Skipped {
+				t.Skip(res.SkipReason)
 			}
-			s.Env.Spawn("conformance."+tc.name, func(p *sim.Proc) {
-				tc.fn(&C{T: t, P: p, S: s, M: s.Mount})
-			})
-			s.Env.MustRun()
-			if s.Check != nil {
-				if err := s.Check(); err != nil {
-					t.Errorf("post-test invariant check: %v", err)
-				}
+			for _, f := range res.Failures {
+				t.Error(f)
 			}
 		})
 	}
+}
+
+// Results executes the battery and returns every case's outcome
+// without failing or skipping t. This is the suite testing itself: the
+// meta-tests assert that a broken provider produces failures and that
+// capability gaps produce reported skips (see meta_test.go).
+func Results(t *testing.T, pr Provider) []CaseResult {
+	out := make([]CaseResult, 0, len(cases))
+	for _, tc := range cases {
+		out = append(out, runCase(t, pr, tc))
+	}
+	return out
+}
+
+// runCase builds a fresh System and runs one case to a CaseResult.
+func runCase(t *testing.T, pr Provider, tc testCase) CaseResult {
+	res := CaseResult{Name: tc.name}
+	if miss := tc.needs &^ pr.Capabilities.mask(); miss != 0 {
+		res.Skipped = true
+		res.SkipReason = fmt.Sprintf("provider %q lacks capability: %v", pr.Name, miss)
+		return res
+	}
+	s := pr.New(t)
+	if tc.wants != nil {
+		if reason := tc.wants(s); reason != "" {
+			res.Skipped = true
+			res.SkipReason = reason
+			return res
+		}
+	}
+	c := &C{S: s, M: s.Mount}
+	s.Env.Spawn("conformance."+tc.name, func(p *sim.Proc) {
+		c.P = p
+		tc.fn(c)
+	})
+	s.Env.MustRun()
+	if s.Check != nil {
+		if err := s.Check(); err != nil {
+			c.Errorf("post-test invariant check: %v", err)
+		}
+	}
+	res.Failures = c.failures
+	return res
+}
+
+// Hook-requirement helpers for capability cases.
+
+func wantsSecondMount(s *System) string {
+	if s.Mount2 == nil {
+		return "system provides no second mount (Mount2)"
+	}
+	return ""
+}
+
+func wantsCrashRecover(s *System) string {
+	if s.Crash == nil || s.Recover == nil {
+		return "system provides no Crash/Recover hooks"
+	}
+	return ""
+}
+
+func wantsCrashPromote(s *System) string {
+	if s.Crash == nil || s.Promote == nil {
+		return "system provides no Crash/Promote hooks"
+	}
+	return ""
+}
+
+func wantsReshard(s *System) string {
+	if s.Reshard == nil {
+		return "system provides no Reshard hook"
+	}
+	return ""
+}
+
+func (s *System) shards() int {
+	if s.Shards < 1 {
+		return 1
+	}
+	return s.Shards
 }
 
 var cases = []testCase{
@@ -499,7 +717,7 @@ var cases = []testCase{
 		c.wantErr(c.M.Rename(c.P, c.S.User, "/d", "/f"), vfs.ErrNotDir, "dir onto file")
 	}},
 
-	{name: "RenameDirOntoNonEmptyDir", fn: func(c *C) {
+	{name: "RenameDirOntoNonEmptyDir", needs: CapRenameOverNonempty, fn: func(c *C) {
 		c.must(c.M.Mkdir(c.P, c.S.User, "/a", 0755), "mkdir a")
 		c.must(c.M.Mkdir(c.P, c.S.User, "/b", 0755), "mkdir b")
 		c.create(c.S.User, "/b/f", 0644)
@@ -515,7 +733,7 @@ var cases = []testCase{
 		c.must(err, "stat moved child")
 	}},
 
-	{name: "RenameHardLinkAliasesNoop", fn: func(c *C) {
+	{name: "RenameHardLinkAliasesNoop", needs: CapHardlinks, fn: func(c *C) {
 		// POSIX: renaming one hard link onto another link of the same
 		// object succeeds and leaves both names in place.
 		c.create(c.S.User, "/a", 0644)
@@ -559,7 +777,7 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "LinkBasic", fn: func(c *C) {
+	{name: "LinkBasic", needs: CapHardlinks, fn: func(c *C) {
 		c.write(c.S.User, "/a", 64)
 		c.must(c.M.Link(c.P, c.S.User, "/a", "/b"), "link")
 		aa, err := c.M.Stat(c.P, c.S.User, "/a")
@@ -585,7 +803,7 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "LinkContentShared", fn: func(c *C) {
+	{name: "LinkContentShared", needs: CapHardlinks, fn: func(c *C) {
 		c.create(c.S.User, "/a", 0644)
 		c.must(c.M.Link(c.P, c.S.User, "/a", "/b"), "link")
 		f, err := c.M.Open(c.P, c.S.User, "/a", vfs.OpenWrite)
@@ -601,12 +819,12 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "LinkToDir", fn: func(c *C) {
+	{name: "LinkToDir", needs: CapHardlinks, fn: func(c *C) {
 		c.must(c.M.Mkdir(c.P, c.S.User, "/d", 0755), "mkdir")
 		c.wantErr(c.M.Link(c.P, c.S.User, "/d", "/d2"), vfs.ErrIsDir, "link to dir")
 	}},
 
-	{name: "LinkExistingName", fn: func(c *C) {
+	{name: "LinkExistingName", needs: CapHardlinks, fn: func(c *C) {
 		c.create(c.S.User, "/a", 0644)
 		c.create(c.S.User, "/b", 0644)
 		c.wantErr(c.M.Link(c.P, c.S.User, "/a", "/b"), vfs.ErrExist, "link over existing")
@@ -763,7 +981,7 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "LinkAcrossDirs", fn: func(c *C) {
+	{name: "LinkAcrossDirs", needs: CapHardlinks, fn: func(c *C) {
 		c.must(c.M.MkdirAll(c.P, c.S.User, "/a", 0755), "mkdir a")
 		c.must(c.M.MkdirAll(c.P, c.S.User, "/b", 0755), "mkdir b")
 		c.write(c.S.User, "/a/f", 21)
@@ -849,7 +1067,7 @@ var cases = []testCase{
 		c.wantErr(err, vfs.ErrNotExist, "old name after rename")
 	}},
 
-	{name: "HardLinkRemoveOneNameVisibility", fn: func(c *C) {
+	{name: "HardLinkRemoveOneNameVisibility", needs: CapHardlinks, fn: func(c *C) {
 		// Hard link, then remove one name: the object stays fully
 		// visible through the other name (content and attributes), and
 		// removing the last name makes both resolve to ENOENT.
@@ -915,7 +1133,7 @@ var cases = []testCase{
 		c.wantErr(c.M.Rename(c.P, c.S.User, "/f", "/d"), vfs.ErrIsDir, "file onto non-empty dir")
 	}},
 
-	{name: "RenameDirOntoDirWithSubdir", fn: func(c *C) {
+	{name: "RenameDirOntoDirWithSubdir", needs: CapRenameOverNonempty, fn: func(c *C) {
 		// A directory whose only entry is a subdirectory is still
 		// non-empty for rename-replacement; emptying it unblocks the
 		// rename and the moved directory keeps its contents.
@@ -935,7 +1153,7 @@ var cases = []testCase{
 
 	// ---- permission battery (skipped on non-enforcing systems) ----
 
-	{name: "PermOpenWriteDeniedByMode", perms: true, fn: func(c *C) {
+	{name: "PermOpenWriteDeniedByMode", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/f", 0644)
 		_, err := c.M.Chmod(c.P, c.S.User, "/f", 0400)
 		c.must(err, "chmod 0400")
@@ -947,13 +1165,13 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "PermOtherUserReadDenied", perms: true, fn: func(c *C) {
+	{name: "PermOtherUserReadDenied", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/private", 0600)
 		_, err := c.M.Open(c.P, c.S.Other, "/private", vfs.OpenRead)
 		c.wantErr(err, vfs.ErrPerm, "other user reads 0600 file")
 	}},
 
-	{name: "PermGroupBitApplies", perms: true, fn: func(c *C) {
+	{name: "PermGroupBitApplies", needs: CapPermissions, fn: func(c *C) {
 		// Other shares no uid; give it the file's gid via a same-group
 		// context and check the group-read bit is honoured.
 		c.create(c.S.User, "/shared", 0640)
@@ -967,19 +1185,19 @@ var cases = []testCase{
 		c.wantErr(werr, vfs.ErrPerm, "group member writes 0640 file")
 	}},
 
-	{name: "PermChmodByNonOwner", perms: true, fn: func(c *C) {
+	{name: "PermChmodByNonOwner", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/f", 0644)
 		_, err := c.M.Chmod(c.P, c.S.Other, "/f", 0777)
 		c.wantErr(err, vfs.ErrPerm, "chmod by non-owner")
 	}},
 
-	{name: "PermChownByNonRoot", perms: true, fn: func(c *C) {
+	{name: "PermChownByNonRoot", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/f", 0644)
 		_, err := c.M.Chown(c.P, c.S.User, "/f", c.S.Other.UID, c.S.Other.GID)
 		c.wantErr(err, vfs.ErrPerm, "chown by non-root")
 	}},
 
-	{name: "PermChownByRoot", perms: true, fn: func(c *C) {
+	{name: "PermChownByRoot", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/f", 0644)
 		attr, err := c.M.Chown(c.P, c.S.Root, "/f", c.S.Other.UID, c.S.Other.GID)
 		if c.must(err, "chown by root") {
@@ -989,19 +1207,19 @@ var cases = []testCase{
 		}
 	}},
 
-	{name: "PermCreateInReadOnlyDir", perms: true, fn: func(c *C) {
+	{name: "PermCreateInReadOnlyDir", needs: CapPermissions, fn: func(c *C) {
 		c.must(c.M.Mkdir(c.P, c.S.User, "/ro", 0555), "mkdir 0555")
 		_, err := c.M.Create(c.P, c.S.Other, "/ro/f", 0644)
 		c.wantErr(err, vfs.ErrPerm, "create in read-only dir")
 	}},
 
-	{name: "PermUnlinkInOthersDir", perms: true, fn: func(c *C) {
+	{name: "PermUnlinkInOthersDir", needs: CapPermissions, fn: func(c *C) {
 		c.must(c.M.Mkdir(c.P, c.S.User, "/mine", 0755), "mkdir")
 		c.create(c.S.User, "/mine/f", 0644)
 		c.wantErr(c.M.Unlink(c.P, c.S.Other, "/mine/f"), vfs.ErrPerm, "unlink in 0755 dir by other")
 	}},
 
-	{name: "PermRootBypasses", perms: true, fn: func(c *C) {
+	{name: "PermRootBypasses", needs: CapPermissions, fn: func(c *C) {
 		c.create(c.S.User, "/private", 0600)
 		f, err := c.M.Open(c.P, c.S.Root, "/private", vfs.OpenRead)
 		if c.must(err, "root reads 0600 file") {

@@ -1,0 +1,147 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// Meta-tests: the conformance suite is itself under test. A test
+// battery earns trust two ways — by catching a deliberately broken
+// provider, and by reporting what it did not check instead of silently
+// passing it. Both are asserted here through Results, the non-fatal
+// face of Run.
+
+// brokenFS wraps the reference file system with one deliberate bug: a
+// rename over an existing name drops the replaced target entirely —
+// after the rename the destination name is gone rather than bound to
+// the source file.
+type brokenFS struct {
+	vfs.Filesystem
+}
+
+func (b brokenFS) Rename(p *sim.Proc, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) error {
+	_, lerr := b.Filesystem.Lookup(p, ctx, dstDir, dstName)
+	if err := b.Filesystem.Rename(p, ctx, srcDir, srcName, dstDir, dstName); err != nil {
+		return err
+	}
+	if lerr == nil {
+		// The destination existed: drop the replaced name on the floor
+		// (ignoring the error keeps directory targets intact — Unlink
+		// refuses those, which is the only reason dir-onto-dir renames
+		// survive this bug).
+		_ = b.Filesystem.Unlink(p, ctx, dstDir, dstName)
+	}
+	return nil
+}
+
+// metaProvider mounts fs with the given capability claims.
+func metaProvider(name string, caps Capabilities, fs func() vfs.Filesystem) Provider {
+	return Provider{
+		Name:         name,
+		Capabilities: caps,
+		New: func(t *testing.T) *System {
+			env := sim.NewEnv(1)
+			return &System{
+				Env:   env,
+				Mount: vfs.NewMount(fs(), params.FUSEParams{}),
+				User:  vfs.Ctx{Node: 0, PID: 1, UID: 1000, GID: 100},
+				Other: vfs.Ctx{Node: 0, PID: 2, UID: 2000, GID: 200},
+				Root:  vfs.Ctx{Node: 0, PID: 3, UID: 0, GID: 0},
+			}
+		},
+	}
+}
+
+func caseResult(t *testing.T, results []CaseResult, name string) CaseResult {
+	t.Helper()
+	for _, r := range results {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("case %q not in the battery", name)
+	return CaseResult{}
+}
+
+// TestSuiteCatchesBrokenRename: a provider whose rename drops the
+// replaced target must fail the replacement case — and only cases that
+// actually exercise the bug, so a failure points at the defect rather
+// than painting the whole battery red.
+func TestSuiteCatchesBrokenRename(t *testing.T) {
+	results := Results(t, metaProvider("broken-rename",
+		Capabilities{Hardlinks: true, RenameOverNonempty: true},
+		func() vfs.Filesystem { return brokenFS{vfs.NewMemFS()} }))
+
+	replaced := caseResult(t, results, "RenameReplacesFile")
+	if replaced.Skipped || len(replaced.Failures) == 0 {
+		t.Errorf("RenameReplacesFile = %+v, want failures: the suite missed a rename that drops the replaced target", replaced)
+	}
+	for _, name := range []string{"RenameBasic", "CreateFileAttrs", "RenameDirOntoEmptyDir"} {
+		if r := caseResult(t, results, name); r.Skipped || len(r.Failures) > 0 {
+			t.Errorf("%s = %+v, want clean pass: the bug only fires when a rename replaces a file", name, r)
+		}
+	}
+}
+
+// TestSuiteReportsCapabilitySkips: when a provider declares no optional
+// capabilities, every gated case must surface as an explicit skip
+// naming the missing capability — a skipped check that looks like a
+// pass is how conformance matrices rot.
+func TestSuiteReportsCapabilitySkips(t *testing.T) {
+	results := Results(t, metaProvider("no-caps", Capabilities{},
+		func() vfs.Filesystem { return vfs.NewMemFS() }))
+
+	gated := map[string]string{
+		"LinkBasic":                            "hardlinks",
+		"PermOpenWriteDeniedByMode":            "permissions",
+		"RenameDirOntoNonEmptyDir":             "rename-over-nonempty",
+		"NegativeDentryRecalledByRemoteCreate": "negative-dentry-leases",
+		"CrashRecoverDurableNamespace":         "crash-recover",
+		"ReshardGrowShrinkPreservesNamespace":  "handoff",
+	}
+	for name, capName := range gated {
+		r := caseResult(t, results, name)
+		if !r.Skipped {
+			t.Errorf("%s ran against a provider that never claimed the capability", name)
+			continue
+		}
+		if !strings.Contains(r.SkipReason, capName) {
+			t.Errorf("%s skip reason %q does not name the missing capability %q", name, r.SkipReason, capName)
+		}
+	}
+	ran := 0
+	for _, r := range results {
+		if !r.Skipped {
+			ran++
+			if len(r.Failures) > 0 {
+				t.Errorf("%s failed on the reference file system: %v", r.Name, r.Failures)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Error("no-caps provider ran zero cases; the core battery must not be capability-gated")
+	}
+}
+
+// TestSuiteVerifiesCapabilityClaims: declaring a capability is a
+// promise, not a label. A provider that claims permission enforcement
+// it does not implement must fail the permission cases — the matrix
+// can trust a green cell only if claims are exercised.
+func TestSuiteVerifiesCapabilityClaims(t *testing.T) {
+	results := Results(t, metaProvider("overclaims-perms",
+		Capabilities{Permissions: true},
+		func() vfs.Filesystem { return vfs.NewMemFS() }))
+
+	for _, name := range []string{"PermOpenWriteDeniedByMode", "PermOtherUserReadDenied"} {
+		r := caseResult(t, results, name)
+		if r.Skipped {
+			t.Errorf("%s skipped despite the provider claiming permissions", name)
+		} else if len(r.Failures) == 0 {
+			t.Errorf("%s passed against a file system that enforces nothing", name)
+		}
+	}
+}
