@@ -19,6 +19,7 @@ import (
 	"cofs/internal/experiments"
 	"cofs/internal/params"
 	"cofs/internal/sim"
+	"cofs/internal/stats"
 	"cofs/internal/store"
 	"cofs/internal/trace"
 )
@@ -535,6 +536,48 @@ func BenchmarkStoreBackends(b *testing.B) {
 				b.Logf("bench record: %v", err)
 			}
 		})
+	}
+}
+
+// BenchmarkStandbyReads pins the standby read path (docs/replication.md):
+// the stat-dominated storm — 8 ranks `ls -l`-ing a shared 256-file
+// directory while every rank's utime sweep keeps mutations landing on
+// the primaries — once per shard count with reads on the primaries
+// (off) and once routed through the per-shard hot standbys (on). The
+// off rows must stay bit-identical to the pre-standby plane (the
+// cost-identity contract of the StandbyReads knob); the on rows pin
+// the win — stats escape the mutation-loaded primaries — and the
+// mds.standby-reads / mds.standby-fallbacks counters in the record pin
+// how many reads the freshness gate actually served versus redirected.
+func BenchmarkStandbyReads(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		for _, mode := range []string{"off", "on"} {
+			shards, mode := shards, mode
+			b.Run(fmt.Sprintf("%s-%dshards", mode, shards), func(b *testing.B) {
+				var ms float64
+				var ops int
+				var c *stats.Counters
+				var mt bench.Meter
+				for i := 0; i < b.N; i++ {
+					cfg := params.Default()
+					cfg.COFS.MetadataShards = shards
+					cfg.COFS.StandbyReads = mode == "on"
+					mt.Start()
+					ms, ops, c = experiments.StandbyReadStorm(int64(i+1), cfg)
+					mt.Stop()
+				}
+				reportMs(b, ms)
+				rec := bench.Record{
+					Name: fmt.Sprintf("standby-reads/%s-%dshards", mode, shards), Shards: shards,
+					VmsPerOp: ms,
+				}
+				mt.Fill(&rec, ops)
+				rec.SetCounters(c)
+				if err := bench.WriteRecord(rec); err != nil {
+					b.Logf("bench record: %v", err)
+				}
+			})
+		}
 	}
 }
 

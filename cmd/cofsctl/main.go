@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"cofs/internal/bench"
 	"cofs/internal/cluster"
@@ -54,6 +55,7 @@ func main() {
 	attrLease := flag.Duration("attr-lease", 0, "client cache lease term (0 disables the coherent cache)")
 	rpcBatch := flag.Bool("rpc-batch", false, "coalesce concurrent RPCs to the same shard into one round trip")
 	exclLocks := flag.Bool("excl-locks", false, "revert the row-lock table to exclusive-only locks (no shared read-dependency grants)")
+	standbyReads := flag.Bool("standby-reads", false, "serve reads from per-shard hot standbys when provably fresh (docs/replication.md)")
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	reshardTo := flag.Int("reshard-to", 2, "reshard: target shard count")
 	crashAt := flag.Int("crash-at", -1, "reshard: crash the plane at migration step N and recover (-1 runs to completion)")
@@ -78,8 +80,13 @@ func main() {
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
+	cfg.COFS.StandbyReads = *standbyReads
 	tb := cluster.New(*seed, *nodes, cfg)
 	d := core.Deploy(tb, nil)
+	if *standbyReads {
+		core.DeployStandby(tb, d, 5*time.Millisecond)
+		tb.Run()
+	}
 
 	// Demo workload: shared dir, parallel creates, a few stats.
 	tb.Env.Spawn("setup", func(p *sim.Proc) {

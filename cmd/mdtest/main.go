@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cofs/internal/bench"
 	"cofs/internal/cluster"
@@ -36,11 +37,12 @@ func main() {
 		shift     = flag.Bool("shift", false, "rank r stats rank r+1's files (cross-node attributes)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 
-		attrLease = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
-		rpcBatch  = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
-		exclLocks = flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
-		reshardAt = flag.String("reshard-at", "", "cofs: reshard mid-run, when this phase starts (e.g. file-create)")
-		reshardTo = flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
+		attrLease    = flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
+		rpcBatch     = flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
+		exclLocks    = flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
+		standbyReads = flag.Bool("standby-reads", false, "cofs: serve reads from per-shard hot standbys when provably fresh (docs/replication.md)")
+		reshardAt    = flag.String("reshard-at", "", "cofs: reshard mid-run, when this phase starts (e.g. file-create)")
+		reshardTo    = flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a host allocation profile to this file")
@@ -58,6 +60,7 @@ func main() {
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
+	cfg.COFS.StandbyReads = *standbyReads
 	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
 	var deployment *core.Deployment
@@ -66,6 +69,10 @@ func main() {
 		tgt = bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	case "cofs":
 		deployment = core.Deploy(tb, nil)
+		if *standbyReads {
+			core.DeployStandby(tb, deployment, 5*time.Millisecond)
+			tb.Run()
+		}
 		tgt = bench.Target{Env: tb.Env, Mounts: deployment.Mounts, Ctx: cluster.Ctx}
 	default:
 		fmt.Fprintf(os.Stderr, "mdtest: unknown fs %q\n", *fs)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cofs/internal/bench"
 	"cofs/internal/cluster"
@@ -36,6 +37,7 @@ func main() {
 	attrLease := flag.Duration("attr-lease", 0, "cofs client cache lease term (0 disables the coherent cache)")
 	rpcBatch := flag.Bool("rpc-batch", false, "cofs: coalesce concurrent RPCs to the same shard into one round trip")
 	exclLocks := flag.Bool("excl-locks", false, "cofs: revert the row-lock table to exclusive-only locks")
+	standbyReads := flag.Bool("standby-reads", false, "cofs: serve reads from per-shard hot standbys when provably fresh (docs/replication.md)")
 	reshardAt := flag.String("reshard-at", "", "cofs: reshard the metadata plane mid-run, when this operation's phase starts")
 	reshardTo := flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
@@ -53,6 +55,7 @@ func main() {
 	cfg.COFS.AttrLease = *attrLease
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
+	cfg.COFS.StandbyReads = *standbyReads
 	tb := cluster.New(*seed, *nodes, cfg)
 	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	var deployment *core.Deployment
@@ -60,6 +63,10 @@ func main() {
 	case "gpfs":
 	case "cofs":
 		deployment = core.Deploy(tb, nil)
+		if *standbyReads {
+			core.DeployStandby(tb, deployment, 5*time.Millisecond)
+			tb.Run()
+		}
 		target.Mounts = deployment.Mounts
 	default:
 		fmt.Fprintln(os.Stderr, "metarates: -fs must be gpfs or cofs")

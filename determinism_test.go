@@ -33,8 +33,11 @@ import (
 // the final virtual clock, per-phase op counts and mean latencies
 // (hex-formatted, so float equality is bitwise), and every deployment
 // counter. With reshard set the plane starts at 2 shards and reshards
-// to 4 while the stat phase runs.
-func stormFingerprint(t *testing.T, seed int64, reshard bool) string {
+// to 4 while the stat phase runs. With standby set the plane ships its
+// WAL to per-shard standbys and routes reads through them — the
+// freshness gate, the fallback path and the reshard-time pause/resume
+// and reconnect machinery all land inside the fingerprint.
+func stormFingerprint(t *testing.T, seed int64, reshard, standby bool) string {
 	t.Helper()
 	cfg := params.Default()
 	cfg.COFS.MetadataShards = 4
@@ -42,8 +45,13 @@ func stormFingerprint(t *testing.T, seed int64, reshard bool) string {
 		cfg.COFS.MetadataShards = 2
 	}
 	cfg.COFS.AttrLease = 30 * time.Second
+	cfg.COFS.StandbyReads = standby
 	tb := cluster.New(seed, 8, cfg)
 	d := core.Deploy(tb, nil)
+	if standby {
+		core.DeployStandby(tb, d, 5*time.Millisecond)
+		tb.Run()
+	}
 	tgt := bench.Target{Env: tb.Env, Mounts: d.Mounts, Ctx: cluster.Ctx}
 	mcfg := bench.MDTestConfig{
 		Nodes: 8, ProcsPerNode: 4, Depth: 1, Branch: 4, FilesPerRank: 64,
@@ -82,15 +90,17 @@ func TestSameSeedDeterminism(t *testing.T) {
 	cases := []struct {
 		name    string
 		reshard bool
+		standby bool
 	}{
-		{"storm-4shards", false},
-		{"storm-2to4-midreshard", true},
+		{"storm-4shards", false, false},
+		{"storm-2to4-midreshard", true, false},
+		{"storm-standby-reads-midreshard", true, true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			first := stormFingerprint(t, 42, tc.reshard)
-			second := stormFingerprint(t, 42, tc.reshard)
+			first := stormFingerprint(t, 42, tc.reshard, tc.standby)
+			second := stormFingerprint(t, 42, tc.reshard, tc.standby)
 			if first == second {
 				return
 			}

@@ -52,16 +52,18 @@ func cofsSystem(seed int64, cfg params.Config) *conformance.System {
 }
 
 // cofsCaps declares what a COFS deployment supports. Negative-dentry
-// leases exist only in lease-cache mode; everything else holds across
-// the whole matrix.
-func cofsCaps(lease bool) conformance.Capabilities {
+// leases exist only in lease-cache mode and the stale-free standby
+// read battery only applies when the deployment routes reads through
+// its standbys; everything else holds across the whole matrix.
+func cofsCaps(cfg params.Config) conformance.Capabilities {
 	return conformance.Capabilities{
 		Permissions:          true,
 		Hardlinks:            true,
 		RenameOverNonempty:   true,
-		NegativeDentryLeases: lease,
+		NegativeDentryLeases: cfg.COFS.AttrLease > 0,
 		CrashRecover:         true,
 		Handoff:              true,
+		StandbyReads:         cfg.COFS.StandbyReads,
 	}
 }
 
@@ -71,7 +73,7 @@ func cofsCaps(lease bool) conformance.Capabilities {
 func cofsProvider(name string, seed int64, cfg params.Config) conformance.Provider {
 	return conformance.Provider{
 		Name:         name,
-		Capabilities: cofsCaps(cfg.COFS.AttrLease > 0),
+		Capabilities: cofsCaps(cfg),
 		New: func(t *testing.T) *conformance.System {
 			return cofsSystem(seed, cfg)
 		},
@@ -94,41 +96,53 @@ func TestConformanceWithAttrCache(t *testing.T) {
 }
 
 // TestConformanceMatrix is the provider-grade cross-product: every
-// store backend × shard count × client-cache mode × lock mode, each
-// running the full battery plus the crash/promote and reshard replays.
-// Exclusive row locks only change behaviour where the cross-shard
-// transaction layer runs, so the excl axis starts at 2 shards.
+// store backend × shard count × client-cache mode × lock mode ×
+// standby-read routing, each running the full battery plus the
+// crash/promote and reshard replays. Exclusive row locks only change
+// behaviour where the cross-shard transaction layer runs, so the excl
+// axis starts at 2 shards; the standby-read axis is bounded to the
+// shared-lock cells (routing reads through standbys is orthogonal to
+// the lock mode, which the plain cells already cross).
 func TestConformanceMatrix(t *testing.T) {
 	axis := 0
 	for _, backend := range []string{"mdb", "mdls"} {
 		for _, shards := range []int{1, 2, 4} {
 			for _, lease := range []bool{false, true} {
 				for _, excl := range []bool{false, true} {
-					if excl && shards == 1 {
-						continue
+					for _, sbr := range []bool{false, true} {
+						if excl && shards == 1 {
+							continue
+						}
+						if sbr && excl {
+							continue
+						}
+						axis++
+						cfg := params.Default()
+						cfg.COFS.MetadataStore = backend
+						cfg.COFS.MetadataShards = shards
+						cfg.COFS.ExclusiveRowLocks = excl
+						cfg.COFS.StandbyReads = sbr
+						if lease {
+							cfg.COFS.AttrLease = 30 * time.Second
+							cfg.COFS.RPCBatch = true
+						}
+						mode := "nolease"
+						if lease {
+							mode = "lease"
+						}
+						locks := "shared"
+						if excl {
+							locks = "excl"
+						}
+						name := fmt.Sprintf("%s/%dshards/%s-%s", backend, shards, mode, locks)
+						if sbr {
+							name += "-sbreads"
+						}
+						seed := int64(100 + axis)
+						t.Run(name, func(t *testing.T) {
+							conformance.Run(t, cofsProvider("cofs-"+name, seed, cfg))
+						})
 					}
-					axis++
-					cfg := params.Default()
-					cfg.COFS.MetadataStore = backend
-					cfg.COFS.MetadataShards = shards
-					cfg.COFS.ExclusiveRowLocks = excl
-					if lease {
-						cfg.COFS.AttrLease = 30 * time.Second
-						cfg.COFS.RPCBatch = true
-					}
-					mode := "nolease"
-					if lease {
-						mode = "lease"
-					}
-					locks := "shared"
-					if excl {
-						locks = "excl"
-					}
-					name := fmt.Sprintf("%s/%dshards/%s-%s", backend, shards, mode, locks)
-					seed := int64(100 + axis)
-					t.Run(name, func(t *testing.T) {
-						conformance.Run(t, cofsProvider("cofs-"+name, seed, cfg))
-					})
 				}
 			}
 		}

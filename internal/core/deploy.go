@@ -106,6 +106,9 @@ func (d *Deployment) Counters() *stats.Counters {
 	c.Add("mds.lock-upgrades", ls.Upgrades)
 	c.Add("mds.lock-conflicts", ls.Conflicts)
 	c.Add("mds.lock-wait-us", int64(ls.WaitTotal/time.Microsecond))
+	sbReads, sbFalls := d.Service.StandbyReadStats()
+	c.Add("mds.standby-reads", sbReads)
+	c.Add("mds.standby-fallbacks", sbFalls)
 	rs := d.Service.ReshardStats()
 	c.Add("mds.reshard-runs", rs.Reshards)
 	c.Add("mds.reshard-epochs", rs.Epochs)

@@ -148,6 +148,10 @@ type MDSCluster struct {
 	// (replication.go): a reshard grows and retires them in lockstep so
 	// the standby shape always tracks the current epoch.
 	standbys []*Standby
+	// priorStandbyReads/-Fallbacks carry the standby read counters of a
+	// plane this one replaced at Promote, like priorPeer above.
+	priorStandbyReads     int64
+	priorStandbyFallbacks int64
 	// onReshardStep/reshardSeq drive the crash-injection step hook
 	// (OnReshardStep); recovering suppresses it while recoverReshard
 	// replays an interrupted migration.
@@ -219,6 +223,32 @@ func (c *MDSCluster) shard(ino vfs.Ino) *Service { return c.shards[c.Of(ino)] }
 // ReshardStats returns the plane's resharding counters.
 func (c *MDSCluster) ReshardStats() reshard.Stats { return c.rstats }
 
+// readStandby returns the standby plane that offloads this primary's
+// reads, nil when none was deployed with COFSParams.StandbyReads. The
+// pointer is returned even while serving is paused (mid-reshard):
+// dialing decisions key on its existence, the per-read gate re-checks
+// paused on the standby host (standby.go).
+func (c *MDSCluster) readStandby() *Standby {
+	for _, sb := range c.standbys {
+		if sb.serveReads {
+			return sb
+		}
+	}
+	return nil
+}
+
+// StandbyReadStats sums the standby-served read and fallback counters
+// across the plane's standbys, including planes this one replaced at
+// Promote.
+func (c *MDSCluster) StandbyReadStats() (reads, fallbacks int64) {
+	reads, fallbacks = c.priorStandbyReads, c.priorStandbyFallbacks
+	for _, sb := range c.standbys {
+		reads += sb.Reads
+		fallbacks += sb.Fallbacks
+	}
+	return reads, fallbacks
+}
+
 // StoreName reports which store backend the plane's shards deploy
 // (tools print it in their counters header).
 func (c *MDSCluster) StoreName() string { return c.shards[0].DB.EngineName() }
@@ -254,8 +284,15 @@ func (c *MDSCluster) routed(p *sim.Proc, sess *Session, ino vfs.Ino, op func(s *
 	}
 }
 
-// Lookup resolves (parent, name); coordinated by the parent's shard.
+// Lookup resolves (parent, name); coordinated by the parent's shard —
+// or served by its standby when one offloads reads and can prove the
+// answer fresh (standby.go).
 func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (attr vfs.Attr, err error) {
+	if sb := c.readStandby(); sb != nil {
+		if attr, err, ok := sb.lookup(p, sess, parent, name); ok {
+			return attr, err
+		}
+	}
 	c.routed(p, sess, parent, func(s *Service) error {
 		attr, err = s.Lookup(p, sess, parent, name)
 		return err
@@ -263,8 +300,14 @@ func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name str
 	return attr, err
 }
 
-// Getattr returns the attributes of id from its owning shard.
+// Getattr returns the attributes of id from its owning shard, or from
+// the shard's standby when the replication cursor proves them fresh.
 func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.Attr, err error) {
+	if sb := c.readStandby(); sb != nil {
+		if attr, err, ok := sb.getattr(p, sess, id); ok {
+			return attr, err
+		}
+	}
 	c.routed(p, sess, id, func(s *Service) error {
 		attr, err = s.Getattr(p, sess, id)
 		return err
@@ -338,8 +381,15 @@ func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, p
 	return attr, err
 }
 
-// ReaddirPlus lists dir with attributes; coordinated by dir's shard.
+// ReaddirPlus lists dir with attributes; coordinated by dir's shard,
+// or served whole from its standby when every row of the listing is
+// provably covered by the replication cursor.
 func (c *MDSCluster) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) (ents []vfs.DirEntry, attrs []vfs.Attr, err error) {
+	if sb := c.readStandby(); sb != nil {
+		if ents, attrs, err, ok := sb.readdirPlus(p, sess, ctx, dir); ok {
+			return ents, attrs, err
+		}
+	}
 	c.routed(p, sess, dir, func(s *Service) error {
 		ents, attrs, err = s.ReaddirPlus(p, sess, ctx, dir)
 		return err

@@ -5,6 +5,7 @@ import (
 
 	"cofs/internal/cluster"
 	"cofs/internal/mdb"
+	"cofs/internal/rpc"
 	"cofs/internal/sim"
 	"cofs/internal/vfs"
 )
@@ -26,7 +27,10 @@ import (
 // finishes the move the dead primaries started.
 
 // Standby is a passive metadata plane tracking a primary, shard for
-// shard.
+// shard. With COFSParams.StandbyReads set it is not entirely passive:
+// reads whose freshness the per-shard replication cursor proves are
+// served from the standby shards (standby.go), everything else still
+// belongs to the primary.
 type Standby struct {
 	// Cluster is the standby plane (do not serve requests from it
 	// before Promote).
@@ -36,6 +40,23 @@ type Standby struct {
 	// delay is the shipping delay; new shard replicas attach with it
 	// when the primary grows mid-standby.
 	delay time.Duration
+	// primary is the plane this standby ships from.
+	primary *MDSCluster
+	// serveReads marks this standby as the plane's read offload
+	// (COFSParams.StandbyReads at deploy time); paused suspends serving
+	// while a reshard migrates rows — mid-migration a source shard's
+	// standby could prove a deletion fresh that is really a move, and
+	// serve ENOENT for a row alive at the target (Reshard sets it,
+	// settleReshard clears it).
+	serveReads bool
+	paused     bool
+
+	// Reads counts reads served from the standby plane; Fallbacks
+	// counts reads the cursor could not prove fresh, answered with a
+	// redirect the client pays for by retrying at the primary
+	// (mds.standby-reads / mds.standby-fallbacks).
+	Reads     int64
+	Fallbacks int64
 }
 
 // DeployStandby attaches a standby metadata plane to a running COFS
@@ -45,6 +66,15 @@ type Standby struct {
 // standby registers with the primary so reshards keep the two planes in
 // lockstep.
 func DeployStandby(tb *cluster.Testbed, d *Deployment, delay time.Duration) *Standby {
+	if d.Service.Maps.Current().Migrating() {
+		// A mid-migration plane is between shard counts: sizing the
+		// standby by len(Shards()) would attach it to a shape the
+		// migration is about to abandon, and its shipped tables would
+		// silently disagree with the settled map. Deployment-time
+		// misuse, like the other deploy panics: attach before the
+		// reshard or after it settles.
+		panic("core: DeployStandby during a live reshard (attach before Reshard or after it settles)")
+	}
 	n := len(d.Service.Shards())
 	hosts := tb.AddServiceHosts("cofs-mds-standby", n, tb.Cfg.COFS.ServiceWorkers)
 	sc := NewMDSCluster(tb.Net, hosts, tb.Cfg)
@@ -54,12 +84,23 @@ func DeployStandby(tb *cluster.Testbed, d *Deployment, delay time.Duration) *Sta
 	// standby plane shaped by the current epoch, whatever the shard
 	// count was when it attached.
 	sc.Maps = d.Service.Maps
-	sb := &Standby{Cluster: sc, delay: delay}
+	sb := &Standby{Cluster: sc, delay: delay, primary: d.Service}
 	for i := range sc.shards {
 		sb.Replicas = append(sb.Replicas,
 			mdb.Replicate(tb.Env, d.Service.shards[i].DB, sc.shards[i].DB, delay))
 	}
 	d.Service.standbys = append(d.Service.standbys, sb)
+	if tb.Cfg.COFS.StandbyReads && len(d.Service.standbys) == 1 {
+		// The first standby becomes the read offload; sessions dialed
+		// before it attached get their standby channels now.
+		sb.serveReads = true
+		for _, sess := range d.Service.sessions {
+			for _, s := range sc.shards {
+				sess.sbconns = append(sess.sbconns,
+					rpc.Dial(s.net, sess.host, s.host, tb.Cfg.COFS.RPCBatch))
+			}
+		}
+	}
 	return sb
 }
 
@@ -69,10 +110,25 @@ func DeployStandby(tb *cluster.Testbed, d *Deployment, delay time.Duration) *Sta
 // shard with the deploy-time delay.
 func (sb *Standby) grow(primary *MDSCluster) {
 	sc := sb.Cluster
+	old := len(sb.Replicas)
 	sc.growTo(len(primary.shards))
 	for i := len(sb.Replicas); i < len(primary.shards); i++ {
 		sb.Replicas = append(sb.Replicas,
 			mdb.Replicate(sc.net.Env(), primary.shards[i].DB, sc.shards[i].DB, sb.delay))
+	}
+	if sb.serveReads {
+		// Every session needs channels to the new standby shards before
+		// serving resumes at the settled epoch (reads are paused for the
+		// whole migration).
+		for _, sess := range primary.sessions {
+			if len(sess.sbconns) != old {
+				continue
+			}
+			for i := old; i < len(sc.shards); i++ {
+				sess.sbconns = append(sess.sbconns,
+					rpc.Dial(sc.net, sess.host, sc.shards[i].host, sc.cfg.RPCBatch))
+			}
+		}
 	}
 }
 
@@ -89,6 +145,20 @@ func (sb *Standby) retire(p *sim.Proc, n int) {
 	}
 	if len(sb.Replicas) > n {
 		sb.Replicas = sb.Replicas[:n]
+	}
+	if sb.serveReads {
+		// Fold the retired standby channels' counters like the primary
+		// channels next to them, so the transport report stays
+		// cumulative.
+		for _, sess := range sb.primary.sessions {
+			if len(sess.sbconns) <= n {
+				continue
+			}
+			for _, c := range sess.sbconns[n:] {
+				sess.prior.Add(c.Stats)
+			}
+			sess.sbconns = sess.sbconns[:n]
+		}
 	}
 	sb.Cluster.retireDrained(p)
 }
@@ -145,6 +215,7 @@ func (sb *Standby) Promote(d *Deployment) int {
 	// Keep the per-layer transport report cumulative across the
 	// switch, as the per-session counters already are.
 	sc.priorPeer = d.Service.PeerTransportStats()
+	sc.priorStandbyReads, sc.priorStandbyFallbacks = d.Service.StandbyReadStats()
 	d.Service = sc
 	if cur.Migrating() {
 		sc.net.Env().Spawn("promote-reshard-recover", func(p *sim.Proc) {

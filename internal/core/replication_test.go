@@ -190,6 +190,45 @@ func TestFailoverIDCounterNoCollision(t *testing.T) {
 	tb.Run()
 }
 
+// TestDeployStandbyMidMigrationRefused pins the deploy-time guard: a
+// standby attached while a reshard is migrating rows would size itself
+// by a shard count the migration is about to abandon, and its shipped
+// tables would silently disagree with the settled map. DeployStandby
+// must fail fast instead of attaching a doomed plane.
+func TestDeployStandbyMidMigrationRefused(t *testing.T) {
+	tb, d := crashRig(t, 7700, 2)
+	buildTree(t, tb, d, 8, 24)
+	attempted := false
+	d.Service.OnReshardStep(func(seq int, at core.ReshardPoint) bool {
+		if seq == 0 {
+			attempted = true
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("DeployStandby during a live 2->4 grow did not panic")
+					}
+				}()
+				core.DeployStandby(tb, d, time.Millisecond)
+			}()
+		}
+		return false
+	})
+	step(tb, "grow-with-attach", func(p *sim.Proc) {
+		if err := d.Service.Reshard(p, 4); err != nil {
+			t.Errorf("reshard: %v", err)
+		}
+	})
+	if !attempted {
+		t.Fatal("migration fired no step points, guard never exercised")
+	}
+	// The refused attach must leave no standby behind: a later,
+	// correctly-timed deploy attaches to the settled 4-shard plane.
+	sb := core.DeployStandby(tb, d, time.Millisecond)
+	if got := len(sb.Replicas); got != 4 {
+		t.Fatalf("post-reshard standby has %d replicas, want 4", got)
+	}
+}
+
 // standbyCrashRig is crashRig plus an attached standby plane. The
 // probe and the sweep below must deploy identically — the standby's
 // shipping traffic is part of the schedule the probe measures.

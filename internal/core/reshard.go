@@ -124,6 +124,13 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 	c.resharding = true
 	defer func() { c.resharding = false }()
 
+	// Standby serving stops for the whole migration (settleReshard
+	// resumes it): rows are about to exist on two shards and die on one,
+	// and the per-row freshness proof is only sound against a settled
+	// map. An interrupted migration stays paused — recovery settles and
+	// resumes.
+	c.pauseStandbyReads()
+
 	c.growTo(n)
 	c.ensureReshardRig()
 
@@ -163,6 +170,7 @@ func (c *MDSCluster) Reshard(p *sim.Proc, n int) error {
 		for i := len(c.shards) - 1; i >= 0; i-- {
 			c.shards[i].DB.Thaw(p)
 		}
+		c.resumeStandbyReads()
 		return err
 	}
 	c.rstats.Epochs++
@@ -227,6 +235,7 @@ func (c *MDSCluster) settleReshard(p *sim.Proc) error {
 		}
 	}
 	c.retireDrained(p)
+	c.resumeStandbyReads()
 	return nil
 }
 

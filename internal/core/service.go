@@ -146,6 +146,13 @@ func newShard(net *netsim.Net, host *netsim.Host, cfg params.Config, c *MDSClust
 	if err != nil {
 		panic(err) // deployment-time misconfiguration: fail fast
 	}
+	if cfg.COFS.StandbyReads {
+		// Before any row (the root bootstrap included) exists: a row
+		// born untracked would carry no last-commit stamp, and the
+		// standby freshness check would read its absence as "never
+		// committed" (see mdb.TrackStamps).
+		db.TrackStamps()
+	}
 	base := firstID(shardID, c.lockShards)
 	stride := vfs.Ino(c.lockShards)
 	if stride < 1 {

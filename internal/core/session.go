@@ -17,6 +17,12 @@ type Session struct {
 	host  *netsim.Host
 	cache *clientCache
 	conns []*rpc.Conn
+	// sbconns are the per-shard channels to a read-serving standby
+	// plane (replication.go), in shard order; empty unless the plane
+	// has one. Standby reads travel them so the standby hosts' CPU and
+	// wire costs are charged where they land; all mutations — and every
+	// read the standby cannot prove fresh — stay on conns.
+	sbconns []*rpc.Conn
 	// view is the shard-map version this client routes by (the epoch it
 	// stamps its requests with — the stamp itself rides the RPC header
 	// already charged to every message). It is refreshed only when a
@@ -37,6 +43,11 @@ func (c *MDSCluster) Connect(host *netsim.Host, node int, cache *clientCache) *S
 	sess := &Session{node: node, host: host, cache: cache, view: c.Maps.Current()}
 	for _, s := range c.shards {
 		sess.conns = append(sess.conns, rpc.Dial(s.net, host, s.host, c.cfg.RPCBatch))
+	}
+	if sb := c.readStandby(); sb != nil {
+		for _, s := range sb.Cluster.shards {
+			sess.sbconns = append(sess.sbconns, rpc.Dial(s.net, host, s.host, c.cfg.RPCBatch))
+		}
 	}
 	c.sessions = append(c.sessions, sess)
 	return sess
@@ -74,6 +85,9 @@ func (sess *Session) refetchMap(p *sim.Proc, c *MDSCluster) {
 func (sess *Session) TransportStats() rpc.ConnStats {
 	out := sess.prior
 	for _, c := range sess.conns {
+		out.Add(c.Stats)
+	}
+	for _, c := range sess.sbconns {
 		out.Add(c.Stats)
 	}
 	return out

@@ -1,0 +1,425 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/vfs"
+)
+
+// These tests pin the standby read path's coherence contract
+// (params.COFSParams.StandbyReads): reads served from a shard's standby
+// are stale-free BY CONSTRUCTION — a read is only served when the
+// shard's replication cursor provably covers the row's last commit, in
+// which case the standby's copy equals the primary's current committed
+// value — so turning the knob on must preserve the lease cache's
+// "stale reads are impossible" contract exactly, at ANY shipping
+// delay. Reads the cursor cannot prove fresh fall back to the primary
+// (charged as a redirect), which is how a mutation committed inside
+// the shipping window stays invisible to staleness.
+
+// standbyReadsRig is the lease coherence rig with standby reads on: a
+// 3-node COFS, leases granted by the primary, a standby plane shipping
+// with the given delay and serving provably-fresh reads.
+func standbyReadsRig(t *testing.T, seed int64, shards int, delay time.Duration) (*cluster.Testbed, *core.Deployment, *core.Standby) {
+	t.Helper()
+	cfg := params.Default()
+	cfg.COFS.MetadataShards = shards
+	cfg.COFS.StandbyReads = true
+	cfg.COFS.AttrLease = 30 * time.Second
+	cfg.FUSE.EntryTimeout = time.Nanosecond
+	tb := cluster.New(seed, 3, cfg)
+	d := core.Deploy(tb, nil)
+	sb := core.DeployStandby(tb, d, delay)
+	tb.Run()
+	return tb, d, sb
+}
+
+// TestStandbyReadsCoherence runs cross-node mutation scenarios at every
+// shipping delay: node B mutates, node A must observe the mutation
+// immediately — whether its read happens inside the shipping window
+// (the standby cannot prove freshness and redirects to the primary) or
+// after the pipeline drained (the standby serves it). A third node
+// with a cold cache then re-reads everything through the drained
+// standby and must see the identical namespace.
+func TestStandbyReadsCoherence(t *testing.T) {
+	delays := []time.Duration{0, time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	for _, shards := range []int{1, 2} {
+		for di, delay := range delays {
+			shards, delay := shards, delay
+			t.Run(fmt.Sprintf("%dshards/delay-%s", shards, delay), func(t *testing.T) {
+				tb, d, sb := standbyReadsRig(t, 1000+int64(shards)*10+int64(di), shards, delay)
+				A, B, C := d.Mounts[0], d.Mounts[1], d.Mounts[2]
+				ctxA, ctxB, ctxC := cluster.Ctx(0, 1), cluster.Ctx(1, 1), cluster.Ctx(2, 1)
+
+				step(tb, "setup", func(p *sim.Proc) {
+					if err := A.Mkdir(p, ctxA, "/d", 0777); err != nil {
+						t.Error(err)
+						return
+					}
+					for _, name := range []string{"/d/chmod", "/d/remove", "/d/rename", "/d/sibling"} {
+						f, err := A.Create(p, ctxA, name, 0644)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						f.Close(p)
+					}
+					// A caches attrs under lease; a miss caches a negative
+					// dentry.
+					A.Stat(p, ctxA, "/d/chmod")
+					A.Stat(p, ctxA, "/d/remove")
+					if _, err := A.Stat(p, ctxA, "/d/nope"); err != vfs.ErrNotExist {
+						t.Errorf("expected ENOENT, got %v", err)
+					}
+				})
+
+				// B mutates, and A verifies IN THE SAME DRAINED PHASE right
+				// after each mutation: with delay > 0 the commits have not
+				// shipped when A reads, so a stale standby serve would be
+				// caught here.
+				step(tb, "mutate-and-verify-inside-window", func(p *sim.Proc) {
+					if _, err := B.Chmod(p, ctxB, "/d/chmod", 0600); err != nil {
+						t.Error(err)
+					}
+					if attr, err := A.Stat(p, ctxA, "/d/chmod"); err != nil || attr.Mode != 0600 {
+						t.Errorf("stale mode inside shipping window: %o, %v", attr.Mode, err)
+					}
+					if err := B.Unlink(p, ctxB, "/d/remove"); err != nil {
+						t.Error(err)
+					}
+					if _, err := A.Stat(p, ctxA, "/d/remove"); err != vfs.ErrNotExist {
+						t.Errorf("removed file still resolves inside shipping window: %v", err)
+					}
+					if err := B.Rename(p, ctxB, "/d/rename", "/d/renamed"); err != nil {
+						t.Error(err)
+					}
+					if _, err := A.Stat(p, ctxA, "/d/rename"); err != vfs.ErrNotExist {
+						t.Errorf("renamed-away name still resolves inside shipping window: %v", err)
+					}
+					f, err := B.Create(p, ctxB, "/d/nope", 0640)
+					if err != nil {
+						t.Error(err)
+					} else {
+						f.Close(p)
+					}
+					if attr, err := A.Stat(p, ctxA, "/d/nope"); err != nil || attr.Mode != 0640 {
+						t.Errorf("negative dentry survived create inside shipping window: %v, %v", attr, err)
+					}
+				})
+
+				// Drain the shipping pipeline, then read the whole namespace
+				// from a node with a cold cache: these reads reach the wire
+				// and the drained standby serves them — and they must equal
+				// the primary's authoritative state.
+				tb.Run()
+				served := sb.Reads
+				step(tb, "verify-after-drain", func(p *sim.Proc) {
+					if attr, err := C.Stat(p, ctxC, "/d/chmod"); err != nil || attr.Mode != 0600 {
+						t.Errorf("drained standby read wrong mode: %o, %v", attr.Mode, err)
+					}
+					if _, err := C.Stat(p, ctxC, "/d/remove"); err != vfs.ErrNotExist {
+						t.Errorf("drained standby resolves removed file: %v", err)
+					}
+					if attr, err := C.Stat(p, ctxC, "/d/renamed"); err != nil || attr.Mode != 0644 {
+						t.Errorf("drained standby misses renamed-in name: %v, %v", attr, err)
+					}
+					if attr, err := C.Stat(p, ctxC, "/d/nope"); err != nil || attr.Mode != 0640 {
+						t.Errorf("drained standby misses created file: %v, %v", attr, err)
+					}
+					ents, err := C.Readdir(p, ctxC, "/d")
+					if err != nil || len(ents) != 4 {
+						t.Errorf("drained standby readdir: %d entries, %v (want 4)", len(ents), err)
+					}
+				})
+				if sb.Reads == served {
+					t.Errorf("cold-cache reads after drain served none from the standby (reads=%d fallbacks=%d): battery is vacuous",
+						sb.Reads, sb.Fallbacks)
+				}
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if err := d.CheckCacheCoherence(tb.Env.Now()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestStandbyReadsUnderConcurrency hammers a small shared namespace
+// from all nodes with standby reads on at several shipping delays, then
+// checks the lease protocol's core invariant at every drained round:
+// each still-leased cache entry equals the authoritative table state.
+// A standby serve that was stale would poison exactly this check (the
+// reading client would have acted on a value older than the row's last
+// recalled lease).
+func TestStandbyReadsUnderConcurrency(t *testing.T) {
+	for _, delay := range []time.Duration{time.Millisecond, 25 * time.Millisecond} {
+		delay := delay
+		t.Run(fmt.Sprintf("delay-%s", delay), func(t *testing.T) {
+			tb, d, sb := standbyReadsRig(t, 2000+int64(delay/time.Millisecond), 2, delay)
+			step(tb, "setup", func(p *sim.Proc) {
+				for _, dir := range []string{"/w", "/v"} {
+					if err := d.Mounts[0].Mkdir(p, cluster.Ctx(0, 1), dir, 0777); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+			name := func(i int) string {
+				if i%2 == 0 {
+					return fmt.Sprintf("/w/n%d", i%4)
+				}
+				return fmt.Sprintf("/v/n%d", i%4)
+			}
+			for round := 0; round < 4; round++ {
+				for node := 0; node < 3; node++ {
+					for pid := 1; pid <= 3; pid++ {
+						node, pid, round := node, pid, round
+						tb.Env.Spawn("storm", func(p *sim.Proc) {
+							m := d.Mounts[node]
+							ctx := cluster.Ctx(node, pid)
+							rng := tb.Env.RNG(fmt.Sprintf("sbstorm.%d.%d.%d", round, node, pid))
+							for i := 0; i < 48; i++ {
+								switch rng.Intn(10) {
+								case 0:
+									if f, err := m.Create(p, ctx, name(i), 0644); err == nil {
+										f.Close(p)
+									}
+								case 1:
+									m.Unlink(p, ctx, name(i))
+								case 2:
+									m.Chmod(p, ctx, name(i), 0600+uint32(node))
+								case 3:
+									m.Rename(p, ctx, name(i), name(i+1))
+								case 4:
+									m.Readdir(p, ctx, "/w")
+								default:
+									// Read-heavy: this is the traffic the
+									// standby offloads.
+									m.Stat(p, ctx, name(i))
+								}
+							}
+						})
+					}
+				}
+				tb.Run()
+				if err := d.CheckCacheCoherence(tb.Env.Now()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if err := d.Service.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			if sb.Reads == 0 {
+				t.Fatalf("storm served no standby reads (fallbacks=%d): knob not exercised", sb.Fallbacks)
+			}
+		})
+	}
+}
+
+// TestStandbyReadsAcrossPrimaryCrash replays the crash cases: a primary
+// crash truncates its WAL to the flushed prefix and invalidates the
+// replication cursor (the standby may even be AHEAD of what the primary
+// recovered), so every standby read inside the resync window must fall
+// back — and once the rebuild drains, standby serving must resume with
+// the recovered (possibly rolled-back) state, never the pre-crash one.
+func TestStandbyReadsAcrossPrimaryCrash(t *testing.T) {
+	tb, d, sb := standbyReadsRig(t, 3000, 2, 5*time.Millisecond)
+	A, C := d.Mounts[0], d.Mounts[2]
+	ctxA, ctxC := cluster.Ctx(0, 1), cluster.Ctx(2, 1)
+
+	step(tb, "build", func(p *sim.Proc) {
+		if err := A.Mkdir(p, ctxA, "/out", 0777); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			f, err := A.Create(p, ctxA, fmt.Sprintf("/out/f%02d", i), 0644)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.WriteAt(p, 0, 1024)
+			f.Close(p)
+		}
+	})
+
+	step(tb, "crash-recover", func(p *sim.Proc) {
+		d.Service.Crash()
+		d.Service.Recover(p)
+		d.Service.AdoptIDCounter()
+	})
+
+	// The namespace the recovered primary serves is the oracle; the
+	// cold-cache node must read exactly it, whether its reads land on
+	// the primary (resync pending) or the rebuilt standby (drained).
+	var oracle []vfs.DirEntry
+	step(tb, "oracle", func(p *sim.Proc) {
+		ents, err := A.Readdir(p, ctxA, "/out")
+		if err != nil {
+			t.Errorf("readdir after recovery: %v", err)
+			return
+		}
+		oracle = ents
+	})
+	tb.Run() // resync rebuild drains
+	step(tb, "verify", func(p *sim.Proc) {
+		ents, err := C.Readdir(p, ctxC, "/out")
+		if err != nil {
+			t.Errorf("cold readdir after recovery: %v", err)
+			return
+		}
+		if fmt.Sprint(ents) != fmt.Sprint(oracle) {
+			t.Errorf("recovered namespace diverges through standby:\n oracle: %v\n read:   %v", oracle, ents)
+		}
+		for _, e := range ents {
+			attr, err := C.Stat(p, ctxC, "/out/"+e.Name)
+			if err != nil || attr.Ino != e.Ino {
+				t.Errorf("stat %s after recovery: %+v, %v", e.Name, attr, err)
+			}
+		}
+	})
+	if err := d.Service.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Reads == 0 && sb.Fallbacks == 0 {
+		t.Fatal("crash replay exercised no standby decisions")
+	}
+}
+
+// TestStandbyReadsAcrossReshard replays the migration case: standby
+// serving pauses for the whole 2->4 grow (a mid-migration standby could
+// prove a deletion fresh that is really a move), reads keep flowing
+// correctly from the primary, and once the plane settles the standby —
+// now grown shard-for-shard — serves again at the new shape.
+func TestStandbyReadsAcrossReshard(t *testing.T) {
+	tb, d, sb := standbyReadsRig(t, 4000, 2, time.Millisecond)
+	A, C := d.Mounts[0], d.Mounts[2]
+	ctxA := cluster.Ctx(0, 1)
+
+	step(tb, "build", func(p *sim.Proc) {
+		if err := A.Mkdir(p, ctxA, "/out", 0777); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 40; i++ {
+			f, err := A.Create(p, ctxA, fmt.Sprintf("/out/f%02d", i), 0644)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Close(p)
+		}
+	})
+
+	// Readers race the migration; every read must be correct whether it
+	// lands before the pause, during it (primary serves), or after.
+	for pid := 1; pid <= 3; pid++ {
+		pid := pid
+		tb.Env.Spawn("reader", func(p *sim.Proc) {
+			for i := 0; i < 60; i++ {
+				name := fmt.Sprintf("/out/f%02d", i%40)
+				attr, err := C.Stat(p, cluster.Ctx(2, pid), name)
+				if err != nil || attr.Mode != 0644 {
+					t.Errorf("read %s during reshard: %+v, %v", name, attr, err)
+					return
+				}
+			}
+		})
+	}
+	tb.Env.Spawn("grow", func(p *sim.Proc) {
+		if err := d.Service.Reshard(p, 4); err != nil {
+			t.Errorf("reshard: %v", err)
+		}
+	})
+	tb.Run()
+
+	if got := len(sb.Replicas); got != 4 {
+		t.Fatalf("standby has %d replicas after grow, want 4", got)
+	}
+	// The settled, drained standby serves at the new shape.
+	served := sb.Reads
+	step(tb, "verify-settled", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("/out/f%02d", i)
+			attr, err := d.Mounts[1].Stat(p, cluster.Ctx(1, 9), name)
+			if err != nil || attr.Mode != 0644 {
+				t.Errorf("read %s after settle: %+v, %v", name, attr, err)
+			}
+		}
+	})
+	if sb.Reads == served {
+		t.Errorf("no standby reads served after the reshard settled (reads=%d fallbacks=%d)", sb.Reads, sb.Fallbacks)
+	}
+	if err := d.Service.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStandbyPromoteWhileServingReads replays the failover case: the
+// primary plane dies while the standby is actively serving reads; the
+// promoted plane must serve the shipped namespace, and the standby read
+// counters must survive the switch in the deployment's report.
+func TestStandbyPromoteWhileServingReads(t *testing.T) {
+	tb, d, sb := standbyReadsRig(t, 5000, 2, time.Millisecond)
+	A, C := d.Mounts[0], d.Mounts[2]
+	ctxA, ctxC := cluster.Ctx(0, 1), cluster.Ctx(2, 1)
+
+	step(tb, "build", func(p *sim.Proc) {
+		if err := A.Mkdir(p, ctxA, "/out", 0777); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			f, err := A.Create(p, ctxA, fmt.Sprintf("/out/f%02d", i), 0644)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Close(p)
+		}
+	})
+	step(tb, "serve", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if _, err := C.Stat(p, ctxC, fmt.Sprintf("/out/f%02d", i)); err != nil {
+				t.Errorf("standby-era read: %v", err)
+			}
+		}
+	})
+	if sb.Reads == 0 {
+		t.Fatal("standby served nothing before the failover: test is vacuous")
+	}
+	preReads := sb.Reads
+
+	d.Service.Crash()
+	if lost := sb.Promote(d); lost != 0 {
+		t.Logf("failover lost %d unshipped records (allowed)", lost)
+	}
+	step(tb, "after-promote", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if _, err := C.Stat(p, ctxC, fmt.Sprintf("/out/f%02d", i)); err != nil {
+				t.Errorf("post-promote read: %v", err)
+			}
+		}
+		f, err := C.Create(p, ctxC, "/out/post", 0644)
+		if err != nil {
+			t.Errorf("post-promote create: %v", err)
+		} else {
+			f.Close(p)
+		}
+	})
+	// The promoted plane has no standby of its own; the report still
+	// carries the standby-era serve counts.
+	if got := d.Counters().Get("mds.standby-reads"); got < preReads {
+		t.Errorf("mds.standby-reads = %d after promote, want >= %d (counters must survive failover)", got, preReads)
+	}
+	if err := d.Service.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cofs/internal/cluster"
+	"cofs/internal/core"
+	"cofs/internal/params"
+	"cofs/internal/sim"
+	"cofs/internal/stats"
+)
+
+// StandbyReadStorm is the stat-dominated storm behind
+// BenchmarkStandbyReads (docs/replication.md): 4 nodes x 2 procs
+// hammer a shared 256-file directory — readdir plus a full per-file
+// stat sweep, three passes per rank — while each rank's utime sweep
+// over its own slice keeps mutations landing on the primaries the
+// whole time. With cfg.COFS.StandbyReads set the deployment gets a
+// hot standby (2 ms shipping delay) and the stat traffic rides the
+// standby shards whenever the replication cursor covers the row,
+// leaving the primaries to the mutation traffic; rows inside the
+// shipping window fall back to the primary as a redirect, so the
+// measured mean carries the protocol's real cost, not a best case.
+// Returns the mean stat latency in milliseconds, the number of
+// measured stats, and the deployment counters (mds.standby-reads and
+// mds.standby-fallbacks show where the reads were served).
+func StandbyReadStorm(seed int64, cfg params.Config) (float64, int, *stats.Counters) {
+	const (
+		nodes = 4
+		procs = 2
+		files = 256
+		quota = files / (nodes * procs)
+	)
+	t, tb, d := cofsTarget(seed, nodes, cfg, nil)
+	if cfg.COFS.StandbyReads {
+		core.DeployStandby(tb, d, 2*time.Millisecond)
+	}
+	t.Env.Spawn("setup", func(p *sim.Proc) {
+		ctx := cluster.Ctx(0, 1)
+		if err := t.Mounts[0].MkdirAll(p, ctx, "/data", 0777); err != nil {
+			panic(err)
+		}
+		for i := 0; i < files; i++ {
+			f, err := t.Mounts[0].Create(p, ctx, fmt.Sprintf("/data/f%04d", i), 0644)
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+		}
+	})
+	tb.Run()
+	sum := &stats.Summary{}
+	for n := 0; n < nodes; n++ {
+		for pr := 0; pr < procs; pr++ {
+			node, rank := n, n*procs+pr
+			t.Env.Spawn("storm", func(p *sim.Proc) {
+				m := t.Mounts[node]
+				ctx := cluster.Ctx(node, 1+rank%procs)
+				for pass := 0; pass < 3; pass++ {
+					if _, err := m.Readdir(p, ctx, "/data"); err != nil {
+						panic(err)
+					}
+					for i := 0; i < files; i++ {
+						start := p.Now()
+						if _, err := m.Stat(p, ctx, fmt.Sprintf("/data/f%04d", i)); err != nil {
+							panic(err)
+						}
+						sum.Add(p.Now() - start)
+					}
+					// Touch this rank's slice: concurrent mutation load on
+					// the primaries (and a live stale window for the other
+					// ranks' stats over these rows).
+					for i := rank * quota; i < (rank+1)*quota; i++ {
+						if _, err := m.Utime(p, ctx, fmt.Sprintf("/data/f%04d", i)); err != nil {
+							panic(err)
+						}
+					}
+				}
+			})
+		}
+	}
+	tb.Run()
+	return sum.MeanMs(), sum.N(), d.Counters()
+}

@@ -57,6 +57,7 @@ func (db *DB) ImportHandoff(p *sim.Proc, h *Handoff) {
 		db.tables[rec.table].applyWAL(rec)
 	}
 	db.wal.pushAll(h.recs)
+	db.stampTail(h.Len())
 	db.staged += h.Len()
 	db.txMu.Unlock(p)
 	db.Commits++

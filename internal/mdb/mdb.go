@@ -51,6 +51,7 @@ type table interface {
 	clear()
 	rows() int
 	snapshotWAL() []walRec
+	setStamp(key any, seq int64)
 }
 
 // DB is a collection of tables sharing a transaction lock and a WAL.
@@ -98,6 +99,19 @@ type DB struct {
 	staged    int
 	handedOff int
 
+	// seqBase + wal.len() is the database's absolute commit sequence
+	// (CommitSeq): a monotone record count that survives Checkpoint's
+	// WAL rewrite — the rebase below keeps pre-checkpoint sequences
+	// comparable — and rolls back with the truncated tail on Crash,
+	// exactly like the state it numbers. With trackStamps set (the
+	// standby-read knob, enabled at DB birth) every WAL append also
+	// stamps the touched row with its record's sequence, so a replica
+	// cursor covers a row iff cursor >= stamp (replica.go). Off by
+	// default: the stamp maps are never allocated and no extra work
+	// runs, keeping the default path cost- and allocation-identical.
+	seqBase     int64
+	trackStamps bool
+
 	Commits      int64
 	Transactions int64
 	DirtyOps     int64
@@ -115,6 +129,58 @@ func New(env *sim.Env, d *disk.Disk, opTime time.Duration) *DB {
 		tables: make(map[string]table),
 		txMu:   sim.NewMutex(env, "mdb.tx"),
 		engine: walEngine{},
+	}
+}
+
+// TrackStamps turns on per-row last-commit stamps and the absolute
+// commit sequence (CommitSeq). Must be called at DB birth, before any
+// row — bootstrap rows included — is inserted: a row born before
+// tracking would carry no stamp and read as "never committed", which a
+// standby-read freshness check would mistake for a covered absence.
+func (db *DB) TrackStamps() {
+	if db.wal.len() > 0 {
+		panic("mdb: TrackStamps after rows were inserted")
+	}
+	db.trackStamps = true
+}
+
+// CommitSeq is the database's absolute commit sequence: the total
+// number of WAL records ever appended, monotone across Checkpoint's
+// log rewrite and rolled back with the truncated tail on Crash. The
+// cooperative scheduler makes any observed value transaction-aligned —
+// a transaction's records are appended without yielding.
+func (db *DB) CommitSeq() int64 { return db.seqBase + int64(db.wal.len()) }
+
+// stampTail stamps the rows of the last n WAL records with their
+// records' absolute sequences. Called after every append site grows
+// the log (commit apply, bootstrap, handoff import, replica apply);
+// free unless TrackStamps was enabled.
+func (db *DB) stampTail(n int) {
+	if !db.trackStamps || n == 0 {
+		return
+	}
+	end := db.wal.len()
+	pos := end - n
+	db.wal.each(pos, end, func(rec walRec) {
+		pos++
+		if t, ok := db.tables[rec.table]; ok {
+			t.setStamp(rec.key, db.seqBase+int64(pos))
+		}
+	})
+}
+
+// ChargeOps charges p the CPU cost of n table operations without
+// touching any table. The standby read path captures its rows with
+// yield-free Peeks at a single instant — so a shipping round cannot
+// interleave mid-scan — and pays the per-operation charge afterwards,
+// keeping its cost in line with the dirty reads it replaces.
+func (db *DB) ChargeOps(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	db.DirtyOps += int64(n)
+	if db.opTime > 0 {
+		p.Sleep(db.opTime * time.Duration(n))
 	}
 }
 
@@ -153,6 +219,10 @@ type Table[K comparable, V any] struct {
 	class   Storage
 	data    map[K]V
 	indexes []*index[K, V]
+	// stamps maps a key to the absolute commit sequence of its last WAL
+	// record — put or delete, so a covered absence is as provable as a
+	// covered row. Allocated lazily, and only when the DB tracks stamps.
+	stamps map[K]int64
 }
 
 type index[K comparable, V any] struct {
@@ -202,6 +272,27 @@ func (t *Table[K, V]) clear() {
 	for _, ix := range t.indexes {
 		ix.buckets = make(map[string]map[K]struct{})
 	}
+	// Stamps describe rows relative to the WAL; a crash or resync that
+	// wipes the tables invalidates them too (Recover re-stamps replayed
+	// records).
+	t.stamps = nil
+}
+
+func (t *Table[K, V]) setStamp(key any, seq int64) {
+	if t.stamps == nil {
+		t.stamps = make(map[K]int64)
+	}
+	t.stamps[key.(K)] = seq
+}
+
+// Stamp returns the absolute commit sequence of the key's last WAL
+// record (put or delete), when the database tracks stamps. A key with
+// no stamp has not been touched since the tables were (re)built: on a
+// stamp-tracking primary that means the row never existed, so its
+// absence is covered at any replica cursor.
+func (t *Table[K, V]) Stamp(key K) (int64, bool) {
+	seq, ok := t.stamps[key]
+	return seq, ok
 }
 
 func (t *Table[K, V]) applyWAL(rec walRec) {
@@ -292,6 +383,7 @@ func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 		db.tables[rec.table].applyWAL(rec)
 	}
 	db.wal.pushAll(tx.log)
+	db.stampTail(len(tx.log))
 	// Capture before Unlock: once this proc next blocks (the disk
 	// commit below), a queued transaction may take over the scratch
 	// handle. The buffer hand-back also zeroes nothing — records were
@@ -360,6 +452,14 @@ func Delete[K comparable, V any](tx *Tx, t *Table[K, V], key K) {
 // same transaction.
 func IndexKeys[K comparable, V any](tx *Tx, t *Table[K, V], indexName, bucket string) []K {
 	tx.charge()
+	return t.PeekIndexKeys(indexName, bucket)
+}
+
+// PeekIndexKeys is the committed-index read of IndexKeys without
+// transaction or timing charges: yield-free, like Peek. The standby
+// read path scans a directory with it at one instant and charges the
+// operation cost afterwards (see DB.ChargeOps).
+func (t *Table[K, V]) PeekIndexKeys(indexName, bucket string) []K {
 	var ix *index[K, V]
 	for _, cand := range t.indexes {
 		if cand.name == indexName {
@@ -456,10 +556,17 @@ func (db *DB) Crash() {
 // Mnesia after a restart).
 func (db *DB) Recover(p *sim.Proc) {
 	db.engine.RecoverScan(p, db)
+	pos := 0
 	db.wal.each(0, db.wal.len(), func(rec walRec) {
+		pos++
 		t := db.tables[rec.table]
 		if t.storage() == DiscCopies {
 			t.applyWAL(rec)
+			if db.trackStamps {
+				// Crash wiped the stamps with the tables; replay
+				// re-stamps every durable record at its log position.
+				t.setStamp(rec.key, db.seqBase+int64(pos))
+			}
 		}
 	})
 }
@@ -490,8 +597,14 @@ func (db *DB) Checkpoint(p *sim.Proc) {
 		}
 		snapshot = append(snapshot, t.snapshotWAL()...)
 	}
+	// Rebase the commit sequence so it keeps counting from where it
+	// was: a row stamped before the rewrite stays comparable to any
+	// cursor taken before or after, and the next commit's sequence is
+	// strictly above everything ever stamped.
+	seq := db.CommitSeq()
 	db.wal.reset(snapshot)
 	db.walFlushed = db.wal.len()
+	db.seqBase = seq - int64(db.wal.len())
 	// The snapshot holds exactly the rows the tables do: staged imports
 	// are folded in as ordinary records and handed-off rows are gone, so
 	// the migration bookkeeping starts over.
@@ -546,6 +659,7 @@ func (t *Table[K, V]) Bootstrap(key K, val V) {
 	t.put(key, val)
 	rec := walRec{table: t.tblName, op: walPut, key: key, val: val}
 	t.db.wal.push(rec)
+	t.db.stampTail(1)
 	t.db.walFlushed = t.db.wal.len()
 }
 

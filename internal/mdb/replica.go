@@ -28,6 +28,20 @@ type Replica struct {
 	resync   bool // primary checkpointed: dst must be rebuilt
 	stopped  bool
 
+	// applied is the primary's absolute commit sequence (DB.CommitSeq)
+	// the standby has fully applied — the replication cursor standby
+	// reads trust (see Cursor). Zeroed while a resync rebuild is
+	// mid-flight, so a half-rebuilt standby covers nothing.
+	applied int64
+
+	// shipMu serializes shipping rounds: the apply loop yields, and a
+	// Flush racing a scheduled round (or a round racing a long apply)
+	// would otherwise ship the same batch twice — double-applying it,
+	// duplicating the standby's log and inflating Ships/Records. Free
+	// when uncontended; the loser of a race re-reads the cursors under
+	// the lock and skips its now-empty round.
+	shipMu *sim.Mutex
+
 	// Ships counts shipping rounds; Records counts records shipped.
 	Ships   int64
 	Records int64
@@ -38,7 +52,8 @@ type Replica struct {
 // existing contents are overwritten as records arrive. delay models the
 // network + apply latency of one shipping round.
 func Replicate(env *sim.Env, src, dst *DB, delay time.Duration) *Replica {
-	r := &Replica{env: env, src: src, dst: dst, delay: delay}
+	r := &Replica{env: env, src: src, dst: dst, delay: delay,
+		shipMu: sim.NewMutex(env, "mdb.ship")}
 	src.replicas = append(src.replicas, r)
 	// Records already in the primary's WAL (bootstrap rows) ship on the
 	// first commit; nothing to do eagerly.
@@ -62,12 +77,36 @@ func (r *Replica) Flush(p *sim.Proc) {
 	r.ship(p)
 }
 
-// Lag reports how many WAL records the standby is behind.
+// Lag reports how many committed records the standby is behind. It is
+// computed in absolute commit sequences, not WAL offsets: a Checkpoint
+// rewrites the log as a snapshot and a Crash truncates it, so with a
+// resync pending the shipped offset no longer lines up with the log and
+// diffing against it lies — after a checkpoint it under-reported the
+// unshipped tail as near-zero (the snapshot can be shorter than the
+// offset already shipped), and a Promote in that window returned a
+// wrong lost-window count. The absolute sequence is continuous across
+// both events (mdb.DB.seqBase), so CommitSeq minus the sequence the
+// standby has applied counts exactly the commits it lacks; a standby
+// ahead of a crash-truncated primary lags zero.
 func (r *Replica) Lag() int {
-	if n := r.src.wal.len() - r.shipped; n > 0 {
-		return n
+	if n := r.src.CommitSeq() - r.applied; n > 0 {
+		return int(n)
 	}
 	return 0
+}
+
+// Cursor returns the primary's absolute commit sequence this standby
+// has fully applied, and whether it is trustworthy. It is not ok when
+// shipping has stopped, a resync is pending (a crash or checkpoint
+// invalidated the shipped offset — after a crash the standby may even
+// be ahead of what the primary can recover), or a resync rebuild is
+// mid-flight. A row whose last-commit stamp is <= a trusted cursor is
+// byte-identical on primary and standby at this instant.
+func (r *Replica) Cursor() (int64, bool) {
+	if r.stopped || r.resync || r.applied == 0 {
+		return 0, false
+	}
+	return r.applied, true
 }
 
 // pump schedules one shipping round if needed.
@@ -92,21 +131,38 @@ func (r *Replica) pump() {
 // ship applies the pending WAL tail to the standby, charging the apply
 // cost to the shipping process.
 func (r *Replica) ship(p *sim.Proc) {
+	// One round at a time: a concurrent round (Flush vs the scheduled
+	// timer) must wait, then re-read the cursors — a round whose work
+	// was already shipped is a no-op and counts nothing.
+	r.shipMu.Lock(p)
+	defer r.shipMu.Unlock(p)
+	if r.stopped {
+		return
+	}
 	if r.resync {
 		// The primary checkpointed: its WAL was rewritten as a
 		// snapshot, so record offsets no longer line up. Rebuild the
-		// standby from scratch.
+		// standby from scratch. The cursor is zeroed until the rebuild
+		// completes — the apply loop below yields, and a half-rebuilt
+		// standby must not claim to cover anything.
 		for _, t := range r.dst.tables {
 			t.clear()
 		}
 		r.dst.wal.reset(nil)
 		r.shipped = 0
+		r.applied = 0
 		r.resync = false
 	}
 	target := r.src.wal.len()
 	if r.shipped >= target {
 		return
 	}
+	// Capture the cursor value this round establishes before the apply
+	// loop yields: a checkpoint rebase or crash truncation mid-round
+	// changes the source's sequence accounting, but the absolute
+	// sequence of the records this round set out to ship does not move
+	// (a crash also re-flags resync, which invalidates the cursor).
+	seq := r.src.seqBase + int64(target)
 	// Copy the batch out before the apply loop yields: a primary crash
 	// during the sleeps below truncates (and zeroes) the source log, and
 	// this round must still ship the records it set out to ship.
@@ -120,13 +176,16 @@ func (r *Replica) ship(p *sim.Proc) {
 			p.Sleep(r.dst.opTime / 4) // bulk apply is cheaper than queries
 		}
 	}
-	// The standby logs what it applied so its own recovery works.
+	// The standby logs what it applied so its own recovery works, and
+	// stamps it so a promoted standby's rows carry their history too.
 	r.dst.wal.pushAll(batch)
+	r.dst.stampTail(len(batch))
 	if r.dst.disk != nil {
 		r.dst.disk.Write(p, 0, int64(len(batch))*64)
 	}
 	r.dst.walFlushed = r.dst.wal.len()
 	r.shipped = target
+	r.applied = seq
 	r.Ships++
 	r.Records += int64(len(batch))
 }

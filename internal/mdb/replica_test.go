@@ -127,6 +127,162 @@ func TestReplicaResyncAfterCheckpoint(t *testing.T) {
 	}
 }
 
+func TestReplicaLagCountsPendingResync(t *testing.T) {
+	// Regression: Lag() used to diff the source's WAL length against the
+	// shipped offset, ignoring that a pending resync (Checkpoint rewrote
+	// the log as a snapshot) breaks that alignment. Overwrites make the
+	// snapshot shorter than the offset already shipped, so the buggy
+	// diff clamped to (near-)zero although unshipped commits existed —
+	// and a Promote in that window returned a wrong lost-window count.
+	// The long shipping delay keeps the resync window open across the
+	// Checkpoint's own disk writes.
+	env, src, _, st, _, rep := replPair(t, 50*time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			src.Transaction(p, func(tx *Tx) { Put(tx, st, i, "v") })
+		}
+		p.Sleep(time.Second)
+		if rep.Lag() != 0 {
+			t.Fatalf("lag = %d after drain, want 0", rep.Lag())
+		}
+		// Ten unshipped commits, all to one key, then Checkpoint before
+		// the shipping timer fires: the snapshot holds one row for the
+		// ten, so the rewritten WAL is shorter than the shipped offset
+		// and the offset diff would report zero.
+		for i := 0; i < 10; i++ {
+			src.Transaction(p, func(tx *Tx) { Put(tx, st, 99, "w") })
+		}
+		src.Checkpoint(p)
+		if got := rep.Lag(); got != 10 {
+			t.Errorf("lag with pending resync = %d, want 10 (the unshipped commits)", got)
+		}
+		// After the resync rebuild drains, the standby has everything.
+		p.Sleep(time.Second)
+		rep.Flush(p)
+		if rep.Lag() != 0 {
+			t.Errorf("lag = %d after resync drain, want 0", rep.Lag())
+		}
+	})
+	env.MustRun()
+}
+
+func TestReplicaFlushSkipsInflightRound(t *testing.T) {
+	// Regression: a Flush overlapping a scheduled round's (yielding)
+	// apply loop used to run as a second concurrent ship of the same
+	// batch — double-applying it, duplicating the standby's WAL and
+	// inflating Ships/Records. Rounds now serialize, and the losing
+	// round skips as a no-op, so the shipping stats stay honest.
+	env := sim.NewEnv(11)
+	src := NewAsync(env, disk.New(env, "primary", params.Default().Disk), 0, 50*time.Millisecond)
+	dst := New(env, disk.New(env, "standby", params.Default().Disk), 20*time.Microsecond)
+	st := NewTable[int, string](src, "t", DiscCopies)
+	dt := NewTable[int, string](dst, "t", DiscCopies)
+	rep := Replicate(env, src, dst, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			src.Transaction(p, func(tx *Tx) { Put(tx, st, i, "v") })
+		}
+		// The commit pump scheduled a round one delay out; sleep into
+		// that round's apply loop (5 us per record), then Flush while it
+		// is mid-flight.
+		p.Sleep(time.Millisecond + 50*time.Microsecond)
+		rep.Flush(p)
+	})
+	env.MustRun()
+	if rep.Ships != 1 {
+		t.Errorf("Ships = %d after Flush overlapping the scheduled round, want 1", rep.Ships)
+	}
+	if rep.Records != 50 {
+		t.Errorf("Records = %d, want 50 (batch shipped exactly once)", rep.Records)
+	}
+	if n := dst.WALLen(); n != 50 {
+		t.Errorf("standby WAL = %d records, want 50 (no duplicate applies)", n)
+	}
+	if dt.Len() != 50 {
+		t.Errorf("standby rows = %d, want 50", dt.Len())
+	}
+}
+
+func TestReplicaCursorCoversAppliedCommits(t *testing.T) {
+	env := sim.NewEnv(42)
+	src := NewAsync(env, disk.New(env, "primary", params.Default().Disk), 0, 50*time.Millisecond)
+	src.TrackStamps()
+	dst := New(env, disk.New(env, "standby", params.Default().Disk), 0)
+	st := NewTable[int, string](src, "t", DiscCopies)
+	NewTable[int, string](dst, "t", DiscCopies)
+	rep := Replicate(env, src, dst, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		if _, ok := rep.Cursor(); ok {
+			t.Error("cursor trustworthy before anything shipped")
+		}
+		for i := 0; i < 10; i++ {
+			src.Transaction(p, func(tx *Tx) { Put(tx, st, i, "v") })
+		}
+		p.Sleep(time.Second)
+		cur, ok := rep.Cursor()
+		if !ok || cur != src.CommitSeq() {
+			t.Fatalf("drained cursor = (%d, %v), want (%d, true)", cur, ok, src.CommitSeq())
+		}
+		if stamp, ok := st.Stamp(3); !ok || stamp > cur {
+			t.Errorf("row 3 stamp = (%d, %v), want covered by cursor %d", stamp, ok, cur)
+		}
+		// A commit the standby has not applied yet is above the cursor.
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 3, "newer") })
+		if stamp, _ := st.Stamp(3); stamp <= cur {
+			t.Errorf("fresh commit stamp = %d, want > stale cursor %d", stamp, cur)
+		}
+		// A checkpoint invalidates the cursor until the rebuild lands;
+		// the rebase keeps old stamps comparable afterwards.
+		src.Checkpoint(p)
+		if _, ok := rep.Cursor(); ok {
+			t.Error("cursor trustworthy with resync pending")
+		}
+		p.Sleep(time.Second)
+		cur2, ok := rep.Cursor()
+		if !ok || cur2 < cur {
+			t.Errorf("post-resync cursor = (%d, %v), want trusted and >= %d", cur2, ok, cur)
+		}
+		if stamp, ok := st.Stamp(3); !ok || stamp > cur2 {
+			t.Errorf("row 3 stamp after checkpoint = (%d, %v), want covered by %d", stamp, ok, cur2)
+		}
+	})
+	env.MustRun()
+}
+
+func TestReplicaCursorInvalidAfterPrimaryCrash(t *testing.T) {
+	// After a primary crash the standby may have applied commits the
+	// primary lost (the flush window): the cursor must read untrusted
+	// until the resync rebuild converges on the recovered state.
+	env := sim.NewEnv(7)
+	src := NewAsync(env, disk.New(env, "primary", params.Default().Disk), 0, time.Second)
+	src.TrackStamps()
+	dst := New(env, disk.New(env, "standby", params.Default().Disk), 0)
+	st := NewTable[int, string](src, "t", DiscCopies)
+	NewTable[int, string](dst, "t", DiscCopies)
+	rep := Replicate(env, src, dst, time.Millisecond)
+	env.Spawn("writer", func(p *sim.Proc) {
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 1, "flushed") })
+		p.Sleep(2 * time.Second)
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 2, "window") })
+		p.Sleep(10 * time.Millisecond)
+		src.Crash()
+		if _, ok := rep.Cursor(); ok {
+			t.Error("cursor trustworthy after crash invalidated the shipped offset")
+		}
+		src.Recover(p)
+		src.Transaction(p, func(tx *Tx) { Put(tx, st, 3, "post") })
+		p.Sleep(time.Second)
+		cur, ok := rep.Cursor()
+		if !ok || cur != src.CommitSeq() {
+			t.Errorf("post-rebuild cursor = (%d, %v), want (%d, true)", cur, ok, src.CommitSeq())
+		}
+		if stamp, ok := st.Stamp(1); !ok || stamp > cur {
+			t.Errorf("recovered row stamp = (%d, %v), want covered by %d", stamp, ok, cur)
+		}
+	})
+	env.MustRun()
+}
+
 func TestReplicaStandbyRecoversFromOwnLog(t *testing.T) {
 	// The standby journals what it applies: after a standby restart,
 	// its own WAL replay reconstructs the shipped state.

@@ -234,6 +234,16 @@ type COFSParams struct {
 	// flight. Off by default — the paper's prototype issues one RPC per
 	// operation.
 	RPCBatch bool
+	// StandbyReads routes read operations (Lookup/Getattr/Readdir/
+	// ReaddirPlus) to a deployed hot standby's shards when the shard's
+	// replication cursor provably covers the row's last commit, falling
+	// back to the primary — charged as a redirect — when it does not
+	// (docs/replication.md). It also turns on the per-row last-commit
+	// stamps the freshness check needs (mdb.DB.TrackStamps). Off by
+	// default and bit-identical when off, pinned like the other
+	// cost-identity knobs; leases are still granted only by the
+	// primary.
+	StandbyReads bool
 }
 
 // Default returns the calibrated testbed configuration.

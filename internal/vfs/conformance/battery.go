@@ -117,6 +117,71 @@ var batteryCases = []testCase{
 		}
 	}},
 
+	{name: "StandbyReadsNeverStale", needs: CapStandbyReads, wants: wantsSecondMount, fn: func(c *C) {
+		// The stale-free contract: a mutation committed from one node
+		// must be visible to a read from another node immediately — not
+		// one shipping window later. The reader's plane serves reads
+		// from standbys, so every assertion here lands inside the
+		// replication window the mutation has not yet shipped through;
+		// a standby that answered from its own (older) copy would
+		// return the pre-mutation value.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/sb", 0755), "mkdir")
+		c.write(c.S.User, "/sb/f", 64)
+		c.P.Sleep(settle) // let the standby catch up, so it is serving
+		_, err := c.S.Mount2.Chmod(c.P, c.S.User2, "/sb/f", 0600)
+		c.must(err, "chmod from second node")
+		attr, err := c.M.Stat(c.P, c.S.User, "/sb/f")
+		if c.must(err, "stat inside the shipping window") && attr.Mode != 0600 {
+			c.Errorf("mode = %o after remote chmod, want 600 (stale standby read)", attr.Mode)
+		}
+		c.must(c.S.Mount2.Unlink(c.P, c.S.User2, "/sb/f"), "unlink from second node")
+		_, err = c.M.Stat(c.P, c.S.User, "/sb/f")
+		c.wantErr(err, vfs.ErrNotExist, "stat after remote unlink (standby must not resurrect)")
+		f, err := c.S.Mount2.Create(c.P, c.S.User2, "/sb/g", 0644)
+		if c.must(err, "create from second node") {
+			c.must(f.Close(c.P), "close")
+		}
+		ents, err := c.M.Readdir(c.P, c.S.User, "/sb")
+		if c.must(err, "readdir inside the shipping window") && len(ents) != 1 {
+			c.Errorf("readdir sees %d entries after remote unlink+create, want 1", len(ents))
+		}
+	}},
+
+	{name: "StandbyPromoteWhileServingReads", needs: CapStandbyReads | CapCrashRecover, wants: wantsCrashPromote, fn: func(c *C) {
+		// Promotion while the standby is the read path: reads served
+		// right up to the crash, then the same plane becomes primary.
+		// The promoted namespace must match what those reads observed,
+		// and it must serve mutations and fresh reads afterwards.
+		c.must(c.M.Mkdir(c.P, c.S.User, "/sp", 0755), "mkdir")
+		for i := 0; i < 4; i++ {
+			c.write(c.S.User, fmt.Sprintf("/sp/f%d", i), int64(64+i))
+		}
+		c.P.Sleep(settle) // standby serving, replicas drained
+		for i := 0; i < 4; i++ {
+			if got := c.size(c.S.User, fmt.Sprintf("/sp/f%d", i)); got != int64(64+i) {
+				c.Errorf("/sp/f%d before promote: size %d, want %d", i, got, 64+i)
+			}
+		}
+		c.S.Crash()
+		c.S.Promote(c.P)
+		for i := 0; i < 4; i++ {
+			if got := c.size(c.S.User, fmt.Sprintf("/sp/f%d", i)); got != int64(64+i) {
+				c.Errorf("/sp/f%d after promote: size %d, want %d", i, got, 64+i)
+			}
+		}
+		c.create(c.S.User, "/sp/after", 0644)
+		_, err := c.M.Chmod(c.P, c.S.User, "/sp/f0", 0640)
+		c.must(err, "chmod on promoted plane")
+		attr, err := c.M.Stat(c.P, c.S.User, "/sp/f0")
+		if c.must(err, "stat on promoted plane") && attr.Mode != 0640 {
+			c.Errorf("mode = %o after post-promote chmod, want 640", attr.Mode)
+		}
+		ents, err := c.M.Readdir(c.P, c.S.User, "/sp")
+		if c.must(err, "readdir on promoted plane") && len(ents) != 5 {
+			c.Errorf("promoted dir has %d entries, want 5", len(ents))
+		}
+	}},
+
 	{name: "ReshardGrowShrinkPreservesNamespace", needs: CapHandoff, wants: wantsReshard, fn: func(c *C) {
 		// Grow the plane, verify every row survived the migration, keep
 		// mutating, shrink back, verify again: the WAL-handoff protocol

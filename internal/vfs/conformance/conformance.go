@@ -65,6 +65,12 @@ const (
 	// CapHandoff: the system can reshard its metadata plane live, with
 	// WAL-handoff durability; System.Reshard must be set.
 	CapHandoff
+	// CapStandbyReads: the system serves read traffic from hot standbys
+	// and guarantees those reads are stale-free — a read after a
+	// committed mutation must observe it no matter how far the standby's
+	// shipping lags. The system must be deployed with standby reads
+	// enabled for the claim to mean anything.
+	CapStandbyReads
 )
 
 var capabilityNames = []struct {
@@ -77,6 +83,7 @@ var capabilityNames = []struct {
 	{CapNegativeDentryLeases, "negative-dentry-leases"},
 	{CapCrashRecover, "crash-recover"},
 	{CapHandoff, "handoff"},
+	{CapStandbyReads, "standby-reads"},
 }
 
 // String names the set bits, comma-separated.
@@ -102,6 +109,7 @@ type Capabilities struct {
 	NegativeDentryLeases bool
 	CrashRecover         bool
 	Handoff              bool
+	StandbyReads         bool
 }
 
 func (cs Capabilities) mask() Capability {
@@ -123,6 +131,9 @@ func (cs Capabilities) mask() Capability {
 	}
 	if cs.Handoff {
 		m |= CapHandoff
+	}
+	if cs.StandbyReads {
+		m |= CapStandbyReads
 	}
 	return m
 }

@@ -102,6 +102,7 @@ func TestSuiteReportsCapabilitySkips(t *testing.T) {
 		"NegativeDentryRecalledByRemoteCreate": "negative-dentry-leases",
 		"CrashRecoverDurableNamespace":         "crash-recover",
 		"ReshardGrowShrinkPreservesNamespace":  "handoff",
+		"StandbyReadsNeverStale":               "standby-reads",
 	}
 	for name, capName := range gated {
 		r := caseResult(t, results, name)
