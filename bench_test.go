@@ -478,8 +478,7 @@ func BenchmarkMetadataCache(b *testing.B) {
 		for _, mode := range []string{"nocache", "lease"} {
 			shards, mode := shards, mode
 			b.Run(fmt.Sprintf("%s-%dshards", mode, shards), func(b *testing.B) {
-				var ms float64
-				var ops int
+				var sum *stats.Summary
 				var mt bench.Meter
 				for i := 0; i < b.N; i++ {
 					cfg := params.Default()
@@ -488,15 +487,17 @@ func BenchmarkMetadataCache(b *testing.B) {
 						cfg.COFS.AttrLease = 30 * time.Second
 					}
 					mt.Start()
-					ms, ops, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
+					sum, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
 					mt.Stop()
 				}
-				reportMs(b, ms)
+				reportMs(b, sum.MeanMs())
 				rec := bench.Record{
 					Name: fmt.Sprintf("metadata-cache/%s-%dshards", mode, shards), Shards: shards,
-					VmsPerOp: ms,
+					VmsPerOp: sum.MeanMs(),
+					P50Ms:    float64(sum.Percentile(50)) / float64(time.Millisecond),
+					P99Ms:    float64(sum.Percentile(99)) / float64(time.Millisecond),
 				}
-				mt.Fill(&rec, ops)
+				mt.Fill(&rec, sum.N())
 				if err := bench.WriteRecord(rec); err != nil {
 					b.Logf("bench record: %v", err)
 				}
@@ -516,22 +517,23 @@ func BenchmarkStoreBackends(b *testing.B) {
 	for _, backend := range store.Names() {
 		backend := backend
 		b.Run(backend+"-smoke", func(b *testing.B) {
-			var ms float64
-			var ops int
+			var sum *stats.Summary
 			var mt bench.Meter
 			for i := 0; i < b.N; i++ {
 				cfg := params.Default()
 				cfg.COFS.MetadataStore = backend
 				mt.Start()
-				ms, ops, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
+				sum, _ = experiments.ClientCacheStorm(int64(i+1), cfg)
 				mt.Stop()
 			}
-			reportMs(b, ms)
+			reportMs(b, sum.MeanMs())
 			rec := bench.Record{
 				Name: "store-backend/" + backend + "-smoke", Shards: 1,
-				VmsPerOp: ms,
+				VmsPerOp: sum.MeanMs(),
+				P50Ms:    float64(sum.Percentile(50)) / float64(time.Millisecond),
+				P99Ms:    float64(sum.Percentile(99)) / float64(time.Millisecond),
 			}
-			mt.Fill(&rec, ops)
+			mt.Fill(&rec, sum.N())
 			if err := bench.WriteRecord(rec); err != nil {
 				b.Logf("bench record: %v", err)
 			}
@@ -554,8 +556,7 @@ func BenchmarkStandbyReads(b *testing.B) {
 		for _, mode := range []string{"off", "on"} {
 			shards, mode := shards, mode
 			b.Run(fmt.Sprintf("%s-%dshards", mode, shards), func(b *testing.B) {
-				var ms float64
-				var ops int
+				var sum *stats.Summary
 				var c *stats.Counters
 				var mt bench.Meter
 				for i := 0; i < b.N; i++ {
@@ -563,15 +564,17 @@ func BenchmarkStandbyReads(b *testing.B) {
 					cfg.COFS.MetadataShards = shards
 					cfg.COFS.StandbyReads = mode == "on"
 					mt.Start()
-					ms, ops, c = experiments.StandbyReadStorm(int64(i+1), cfg)
+					sum, c = experiments.StandbyReadStorm(int64(i+1), cfg)
 					mt.Stop()
 				}
-				reportMs(b, ms)
+				reportMs(b, sum.MeanMs())
 				rec := bench.Record{
 					Name: fmt.Sprintf("standby-reads/%s-%dshards", mode, shards), Shards: shards,
-					VmsPerOp: ms,
+					VmsPerOp: sum.MeanMs(),
+					P50Ms:    float64(sum.Percentile(50)) / float64(time.Millisecond),
+					P99Ms:    float64(sum.Percentile(99)) / float64(time.Millisecond),
 				}
-				mt.Fill(&rec, ops)
+				mt.Fill(&rec, sum.N())
 				rec.SetCounters(c)
 				if err := bench.WriteRecord(rec); err != nil {
 					b.Logf("bench record: %v", err)

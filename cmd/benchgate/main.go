@@ -40,6 +40,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from the records instead of checking")
 	wallTol := flag.Float64("wall-tol", 2.5, "allowed wall_seconds growth factor over baseline")
 	allocTol := flag.Float64("alloc-tol", 1.15, "allowed allocs_per_op growth factor over baseline")
+	pctTol := flag.Float64("pct-tol", 1.10, "allowed p50_ms/p99_ms growth factor over baseline")
 	flag.Parse()
 
 	cur, err := readRecords(*dir)
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	problems := compare(base, cur, *wallTol, *allocTol)
+	problems := compare(base, cur, *wallTol, *allocTol, *pctTol)
 	if len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d problem(s) vs %s:\n", len(problems), *baseline)
 		for _, p := range problems {
@@ -139,7 +140,7 @@ func writeBaseline(path string, recs map[string]bench.Record) error {
 // no baseline entry means a benchmark was added without regenerating
 // the baseline. Both fail — the baseline must always cover exactly
 // the gated battery.
-func compare(base, cur map[string]bench.Record, wallTol, allocTol float64) []string {
+func compare(base, cur map[string]bench.Record, wallTol, allocTol, pctTol float64) []string {
 	var problems []string
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -153,7 +154,7 @@ func compare(base, cur map[string]bench.Record, wallTol, allocTol float64) []str
 			problems = append(problems, fmt.Sprintf("%s: in baseline but not produced by the battery", name))
 			continue
 		}
-		problems = append(problems, compareOne(name, b, c, wallTol, allocTol)...)
+		problems = append(problems, compareOne(name, b, c, wallTol, allocTol, pctTol)...)
 	}
 	curNames := make([]string, 0, len(cur))
 	for name := range cur {
@@ -168,7 +169,7 @@ func compare(base, cur map[string]bench.Record, wallTol, allocTol float64) []str
 	return problems
 }
 
-func compareOne(name string, b, c bench.Record, wallTol, allocTol float64) []string {
+func compareOne(name string, b, c bench.Record, wallTol, allocTol, pctTol float64) []string {
 	var problems []string
 	exact := func(metric string, want, got float64) {
 		if want != got {
@@ -208,5 +209,13 @@ func compareOne(name string, b, c bench.Record, wallTol, allocTol float64) []str
 	}
 	headroom("wall_seconds", b.WallSeconds, c.WallSeconds, wallTol)
 	headroom("allocs_per_op", b.AllocsPerOp, c.AllocsPerOp, allocTol)
+	// Percentiles are virtual-time figures and thus deterministic, but
+	// they are gated as a band rather than exactly: a tail percentile is
+	// a single sampled operation, so a legitimate scheduling-order
+	// change inside an unchanged-mean workload may move it slightly. A
+	// baseline without the fields (want 0) gates nothing — regenerate
+	// with -update to arm them.
+	headroom("p50_ms", b.P50Ms, c.P50Ms, pctTol)
+	headroom("p99_ms", b.P99Ms, c.P99Ms, pctTol)
 	return problems
 }

@@ -59,6 +59,9 @@ func main() {
 	corrupt := flag.Bool("corrupt", false, "fsck: damage the underlying tree first (delete one mapped file, add one stray)")
 	reshardTo := flag.Int("reshard-to", 2, "reshard: target shard count")
 	crashAt := flag.Int("crash-at", -1, "reshard: crash the plane at migration step N and recover (-1 runs to completion)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto; docs/observability.md)")
+	metrics := flag.Bool("metrics", false, "collect and print per-(op, shard) latency histograms and skew rates")
+	slowlog := flag.Duration("slowlog", 0, "print the slowest operation spans at or above this virtual-time threshold (implies tracing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a host allocation profile to this file")
 	flag.Parse()
@@ -81,6 +84,8 @@ func main() {
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	cfg.COFS.StandbyReads = *standbyReads
+	cfg.COFS.Trace = *traceOut != "" || *slowlog > 0
+	cfg.COFS.Metrics = *metrics
 	tb := cluster.New(*seed, *nodes, cfg)
 	d := core.Deploy(tb, nil)
 	if *standbyReads {
@@ -252,6 +257,31 @@ func main() {
 		fmt.Print(rep)
 		if !rep.OK() && what == "fsck" {
 			defer os.Exit(1)
+		}
+	}
+	if m := d.Metrics(); m != nil {
+		fmt.Println("== latency histograms (virtual time) ==")
+		m.Fprint(os.Stdout, "  ")
+		fmt.Println("== per-shard rates (sliding window) ==")
+		m.FprintRates(os.Stdout, "  ", tb.Env.Now())
+	}
+	if tr := d.Tracer(); tr != nil {
+		if *slowlog > 0 {
+			fmt.Printf("== slowest spans (threshold %v) ==\n", *slowlog)
+			tr.FprintSlow(os.Stdout, *slowlog, 16)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cofsctl: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cofsctl: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("trace: %d spans -> %s\n", tr.Spans, *traceOut)
 		}
 	}
 	if what == "stats" || what == "all" {

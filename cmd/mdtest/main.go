@@ -44,6 +44,10 @@ func main() {
 		reshardAt    = flag.String("reshard-at", "", "cofs: reshard mid-run, when this phase starts (e.g. file-create)")
 		reshardTo    = flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
 
+		traceOut = flag.String("trace", "", "cofs: write a Chrome trace-event JSON of the run to this file (open in Perfetto; docs/observability.md)")
+		metrics  = flag.Bool("metrics", false, "cofs: collect and print per-(op, shard) latency histograms and skew rates")
+		slowlog  = flag.Duration("slowlog", 0, "cofs: print the slowest operation spans at or above this virtual-time threshold (implies tracing)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a host allocation profile to this file")
 	)
@@ -61,6 +65,8 @@ func main() {
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	cfg.COFS.StandbyReads = *standbyReads
+	cfg.COFS.Trace = *traceOut != "" || *slowlog > 0
+	cfg.COFS.Metrics = *metrics
 	tb := cluster.New(*seed, *nodes, cfg)
 	var tgt bench.Target
 	var deployment *core.Deployment
@@ -109,5 +115,30 @@ func main() {
 		}
 		fmt.Printf("\ncofs per-layer counters (store=%s):\n", deployment.Service.StoreName())
 		deployment.Counters().Fprint(os.Stdout, "  ")
+		if m := deployment.Metrics(); m != nil {
+			fmt.Println("\ncofs latency histograms (virtual time):")
+			m.Fprint(os.Stdout, "  ")
+			fmt.Println("cofs per-shard rates (sliding window):")
+			m.FprintRates(os.Stdout, "  ", tb.Env.Now())
+		}
+		if tr := deployment.Tracer(); tr != nil {
+			if *slowlog > 0 {
+				fmt.Printf("\ncofs slowest spans (threshold %v):\n", *slowlog)
+				tr.FprintSlow(os.Stdout, *slowlog, 16)
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mdtest: %v\n", err)
+					os.Exit(1)
+				}
+				if err := tr.WriteChrome(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mdtest: writing trace: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Printf("\ntrace: %d spans -> %s\n", tr.Spans, *traceOut)
+			}
+		}
 	}
 }

@@ -40,6 +40,8 @@ func main() {
 	standbyReads := flag.Bool("standby-reads", false, "cofs: serve reads from per-shard hot standbys when provably fresh (docs/replication.md)")
 	reshardAt := flag.String("reshard-at", "", "cofs: reshard the metadata plane mid-run, when this operation's phase starts")
 	reshardTo := flag.Int("reshard-to", 0, "cofs: target shard count of the mid-run reshard")
+	traceOut := flag.String("trace", "", "cofs: write a Chrome trace-event JSON of the run to this file (open in Perfetto; docs/observability.md)")
+	metrics := flag.Bool("metrics", false, "cofs: collect and print per-(op, shard) latency histograms and skew rates")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a host allocation profile to this file")
 	flag.Parse()
@@ -56,6 +58,8 @@ func main() {
 	cfg.COFS.RPCBatch = *rpcBatch
 	cfg.COFS.ExclusiveRowLocks = *exclLocks
 	cfg.COFS.StandbyReads = *standbyReads
+	cfg.COFS.Trace = *traceOut != ""
+	cfg.COFS.Metrics = *metrics
 	tb := cluster.New(*seed, *nodes, cfg)
 	target := bench.Target{Env: tb.Env, Mounts: tb.Mounts, Ctx: cluster.Ctx}
 	var deployment *core.Deployment
@@ -118,6 +122,25 @@ func main() {
 		}
 		fmt.Printf("cofs per-layer counters (store=%s):\n", deployment.Service.StoreName())
 		deployment.Counters().Fprint(os.Stdout, "  ")
+		if m := deployment.Metrics(); m != nil {
+			fmt.Println("cofs latency histograms (virtual time):")
+			m.Fprint(os.Stdout, "  ")
+			fmt.Println("cofs per-shard rates (sliding window):")
+			m.FprintRates(os.Stdout, "  ", tb.Env.Now())
+		}
+		if tr := deployment.Tracer(); tr != nil && *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metarates: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintf(os.Stderr, "metarates: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("trace: %d spans -> %s\n", tr.Spans, *traceOut)
+		}
 	}
 	fmt.Printf("virtual time elapsed: %v\n", tb.Env.Now())
 }

@@ -26,6 +26,12 @@ type Record struct {
 	// VmsPerOp is the paper's headline metric: virtual milliseconds per
 	// operation.
 	VmsPerOp float64 `json:"vms_per_op,omitempty"`
+	// P50Ms/P99Ms are the per-operation latency percentiles of the
+	// run's primary phase, in virtual milliseconds. Deterministic like
+	// VmsPerOp (same seed, same distribution); zero when the benchmark
+	// does not sample per-op latencies.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
 	// WallSeconds is the host (real) time one run of the benchmark took
 	// — the harness-cost axis, as opposed to the simulated VmsPerOp.
 	// Zero when not measured. Unlike every virtual-time field it is NOT

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cofs/internal/cluster"
+	"cofs/internal/obs"
 	"cofs/internal/sim"
 	"cofs/internal/stats"
 	"cofs/internal/vfs"
@@ -18,6 +19,13 @@ type Deployment struct {
 	Service *MDSCluster
 	FSs     []*FS
 	Mounts  []*vfs.Mount
+	// retired accumulates the service-plane counters of metadata planes
+	// this deployment demoted at failover (Standby.Promote). Counters()
+	// merges it so the per-layer report stays cumulative across a
+	// promotion — the Counters-level sibling of MDSCluster.priorPeer and
+	// Session.prior, which keep the transport figures cumulative. Nil
+	// until the first promotion.
+	retired *stats.Counters
 }
 
 // Deploy installs COFS on the testbed with the given placement policy
@@ -39,6 +47,19 @@ func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 	}
 	hosts := tb.AddServiceHosts("cofs-mds", shards, cfg.COFS.ServiceWorkers)
 	svc := NewMDSCluster(tb.Net, hosts, cfg)
+	if cfg.COFS.Trace || cfg.COFS.Metrics {
+		// Attached before the install traffic below so traces are
+		// complete from the first operation.
+		var tr *obs.Tracer
+		var m *obs.Metrics
+		if cfg.COFS.Trace {
+			tr = obs.NewTracer()
+		}
+		if cfg.COFS.Metrics {
+			m = obs.NewMetrics()
+		}
+		svc.EnableObs(tr, m)
+	}
 	d := &Deployment{Service: svc}
 	// Install-time initialization: pre-create the hash (and random)
 	// levels of the object tree from one node, so runtime creates land
@@ -69,6 +90,16 @@ func Deploy(tb *cluster.Testbed, place Placement) *Deployment {
 	return d
 }
 
+// Tracer returns the deployment's span tracer, nil unless
+// COFSParams.Trace enabled it at deploy time.
+func (d *Deployment) Tracer() *obs.Tracer { return d.Service.Tracer() }
+
+// Metrics returns the deployment's metrics registry — per-(op, shard)
+// latency histograms, queue/lock gauges and the per-shard sliding
+// request/row-move windows (the skew feed) — nil unless
+// COFSParams.Metrics enabled it at deploy time.
+func (d *Deployment) Metrics() *obs.Metrics { return d.Service.Metrics() }
+
 // Counters aggregates the deployment's per-layer observability
 // counters: the RPC transport (client and shard-to-shard channels,
 // batching), the client cache (hits, misses, dentry/negative hits,
@@ -97,19 +128,32 @@ func (d *Deployment) Counters() *stats.Counters {
 	c.Add("rpc.peer.roundtrips", ps.Wire)
 	c.Add("rpc.peer.batches", ps.Batches)
 	c.Add("rpc.peer.batched-reqs", ps.Batched)
-	ss := d.Service.Stats()
+	sbReads, sbFalls := d.Service.StandbyReadStats()
+	c.Add("mds.standby-reads", sbReads)
+	c.Add("mds.standby-fallbacks", sbFalls)
+	c.Merge(serviceCounters(d.Service))
+	c.Merge(d.retired)
+	return c
+}
+
+// serviceCounters collects the counters that live on the MDSCluster
+// itself — request/lease totals, row-lock figures, reshard accounting.
+// Unlike the transport stats (Session.prior, MDSCluster.priorPeer/
+// priorStandbyReads) these have no built-in carry-over across a
+// failover, so Standby.Promote snapshots the demoted plane's set into
+// Deployment.retired and Counters merges both.
+func serviceCounters(svc *MDSCluster) *stats.Counters {
+	c := stats.NewCounters()
+	ss := svc.Stats()
 	c.Add("mds.requests", ss.Requests)
 	c.Add("mds.lease-revocations", ss.Revocations)
-	ls := d.Service.LockStats()
+	ls := svc.LockStats()
 	c.Add("mds.lock-acquires", ls.Acquires)
 	c.Add("mds.lock-shared", ls.SharedGrants)
 	c.Add("mds.lock-upgrades", ls.Upgrades)
 	c.Add("mds.lock-conflicts", ls.Conflicts)
 	c.Add("mds.lock-wait-us", int64(ls.WaitTotal/time.Microsecond))
-	sbReads, sbFalls := d.Service.StandbyReadStats()
-	c.Add("mds.standby-reads", sbReads)
-	c.Add("mds.standby-fallbacks", sbFalls)
-	rs := d.Service.ReshardStats()
+	rs := svc.ReshardStats()
 	c.Add("mds.reshard-runs", rs.Reshards)
 	c.Add("mds.reshard-epochs", rs.Epochs)
 	c.Add("mds.reshard-groups-moved", rs.GroupsMoved)

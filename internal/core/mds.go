@@ -158,6 +158,10 @@ type MDSCluster struct {
 	onReshardStep func(seq int, at ReshardPoint) bool
 	reshardSeq    int
 	recovering    bool
+	// obs is the optional tracing/metrics plane (obs.go). Nil by
+	// default; every hook nil-checks it, so a plane that never enables
+	// observability pays nothing.
+	obs *obsPlane
 }
 
 // NewMDSCluster creates one metadata shard per host. The hosts must be
@@ -288,6 +292,8 @@ func (c *MDSCluster) routed(p *sim.Proc, sess *Session, ino vfs.Ino, op func(s *
 // or served by its standby when one offloads reads and can prove the
 // answer fresh (standby.go).
 func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name string) (attr vfs.Attr, err error) {
+	ob := c.obsBegin(p, sess, "op.lookup", parent)
+	defer c.obsEnd(p, ob)
 	if sb := c.readStandby(); sb != nil {
 		if attr, err, ok := sb.lookup(p, sess, parent, name); ok {
 			return attr, err
@@ -303,6 +309,8 @@ func (c *MDSCluster) Lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name str
 // Getattr returns the attributes of id from its owning shard, or from
 // the shard's standby when the replication cursor proves them fresh.
 func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.Attr, err error) {
+	ob := c.obsBegin(p, sess, "op.getattr", id)
+	defer c.obsEnd(p, ob)
 	if sb := c.readStandby(); sb != nil {
 		if attr, err, ok := sb.getattr(p, sess, id); ok {
 			return attr, err
@@ -317,6 +325,8 @@ func (c *MDSCluster) Getattr(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.A
 
 // Setattr updates attributes of id on its owning shard.
 func (c *MDSCluster) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, set vfs.SetAttr) (attr vfs.Attr, err error) {
+	ob := c.obsBegin(p, sess, "op.setattr", id)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, id, func(s *Service) error {
 		attr, err = s.Setattr(p, sess, ctx, id, set)
 		return err
@@ -327,6 +337,8 @@ func (c *MDSCluster) Setattr(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 // Create allocates a new object under parent; coordinated by the
 // parent's shard (which owns the new dentry).
 func (c *MDSCluster) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, t vfs.FileType, mode uint32, bucket, target string) (attr vfs.Attr, upath string, err error) {
+	ob := c.obsBegin(p, sess, "op.create", parent)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, parent, func(s *Service) error {
 		attr, upath, err = s.Create(p, sess, ctx, parent, name, t, mode, bucket, target)
 		return err
@@ -336,6 +348,8 @@ func (c *MDSCluster) Create(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.
 
 // Readlink returns a symlink's target from its owning shard.
 func (c *MDSCluster) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (tgt string, err error) {
+	ob := c.obsBegin(p, sess, "op.readlink", id)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, id, func(s *Service) error {
 		tgt, err = s.Readlink(p, sess, id)
 		return err
@@ -345,6 +359,8 @@ func (c *MDSCluster) Readlink(p *sim.Proc, sess *Session, id vfs.Ino) (tgt strin
 
 // OpenInfo returns attributes and underlying mapping of a regular file.
 func (c *MDSCluster) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.Attr, upath string, err error) {
+	ob := c.obsBegin(p, sess, "op.open", id)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, id, func(s *Service) error {
 		attr, upath, err = s.OpenInfo(p, sess, id)
 		return err
@@ -354,6 +370,8 @@ func (c *MDSCluster) OpenInfo(p *sim.Proc, sess *Session, id vfs.Ino) (attr vfs.
 
 // Remove unlinks (parent, name); coordinated by the parent's shard.
 func (c *MDSCluster) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.Ino, name string, rmdir bool) (upath string, id vfs.Ino, err error) {
+	ob := c.obsBegin(p, sess, "op.remove", parent)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, parent, func(s *Service) error {
 		upath, id, err = s.Remove(p, sess, ctx, parent, name, rmdir)
 		return err
@@ -364,6 +382,8 @@ func (c *MDSCluster) Remove(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent vfs.
 // Rename moves (srcDir, srcName) to (dstDir, dstName); coordinated by
 // the source directory's shard.
 func (c *MDSCluster) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.Ino, srcName string, dstDir vfs.Ino, dstName string) (upath string, id vfs.Ino, err error) {
+	ob := c.obsBegin(p, sess, "op.rename", srcDir)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, srcDir, func(s *Service) error {
 		upath, id, err = s.Rename(p, sess, ctx, srcDir, srcName, dstDir, dstName)
 		return err
@@ -374,6 +394,8 @@ func (c *MDSCluster) Rename(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir vfs.
 // Link adds a hard link to id at (parent, name); coordinated by the
 // parent's shard.
 func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, parent vfs.Ino, name string) (attr vfs.Attr, err error) {
+	ob := c.obsBegin(p, sess, "op.link", parent)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, parent, func(s *Service) error {
 		attr, err = s.Link(p, sess, ctx, id, parent, name)
 		return err
@@ -385,6 +407,8 @@ func (c *MDSCluster) Link(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino, p
 // or served whole from its standby when every row of the listing is
 // provably covered by the replication cursor.
 func (c *MDSCluster) ReaddirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.Ino) (ents []vfs.DirEntry, attrs []vfs.Attr, err error) {
+	ob := c.obsBegin(p, sess, "op.readdir", dir)
+	defer c.obsEnd(p, ob)
 	if sb := c.readStandby(); sb != nil {
 		if ents, attrs, err, ok := sb.readdirPlus(p, sess, ctx, dir); ok {
 			return ents, attrs, err
@@ -405,6 +429,8 @@ func (c *MDSCluster) Readdir(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.In
 
 // WriteBack records a writer's size/mtime at close on id's shard.
 func (c *MDSCluster) WriteBack(p *sim.Proc, sess *Session, id vfs.Ino, size int64, mtime time.Duration) (err error) {
+	ob := c.obsBegin(p, sess, "op.writeback", id)
+	defer c.obsEnd(p, ob)
 	c.routed(p, sess, id, func(s *Service) error {
 		err = s.WriteBack(p, sess, id, size, mtime)
 		return err

@@ -7,6 +7,7 @@ import (
 	"cofs/internal/mdb"
 	"cofs/internal/rpc"
 	"cofs/internal/sim"
+	"cofs/internal/stats"
 	"cofs/internal/vfs"
 )
 
@@ -99,6 +100,8 @@ func DeployStandby(tb *cluster.Testbed, d *Deployment, delay time.Duration) *Sta
 				sess.sbconns = append(sess.sbconns,
 					rpc.Dial(s.net, sess.host, s.host, tb.Cfg.COFS.RPCBatch))
 			}
+			// Re-wire so the fresh standby channels trace like the rest.
+			d.Service.wireSessionObs(sess)
 		}
 	}
 	return sb
@@ -128,6 +131,7 @@ func (sb *Standby) grow(primary *MDSCluster) {
 				sess.sbconns = append(sess.sbconns,
 					rpc.Dial(sc.net, sess.host, sc.shards[i].host, sc.cfg.RPCBatch))
 			}
+			primary.wireSessionObs(sess)
 		}
 	}
 }
@@ -209,6 +213,12 @@ func (sb *Standby) Promote(d *Deployment) int {
 		}
 	}
 	sc.AdoptIDCounter()
+	if d.Service.obs != nil {
+		// The promoted plane keeps reporting into the deployment's
+		// tracer/metrics; wired before SetService so the re-dialed
+		// sessions below pick the hooks up at Connect.
+		sc.EnableObs(d.Service.obs.tr, d.Service.obs.m)
+	}
 	for _, fs := range d.FSs {
 		fs.SetService(sc)
 	}
@@ -216,6 +226,13 @@ func (sb *Standby) Promote(d *Deployment) int {
 	// switch, as the per-session counters already are.
 	sc.priorPeer = d.Service.PeerTransportStats()
 	sc.priorStandbyReads, sc.priorStandbyFallbacks = d.Service.StandbyReadStats()
+	// The service-plane counters (requests, locks, reshard accounting)
+	// have no prior-folding of their own: snapshot the demoted plane's
+	// set for Deployment.Counters to merge back in.
+	if d.retired == nil {
+		d.retired = stats.NewCounters()
+	}
+	d.retired.Merge(serviceCounters(d.Service))
 	d.Service = sc
 	if cur.Migrating() {
 		sc.net.Env().Spawn("promote-reshard-recover", func(p *sim.Proc) {

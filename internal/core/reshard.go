@@ -253,6 +253,7 @@ func (c *MDSCluster) growTo(n int) {
 	if len(c.shards) > 1 && c.rowLocks == nil && !c.cfg.DisableTxnLocks {
 		c.rowLocks = lock.NewRowLocks(c.net.Env())
 		c.rowLocks.ExclusiveOnly = c.cfg.ExclusiveRowLocks
+		c.wireLockObs()
 	}
 	for _, s := range c.shards {
 		for len(s.peers) < len(c.shards) {
@@ -269,6 +270,20 @@ func (c *MDSCluster) growTo(n int) {
 			sess.conns = append(sess.conns, rpc.Dial(c.net, sess.host, c.shards[i].host, c.cfg.RPCBatch))
 		}
 	}
+	if c.obs != nil {
+		if c.obs.m != nil {
+			c.obs.m.GrowShards(len(c.shards))
+		}
+		// Re-wire every shard, not just the new ones: the peer-mesh
+		// completion above also dials new channels on pre-existing
+		// shards, and each session gained conns.
+		for i := range c.shards {
+			c.wireShardObs(i)
+		}
+		for _, sess := range c.sessions {
+			c.wireSessionObs(sess)
+		}
+	}
 	for _, sb := range c.standbys {
 		sb.grow(c)
 	}
@@ -282,7 +297,11 @@ func (c *MDSCluster) ensureReshardRig() {
 		c.reshardHost = c.net.AddHost("cofs-reshard", 1, 0)
 	}
 	for i := len(c.reshardConns); i < len(c.shards); i++ {
-		c.reshardConns = append(c.reshardConns, rpc.Dial(c.net, c.reshardHost, c.shards[i].host, false))
+		conn := rpc.Dial(c.net, c.reshardHost, c.shards[i].host, false)
+		if c.obs != nil {
+			conn.Trace = c.obs.tr
+		}
+		c.reshardConns = append(c.reshardConns, conn)
 	}
 }
 
@@ -370,6 +389,10 @@ func (c *MDSCluster) moveBatch(p *sim.Proc, batch []reshard.Move) error {
 		reqs = append(reqs, lock.X(c.shards[0].inoKey(vfs.Ino(mv.Group))))
 	}
 	reqs = lock.SortReqs(reqs)
+	if c.obs != nil && c.obs.tr != nil {
+		c.obs.tr.Begin(p, "", "reshard.batch", -1)
+		defer c.obs.tr.End(p)
+	}
 	if c.rowLocks != nil {
 		c.rowLocks.Acquire(p, reqs, nil)
 		defer c.rowLocks.Release(p, reqs)
@@ -445,6 +468,8 @@ func readGroups(p *sim.Proc, from *Service, ids []vfs.Ino) (movedRows, *mdb.Hand
 // released for the flight).
 func (c *MDSCluster) shipHandoff(p *sim.Proc, from, to *Service, freight movedRows, handoff *mdb.Handoff) {
 	from.Stats.PeerCalls++
+	open := to.span(p, "reshard.handoff")
+	defer to.spanEnd(p, open)
 	from.host.CPU.Release(p)
 	from.peers[to.shardID].Call(p, rpc.Request{
 		Op: rpc.OpHandoff, ReqBytes: freight.bytes + handoffFrame(handoff), CPU: to.cfg.ServiceCPUPerOp,
@@ -512,8 +537,14 @@ func (c *MDSCluster) movePair(p *sim.Proc, src, dst int, ids []vfs.Ino) error {
 			from.DB.RetireHandoff(handoff.Len())
 			c.rstats.Epochs++
 			c.rstats.GroupsMoved += int64(len(groups))
-			c.rstats.RowsMoved += int64(len(freight.inodes) + len(freight.dents) + len(freight.mappings))
+			rows := int64(len(freight.inodes) + len(freight.dents) + len(freight.mappings))
+			c.rstats.RowsMoved += rows
 			c.rstats.BytesMoved += freight.bytes
+			if c.obs != nil && c.obs.m != nil {
+				// Feed the destination's row-move window: arriving rows
+				// are the rebalance cost the skew controller weighs.
+				c.obs.m.AddRowMoves(dst, rows, p.Now())
+			}
 			if interrupted = c.stepAbort(ReshardInstalled); interrupted {
 				return
 			}

@@ -50,6 +50,7 @@ func (c *MDSCluster) Connect(host *netsim.Host, node int, cache *clientCache) *S
 		}
 	}
 	c.sessions = append(c.sessions, sess)
+	c.wireSessionObs(sess)
 	return sess
 }
 

@@ -146,6 +146,7 @@ func (sb *Standby) lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name strin
 	}
 	st := sb.Cluster.shards[si]
 	pr := sb.primary.shards[si]
+	ob := sb.obsBegin(p, si)
 	r := sbCall(p, sess, si, rpc.OpLookup, 128, 192, st.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) sbAttrReply {
 		cursor, ok := sb.fresh(si, parent)
 		if !ok {
@@ -186,6 +187,7 @@ func (sb *Standby) lookup(p *sim.Proc, sess *Session, parent vfs.Ino, name strin
 		}
 		return sbAttrReply{attr: row.attr(), served: true}
 	})
+	sb.obsEnd(p, ob, r.served)
 	if !r.served {
 		sb.Fallbacks++
 		return vfs.Attr{}, nil, false
@@ -205,6 +207,7 @@ func (sb *Standby) getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, er
 	}
 	st := sb.Cluster.shards[si]
 	pr := sb.primary.shards[si]
+	ob := sb.obsBegin(p, si)
 	r := sbCall(p, sess, si, rpc.OpGetattr, 96, 192, st.cfg.ServiceCPUPerOp*3/4, func(p *sim.Proc) sbAttrReply {
 		cursor, ok := sb.fresh(si, id)
 		if !ok {
@@ -220,6 +223,7 @@ func (sb *Standby) getattr(p *sim.Proc, sess *Session, id vfs.Ino) (vfs.Attr, er
 		}
 		return sbAttrReply{attr: row.attr(), served: true}
 	})
+	sb.obsEnd(p, ob, r.served)
 	if !r.served {
 		sb.Fallbacks++
 		return vfs.Attr{}, nil, false
@@ -251,6 +255,7 @@ func (sb *Standby) readdirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.
 	}
 	st := sb.Cluster.shards[si]
 	pr := sb.primary.shards[si]
+	ob := sb.obsBegin(p, si)
 	r := sbCallDyn(p, sess, si, rpc.OpReaddir, 96, st.cfg.ServiceCPUPerOp, func(p *sim.Proc) sbReaddirReply {
 		cursor, ok := sb.fresh(si, dir)
 		if !ok {
@@ -294,6 +299,7 @@ func (sb *Standby) readdirPlus(p *sim.Proc, sess *Session, ctx vfs.Ctx, dir vfs.
 		out.served = true
 		return out
 	}, func(r sbReaddirReply) int64 { return 96 + int64(len(r.entries))*160 })
+	sb.obsEnd(p, ob, r.served)
 	if !r.served {
 		sb.Fallbacks++
 		return nil, nil, nil, false

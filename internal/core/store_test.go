@@ -87,12 +87,12 @@ func TestStoreDefaultCostIdentical(t *testing.T) {
 // simulation, not just the wiring.
 func TestStoreAbsoluteCostPin(t *testing.T) {
 	const want = 0.525928 // bench/baseline.json metadata-cache/nocache-1shards
-	ms, ops, _ := experiments.ClientCacheStorm(1, params.Default())
-	if ops != 6144 {
-		t.Fatalf("storm measured %d stats, baseline measured 6144", ops)
+	sum, _ := experiments.ClientCacheStorm(1, params.Default())
+	if sum.N() != 6144 {
+		t.Fatalf("storm measured %d stats, baseline measured 6144", sum.N())
 	}
-	if ms != want {
-		t.Fatalf("default store drifted from the pre-interface baseline: %v vms/op, want %v", ms, want)
+	if sum.MeanMs() != want {
+		t.Fatalf("default store drifted from the pre-interface baseline: %v vms/op, want %v", sum.MeanMs(), want)
 	}
 }
 

@@ -76,6 +76,8 @@ func (s *Service) createRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent v
 		// row (Shared: its nlink/mtime bump is atomic in the phase-2
 		// transaction; Shared keeps concurrent mkdirs of different
 		// names overlapping while still excluding an rmdir of parent).
+		open := s.span(p, "2pc.validate")
+		defer s.spanEnd(p, open)
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
 		var out createReply
@@ -102,6 +104,7 @@ func (s *Service) createRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent v
 		}
 		// Phase 1: the owning shard prepares the inode row (and, for a
 		// regular file, composes and records the mapping next to it).
+		s.spanNext(p, open, "2pc.prepare")
 		type prepared struct {
 			row   inodeRow
 			upath string
@@ -129,6 +132,7 @@ func (s *Service) createRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent v
 			return pre
 		})
 		row := pr.row
+		s.spanNext(p, open, "2pc.commit")
 		// Phase 2: commit the dentry and parent bookkeeping. The
 		// re-validation only matters for mutations that raced phase 0 —
 		// impossible while the row locks are held, reachable again under
@@ -178,6 +182,8 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 	r := call(p, s, sess, rpc.OpRemove, 160, 128, func(p *sim.Proc) removeReply {
 		var out removeReply
 		key := dentryKey{Parent: parent, Name: name}
+		open := s.span(p, "2pc.validate")
+		defer s.spanEnd(p, open)
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)))
 		defer txn.release(p)
 		var de dentryRow
@@ -230,10 +236,12 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 			// its shard. Prepare: check emptiness there (read-only).
 			// Commit: retire the dentry here first, then the inode.
 			ts := s.peer(id)
+			s.spanNext(p, open, "2pc.prepare")
 			if !s.peerDirEmpty(p, ts, id) {
 				out.err = vfs.ErrNotEmpty
 				return out
 			}
+			s.spanNext(p, open, "2pc.commit")
 			s.DB.Transaction(p, func(tx *mdb.Tx) {
 				mdb.Delete(tx, s.dentries, key)
 				if din, ok := mdb.Get(tx, s.inodes, parent); ok {
@@ -247,6 +255,7 @@ func (s *Service) removeSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, parent 
 			return out
 		}
 
+		s.spanNext(p, open, "2pc.commit")
 		if s.owns(id) {
 			// Co-located file: finish in one local transaction.
 			s.DB.Transaction(p, func(tx *mdb.Tx) {
@@ -363,6 +372,8 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		// its inode stays), so it needs no lock; a replaced target's
 		// row is rewritten and joins the footprint once discovered
 		// below.
+		open := s.span(p, "2pc.validate")
+		defer s.spanEnd(p, open)
 		txn := s.lockRows(p,
 			lock.X(s.dentKey(srcDir, srcName)), lock.X(s.dentKey(dstDir, dstName)),
 			lock.S(s.inoKey(srcDir)), lock.S(s.inoKey(dstDir)))
@@ -464,6 +475,7 @@ func (s *Service) renameSharded(p *sim.Proc, sess *Session, ctx vfs.Ctx, srcDir 
 		}
 
 		// ---- apply phase: dentry swap and parent bookkeeping ----
+		s.spanNext(p, open, "2pc.commit")
 		if D == s {
 			s.DB.Transaction(p, func(tx *mdb.Tx) {
 				mdb.Delete(tx, s.dentries, srcKey)
@@ -559,6 +571,8 @@ func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 		// commit (both Shared — the bumps are atomic per transaction,
 		// and Shared excludes the Exclusive reclaim paths that could
 		// invalidate the validation between the phases).
+		open := s.span(p, "2pc.validate")
+		defer s.spanEnd(p, open)
 		txn := s.lockRows(p, lock.X(s.dentKey(parent, name)), lock.S(s.inoKey(parent)), lock.S(s.inoKey(id)))
 		defer txn.release(p)
 		if out.err = s.claim(parent); out.err != nil {
@@ -600,6 +614,7 @@ func (s *Service) linkRemote(p *sim.Proc, sess *Session, ctx vfs.Ctx, id vfs.Ino
 			return out
 		}
 		// Phase 2: commit — bump nlink at the owner, insert the dentry.
+		s.spanNext(p, open, "2pc.commit")
 		out = peerCall(p, s, ts, 128, 192, ts.cfg.ServiceCPUPerOp, func(p *sim.Proc) attrReply {
 			var rr attrReply
 			ts.DB.Transaction(p, func(tx *mdb.Tx) {

@@ -181,13 +181,13 @@ func flushCreateMs(seed int64, interval time.Duration) float64 {
 // ablation and BenchmarkMetadataCache: 4 nodes repeatedly `ls -l` a
 // shared 256-file directory (readdir + per-file stat, three passes)
 // with a utime sweep over each node's own quarter between passes (so
-// lease revocations actually happen). It returns the mean stat latency
-// in milliseconds, the number of measured stat operations, and the
-// deployment's per-layer counters. This is the
+// lease revocations actually happen). It returns the full stat latency
+// distribution (mean, count and percentiles) and the deployment's
+// per-layer counters. This is the
 // paper's section IV-B trigger — repeated directory traversals over
 // cache-warm files — where GPFS serves from its client cache and the
 // measured COFS prototype paid a round trip per stat.
-func ClientCacheStorm(seed int64, cfg params.Config) (float64, int, *stats.Counters) {
+func ClientCacheStorm(seed int64, cfg params.Config) (*stats.Summary, *stats.Counters) {
 	const (
 		nodes = 4
 		procs = 2 // per node: concurrent RPCs share the per-shard channel
@@ -238,7 +238,7 @@ func ClientCacheStorm(seed int64, cfg params.Config) (float64, int, *stats.Count
 		}
 	}
 	tb.Run()
-	return sum.MeanMs(), sum.N(), d.Counters()
+	return sum, d.Counters()
 }
 
 // AblationClientCache sweeps the client-side knobs of the IV-B
@@ -270,8 +270,8 @@ func AblationClientCache(w io.Writer, seed int64) {
 			cfg := params.Default()
 			cfg.COFS.MetadataShards = shards
 			r.tweak(&cfg)
-			ms, _, c := ClientCacheStorm(seed, cfg)
-			fmt.Fprintf(w, "%-34s%12.3f%12d%12d%12d%12d\n", r.name, ms,
+			sum, c := ClientCacheStorm(seed, cfg)
+			fmt.Fprintf(w, "%-34s%12.3f%12d%12d%12d%12d\n", r.name, sum.MeanMs(),
 				c.Get("rpc.client.calls"),
 				c.Get("rpc.client.roundtrips"),
 				c.Get("cache.attr-hits")+c.Get("cache.dentry-hits"),

@@ -22,10 +22,10 @@ import (
 // leaving the primaries to the mutation traffic; rows inside the
 // shipping window fall back to the primary as a redirect, so the
 // measured mean carries the protocol's real cost, not a best case.
-// Returns the mean stat latency in milliseconds, the number of
-// measured stats, and the deployment counters (mds.standby-reads and
+// Returns the full stat latency distribution (mean, count and
+// percentiles) and the deployment counters (mds.standby-reads and
 // mds.standby-fallbacks show where the reads were served).
-func StandbyReadStorm(seed int64, cfg params.Config) (float64, int, *stats.Counters) {
+func StandbyReadStorm(seed int64, cfg params.Config) (*stats.Summary, *stats.Counters) {
 	const (
 		nodes = 4
 		procs = 2
@@ -81,5 +81,5 @@ func StandbyReadStorm(seed int64, cfg params.Config) (float64, int, *stats.Count
 		}
 	}
 	tb.Run()
-	return sum.MeanMs(), sum.N(), d.Counters()
+	return sum, d.Counters()
 }

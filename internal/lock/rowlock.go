@@ -210,6 +210,16 @@ type RowLocks struct {
 	// them exactly). Nil in production; the hook must not block.
 	OnGrant func(holder *sim.Proc, key RowKey, mode Mode)
 
+	// OnWait, when non-nil, is invoked on the waiter's own proc the
+	// moment a contended acquisition resumes, with the key, the
+	// effective mode and the virtual time the wait began. It is the
+	// acquire-side observability hook: the obs plane turns each call
+	// into a retroactive "lock.wait" span and a latency sample — safe
+	// precisely because the waiter was parked for the whole
+	// [start, now] window, so its trace track gained no events in
+	// between. Nil in production; the hook must not block.
+	OnWait func(waiter *sim.Proc, key RowKey, mode Mode, start time.Duration)
+
 	Stats RowLockStats
 }
 
@@ -272,6 +282,9 @@ func (t *RowLocks) Acquire(p *sim.Proc, reqs []Req, onWait func()) bool {
 			// waking up *is* owning the row.
 			w.gate.Wait(p)
 			t.Stats.WaitTotal += t.env.Now() - start
+			if t.OnWait != nil {
+				t.OnWait(p, r.Key, mode, start)
+			}
 		}
 		if mode == ModeShared {
 			t.Stats.SharedGrants++

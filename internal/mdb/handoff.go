@@ -61,7 +61,13 @@ func (db *DB) ImportHandoff(p *sim.Proc, h *Handoff) {
 	db.staged += h.Len()
 	db.txMu.Unlock(p)
 	db.Commits++
-	db.engine.Force(p, db)
+	if db.trace != nil {
+		db.trace.Begin(p, db.traceGroup, "wal.sync", -1)
+		db.engine.Force(p, db)
+		db.trace.End(p)
+	} else {
+		db.engine.Force(p, db)
+	}
 	db.notifyCommit()
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cofs/internal/disk"
+	"cofs/internal/obs"
 	"cofs/internal/sim"
 )
 
@@ -112,6 +113,14 @@ type DB struct {
 	seqBase     int64
 	trackStamps bool
 
+	// trace, when non-nil, stamps WAL spans — wal.commit around the
+	// engine's durable commit, wal.flush on the background dump proc,
+	// wal.sync around a handoff import's force — on the acting proc's
+	// track; traceGroup labels background procs with this shard's host
+	// (SetTrace). Nil by default: no span, no allocation, no cost.
+	trace      *obs.Tracer
+	traceGroup string
+
 	Commits      int64
 	Transactions int64
 	DirtyOps     int64
@@ -142,6 +151,17 @@ func (db *DB) TrackStamps() {
 		panic("mdb: TrackStamps after rows were inserted")
 	}
 	db.trackStamps = true
+}
+
+// SetTrace installs the span tracer on this database. group labels the
+// trace tracks of the database's own background procs (the log flusher)
+// — pass the owning shard's host name so they render under its process
+// lane. The engine seam is instrumented at the DB-level call sites, so
+// every Engine implementation (mdb's walEngine, mdls's checkpoint+
+// journal engine) is covered without knowing about tracing.
+func (db *DB) SetTrace(tr *obs.Tracer, group string) {
+	db.trace = tr
+	db.traceGroup = group
 }
 
 // CommitSeq is the database's absolute commit sequence: the total
@@ -203,8 +223,14 @@ func (db *DB) maybeScheduleFlush() {
 	db.env.SpawnAfter("mdb.logflush", db.flushInterval, func(p *sim.Proc) {
 		target := db.wal.len()
 		db.LogFlushes++
+		if db.trace != nil {
+			db.trace.Begin(p, db.traceGroup, "wal.flush", -1)
+		}
 		db.disk.Write(p, 0, int64(target-db.walFlushed)*64)
 		db.disk.Sync(p)
+		if db.trace != nil {
+			db.trace.End(p)
+		}
 		db.walFlushed = target
 		db.flushScheduled = false
 		db.maybeScheduleFlush()
@@ -393,7 +419,13 @@ func (db *DB) Transaction(p *sim.Proc, fn func(tx *Tx)) {
 	db.txMu.Unlock(p)
 	if durable {
 		db.Commits++
-		db.engine.Commit(p, db)
+		if db.trace != nil {
+			db.trace.Begin(p, db.traceGroup, "wal.commit", -1)
+			db.engine.Commit(p, db)
+			db.trace.End(p)
+		} else {
+			db.engine.Commit(p, db)
+		}
 		db.notifyCommit()
 	}
 }

@@ -244,6 +244,23 @@ type COFSParams struct {
 	// cost-identity knobs; leases are still granted only by the
 	// primary.
 	StandbyReads bool
+	// Trace enables the virtual-time span tracer (internal/obs): every
+	// client operation opens a span with child spans at the RPC,
+	// row-lock, two-phase, WAL, standby and reshard seams, exportable as
+	// Chrome trace-event JSON (`cofsctl -trace out.json`, one Perfetto
+	// track per proc grouped by host) — docs/observability.md. Off by
+	// default; when off no obs hook is installed anywhere, the hot paths
+	// allocate nothing for it, and every cost pin stays bit-identical
+	// (tracing never charges virtual time either way).
+	Trace bool
+	// Metrics enables the histogram/gauge/rate metrics registry
+	// (internal/obs): per-(op,shard) log-bucketed latency histograms
+	// (p50/p95/p99), queue-depth and lock-occupancy gauges, and
+	// per-shard sliding-window request/row-move rates — the skew feed
+	// the auto-reshard controller consumes — exposed as
+	// Deployment.Metrics(). Off by default with the same zero-cost
+	// contract as Trace.
+	Metrics bool
 }
 
 // Default returns the calibrated testbed configuration.

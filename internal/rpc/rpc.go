@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cofs/internal/netsim"
+	"cofs/internal/obs"
 	"cofs/internal/sim"
 )
 
@@ -138,6 +139,14 @@ type Conn struct {
 	queue []*pending
 
 	Stats ConnStats
+
+	// Trace, when non-nil, records the transport child spans of every
+	// round trip (rpc.send / rpc.queue / rpc.serve / rpc.recv) on the
+	// calling proc's track. Nil (the default) costs nothing.
+	Trace *obs.Tracer
+	// Queue, when non-nil, mirrors the coalescing queue's depth into a
+	// gauge (the per-shard queue-depth metric).
+	Queue *obs.Gauge
 }
 
 type pending struct {
@@ -173,6 +182,9 @@ func (c *Conn) Call(p *sim.Proc, r Request) {
 		pd := &pending{req: r, wg: sim.NewWaitGroup(c.net.Env())}
 		pd.wg.Add(1)
 		c.queue = append(c.queue, pd)
+		if c.Queue != nil {
+			c.Queue.Set(int64(len(c.queue)))
+		}
 		pd.wg.Wait(p)
 		if pd.done {
 			return // a carrier flew our request for us
@@ -189,18 +201,35 @@ func (c *Conn) Call(p *sim.Proc, r Request) {
 
 // flyOne is fly for a single request, with no batch bookkeeping. The
 // cost sequence is identical: request transfer, CPU dispatch + body,
-// reply size taken while the CPU is still held, response transfer.
+// reply size taken while the CPU is still held, response transfer. The
+// trace hooks charge no virtual time; they only stamp the phases.
 func (c *Conn) flyOne(p *sim.Proc, r *Request) {
 	c.Stats.Wire++
+	tr := c.Trace
+	if tr != nil {
+		tr.Begin(p, "", "rpc.send", -1)
+	}
 	c.net.Transfer(p, c.local, c.remote, r.ReqBytes)
+	if tr != nil {
+		tr.Next(p, "rpc.queue")
+	}
 	c.remote.CPU.Acquire(p)
+	if tr != nil {
+		tr.Next(p, "rpc.serve")
+	}
 	if r.CPU > 0 {
 		p.Sleep(r.CPU)
 	}
 	r.Run(p)
 	resp := r.respSize()
 	c.remote.CPU.Release(p)
+	if tr != nil {
+		tr.Next(p, "rpc.recv")
+	}
 	c.net.Transfer(p, c.remote, c.local, resp)
+	if tr != nil {
+		tr.End(p)
+	}
 }
 
 // fly performs one wire round trip for a batch: one request transfer,
@@ -215,8 +244,18 @@ func (c *Conn) fly(p *sim.Proc, batch []*pending) {
 	for _, pd := range batch {
 		req += pd.req.ReqBytes
 	}
+	tr := c.Trace
+	if tr != nil {
+		tr.Begin(p, "", "rpc.send", -1)
+	}
 	c.net.Transfer(p, c.local, c.remote, req)
+	if tr != nil {
+		tr.Next(p, "rpc.queue")
+	}
 	c.remote.CPU.Acquire(p)
+	if tr != nil {
+		tr.Next(p, "rpc.serve")
+	}
 	var resp int64
 	for _, pd := range batch {
 		if pd.req.CPU > 0 {
@@ -226,7 +265,13 @@ func (c *Conn) fly(p *sim.Proc, batch []*pending) {
 		resp += pd.req.respSize()
 	}
 	c.remote.CPU.Release(p)
+	if tr != nil {
+		tr.Next(p, "rpc.recv")
+	}
 	c.net.Transfer(p, c.remote, c.local, resp)
+	if tr != nil {
+		tr.End(p)
+	}
 }
 
 // land delivers a landed batch's replies and hands the accumulated
@@ -248,6 +293,9 @@ func (c *Conn) land(p *sim.Proc, batch []*pending) {
 	}
 	next := c.queue[:n]
 	c.queue = c.queue[n:]
+	if c.Queue != nil {
+		c.Queue.Set(int64(len(c.queue)))
+	}
 	lead := next[0]
 	lead.lead = true
 	lead.ride = next

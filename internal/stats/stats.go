@@ -13,10 +13,14 @@ import (
 )
 
 // Summary accumulates a stream of duration samples using Welford's
-// algorithm, keeping the raw samples for percentile queries.
+// algorithm, keeping the raw samples for percentile queries. The sorted
+// view computed by the first Percentile call is cached until the next
+// Add, so benchgate-style reports that ask for several quantiles in a
+// row sort once, not once per quantile.
 type Summary struct {
 	samples []time.Duration
-	mean    float64 // nanoseconds
+	sorted  []time.Duration // cached sorted view; nil when stale
+	mean    float64         // nanoseconds
 	m2      float64
 	min     time.Duration
 	max     time.Duration
@@ -31,6 +35,7 @@ func (s *Summary) Add(d time.Duration) {
 		s.max = d
 	}
 	s.samples = append(s.samples, d)
+	s.sorted = nil
 	n := float64(len(s.samples))
 	delta := float64(d) - s.mean
 	s.mean += delta / n
@@ -68,9 +73,13 @@ func (s *Summary) Percentile(q float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(s.samples))
-	copy(sorted, s.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := s.sorted
+	if sorted == nil {
+		sorted = make([]time.Duration, len(s.samples))
+		copy(sorted, s.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.sorted = sorted
+	}
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -168,18 +177,24 @@ func (c *Counters) Get(name string) int64 { return c.vals[name] }
 // Names returns the counter names in registration order.
 func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
 
-// String renders the counters as aligned "name value" lines.
+// Merge folds every counter of other into c, registering names c has
+// not seen. Retired-shard and drained-session counters fold into the
+// survivor's set this way instead of each call site keeping its own
+// cumulative-priors arithmetic.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for _, n := range other.names {
+		c.Add(n, other.vals[n])
+	}
+}
+
+// String renders the counters through the same canonical sorted layout
+// as Fprint, so the two surfaces can never drift apart again.
 func (c *Counters) String() string {
 	var b strings.Builder
-	w := 0
-	for _, n := range c.names {
-		if len(n) > w {
-			w = len(n)
-		}
-	}
-	for _, n := range c.names {
-		fmt.Fprintf(&b, "%-*s %12d\n", w, n, c.vals[n])
-	}
+	c.Fprint(&b, "")
 	return b.String()
 }
 
